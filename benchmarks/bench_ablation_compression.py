@@ -1,0 +1,45 @@
+"""A3 — extension: orderings as a graph-compression preprocessor.
+
+The papers' discussion proposes feeding Gorder into WebGraph-style
+compressors.  This bench estimates gap-encoded adjacency size under
+every ordering (Elias-gamma bits per edge) and checks the expected
+shape: locality-aware orderings (Gorder, MinLogA — whose objective
+*is* the log-gap sum) compress best, Random worst.
+"""
+
+from repro.graph import datasets
+from repro.ordering import ORDERING_NAMES, bits_per_edge, compute_ordering
+from repro.perf import render_table
+
+
+def test_ablation_compression(benchmark, profile, record):
+    dataset = profile.datasets[-1]
+    graph = datasets.load(dataset)
+
+    def measure():
+        return {
+            name: bits_per_edge(
+                graph, compute_ordering(name, graph, seed=1)
+            )
+            for name in ORDERING_NAMES
+        }
+
+    bits = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = sorted(bits.items(), key=lambda item: item[1])
+    record(
+        "ablation_compression",
+        render_table(
+            ["ordering", "bits/edge (gamma gap coding)"],
+            [[name, f"{value:.2f}"] for name, value in rows],
+            title=f"A3: compression effect of orderings on {dataset}",
+        ),
+    )
+
+    # Locality objectives compress best; random worst.
+    assert bits["random"] == max(bits.values())
+    best = min(bits.values())
+    # The two locality objectives (log-gap sum and windowed proximity)
+    # lead the field; either may win.
+    assert bits["minloga"] <= best * 1.25
+    assert bits["gorder"] <= best * 1.25
+    assert bits["gorder"] <= bits["random"] * 0.8

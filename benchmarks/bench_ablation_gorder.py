@@ -1,0 +1,104 @@
+"""A1 — ablation: Gorder's design choices.
+
+Two design points DESIGN.md calls out:
+
+* the unit-heap priority queue vs the naive rescan greedy — the
+  paper's practicality claim rests on the O(1) updates;
+* the hub threshold in the sibling expansion — skipping very-high-
+  degree common in-neighbours bounds the per-step cost at a small
+  quality loss.
+"""
+
+import time
+
+from repro.graph import generators
+from repro.ordering import (
+    gorder_naive,
+    gorder_order,
+    gorder_score,
+)
+from repro.perf import render_table
+
+
+def test_ablation_unit_heap_vs_naive(benchmark, record):
+    graph = generators.social_graph(
+        220, edges_per_node=6, seed=3, name="ablation"
+    )
+
+    def measure():
+        start = time.perf_counter()
+        fast_perm = gorder_order(graph)
+        fast_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        naive_perm = gorder_naive(graph)
+        naive_seconds = time.perf_counter() - start
+        return fast_perm, fast_seconds, naive_perm, naive_seconds
+
+    fast_perm, fast_seconds, naive_perm, naive_seconds = (
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+    )
+    fast_score = gorder_score(graph, fast_perm)
+    naive_score = gorder_score(graph, naive_perm)
+    record(
+        "ablation_gorder_heap",
+        render_table(
+            ["variant", "seconds", "F(pi)"],
+            [
+                ["unit-heap", f"{fast_seconds:.3f}", fast_score],
+                ["naive rescan", f"{naive_seconds:.3f}", naive_score],
+            ],
+            title="A1a: Gorder with unit heap vs naive greedy "
+            f"(n={graph.num_nodes}, m={graph.num_edges})",
+        ),
+    )
+    # The unit heap is dramatically faster at equal greedy quality
+    # (scores differ only through tie-breaking).
+    assert fast_seconds < naive_seconds / 3
+    assert fast_score >= naive_score * 0.9
+
+
+def test_ablation_hub_threshold(benchmark, record):
+    graph = generators.web_graph(
+        2500, pages_per_host=80, out_degree=12, seed=3,
+        name="ablation-web",
+    )
+    thresholds = (2, 8, 32, None)
+
+    def measure():
+        rows = []
+        for threshold in thresholds:
+            start = time.perf_counter()
+            perm = gorder_order(graph, hub_threshold=threshold)
+            seconds = time.perf_counter() - start
+            rows.append(
+                (threshold, seconds, gorder_score(graph, perm))
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    record(
+        "ablation_gorder_hub",
+        render_table(
+            ["hub threshold", "seconds", "F(pi)"],
+            [
+                [
+                    "none (exact)" if t is None else t,
+                    f"{s:.3f}",
+                    score,
+                ]
+                for t, s, score in rows
+            ],
+            title="A1b: Gorder hub-threshold ablation "
+            f"(n={graph.num_nodes}, m={graph.num_edges})",
+        ),
+    )
+    by_threshold = {t: (s, score) for t, s, score in rows}
+    exact_seconds, exact_score = by_threshold[None]
+    tight_seconds, tight_score = by_threshold[2]
+    # Skipping hubs saves time and loses only bounded quality.
+    assert tight_seconds <= exact_seconds
+    assert tight_score <= exact_score
+    assert tight_score >= 0.3 * exact_score
+    # Raising the threshold recovers quality monotonically-ish.
+    scores = [score for _, _, score in rows]
+    assert scores[-1] == max(scores)

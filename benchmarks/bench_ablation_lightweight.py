@@ -1,0 +1,71 @@
+"""A5 — extension: lightweight reorderings vs Gorder.
+
+Reproduces the trade-off at the heart of "When is Graph Reordering an
+Optimization?" [Balaji & Lucia 2018], which the replication's
+discussion leans on: HubSort / HubCluster / DBG cost ~sorting time and
+recover part of Gorder's benefit.  Their value proposition is the
+ratio (speedup achieved) / (ordering cost paid).
+"""
+
+import time
+
+from repro.cache import Memory
+from repro.algorithms import REGISTRY
+from repro.graph import datasets, relabel
+from repro.ordering import compute_ordering
+from repro.perf import render_table
+
+ORDERINGS = (
+    "original", "hubcluster", "hubsort", "dbg", "indegsort", "gorder",
+)
+
+
+def test_ablation_lightweight(benchmark, profile, record):
+    dataset = profile.datasets[-1]
+    graph = datasets.load(dataset)
+    pagerank = REGISTRY["pr"].traced
+
+    def measure():
+        rows = {}
+        for name in ORDERINGS:
+            start = time.perf_counter()
+            perm = compute_ordering(name, graph, seed=1)
+            ordering_seconds = time.perf_counter() - start
+            memory = Memory()
+            pagerank(relabel(graph, perm), memory, iterations=2)
+            rows[name] = (
+                memory.cost().total_cycles, ordering_seconds
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    base = rows["original"][0]
+    record(
+        "ablation_lightweight",
+        render_table(
+            ["ordering", "PR cycles (M)", "speedup vs original",
+             "ordering time (s)"],
+            [
+                [
+                    name,
+                    f"{cycles / 1e6:.1f}",
+                    f"{base / cycles:.2f}x",
+                    f"{seconds:.3f}",
+                ]
+                for name, (cycles, seconds) in rows.items()
+            ],
+            title=f"A5: lightweight reorderings vs Gorder "
+            f"(PR on {dataset})",
+        ),
+    )
+
+    gorder_cycles, gorder_seconds = rows["gorder"]
+    # Gorder achieves the best runtime...
+    assert gorder_cycles == min(cycles for cycles, _ in rows.values())
+    # ...but costs far more to compute than every lightweight order.
+    for name in ("hubsort", "hubcluster", "dbg"):
+        cycles, seconds = rows[name]
+        assert seconds < gorder_seconds / 10
+        # Lightweight orders must stay valid (not catastrophically
+        # worse than the original layout).
+        assert cycles < 2.5 * base

@@ -1,0 +1,58 @@
+"""F1 — Figure 1: CPU execution vs cache stall, Original vs Gorder.
+
+The paper's motivating figure: for all nine algorithms on the largest
+dataset, most of the runtime is cache stall, and Gorder cuts the stall
+while leaving CPU-execute time unchanged.
+"""
+
+import pytest
+
+from repro.perf import cache_stall_split, render_stall_split
+
+
+def test_fig1_cache_stall(benchmark, profile, record):
+    dataset = profile.datasets[-1]  # largest available in the profile
+    results = benchmark.pedantic(
+        cache_stall_split,
+        args=(profile,),
+        kwargs={"dataset_name": dataset},
+        rounds=1,
+        iterations=1,
+    )
+    blocks = []
+    for ordering in ("original", "gorder"):
+        block = {
+            algorithm: results[(algorithm, ordering)]
+            for algorithm in profile.algorithms
+        }
+        blocks.append(
+            render_stall_split(
+                f"Figure 1 ({ordering} order, {dataset})", block
+            )
+        )
+    record("fig1_cache_stall", "\n\n".join(blocks))
+
+    for algorithm in profile.algorithms:
+        original = results[(algorithm, "original")]
+        gorder = results[(algorithm, "gorder")]
+        # Same logical work: execute cycles within a small tolerance
+        # (queue/stack traffic shifts slightly with the visit order).
+        assert gorder.cost.execute_cycles == pytest.approx(
+            original.cost.execute_cycles, rel=0.15
+        )
+        # Stall dominates the runtime under the original order for at
+        # least the random-access-heavy algorithms.
+        assert original.cost.stall_fraction > 0.3
+        # Gorder must not stall more than Original (the headline).
+        assert gorder.cost.stall_cycles <= original.cost.stall_cycles * 1.05
+
+    # Across the whole suite, Gorder reduces total stall.
+    total_original = sum(
+        results[(a, "original")].cost.stall_cycles
+        for a in profile.algorithms
+    )
+    total_gorder = sum(
+        results[(a, "gorder")].cost.stall_cycles
+        for a in profile.algorithms
+    )
+    assert total_gorder < total_original

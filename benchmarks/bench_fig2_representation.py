@@ -1,0 +1,59 @@
+"""F2 — paper Figure 2: CSR vs linked adjacency list.
+
+The paper motivates its CSR storage as "an equivalent but more
+compact format which allows for faster memory access" than the
+pointer-based adjacency list.  This bench measures exactly that on
+the cache simulator, for the neighbour-query workload, including the
+fragmented-heap case a dynamically built adjacency list degrades to.
+"""
+
+from repro.algorithms import neighbor_query_traced
+from repro.cache import Memory
+from repro.graph import datasets
+from repro.graph.adjlist import (
+    AdjacencyListLayout,
+    neighbor_query_adjlist_traced,
+)
+from repro.perf import render_table
+
+
+def test_fig2_representation(benchmark, profile, record):
+    dataset = profile.datasets[-1]
+    graph = datasets.load(dataset)
+
+    def measure():
+        rows = []
+        memory = Memory()
+        neighbor_query_traced(graph, memory)
+        rows.append(("CSR", memory))
+        for order in ("grouped", "interleaved"):
+            layout = AdjacencyListLayout(graph, order=order, seed=1)
+            memory = Memory()
+            neighbor_query_adjlist_traced(layout, memory)
+            rows.append((f"adjacency list ({order})", memory))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    csr_cycles = rows[0][1].cost().total_cycles
+    record(
+        "fig2_representation",
+        render_table(
+            ["representation", "NQ cycles (M)", "vs CSR", "L1-mr"],
+            [
+                [
+                    label,
+                    f"{memory.cost().total_cycles / 1e6:.2f}",
+                    f"{memory.cost().total_cycles / csr_cycles:.2f}x",
+                    f"{100 * memory.stats().l1_miss_rate:.1f}%",
+                ]
+                for label, memory in rows
+            ],
+            title=f"Figure 2: graph representations (NQ on {dataset})",
+        ),
+    )
+
+    cycles = [memory.cost().total_cycles for _, memory in rows]
+    # CSR < grouped list < fragmented list — the paper's ordering.
+    assert cycles[0] < cycles[1] < cycles[2]
+    # Fragmentation costs at least 1.5x over CSR.
+    assert cycles[2] > 1.5 * cycles[0]

@@ -1,0 +1,49 @@
+"""F3 — replication Figure 3: tuning simulated annealing.
+
+Sweeps the step budget S and standard energy k of the MinLA annealer
+on the epinion analogue and reproduces the replication's observations:
+(a) more steps -> lower energy, (b) huge k accepts everything and
+degenerates to a random arrangement, (c) any small k behaves like pure
+local search (k = 0).
+"""
+
+from repro.perf import annealing_sweep, render_table
+
+
+def test_fig3_annealing(benchmark, record):
+    step_factors = (0.25, 1.0, 4.0)
+    energy_factors = (0.0, 0.01, 1.0, 1e6)
+    results = benchmark.pedantic(
+        annealing_sweep,
+        kwargs={
+            "dataset_name": "epinion",
+            "step_factors": step_factors,
+            "energy_factors": energy_factors,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [s, k, f"{results[(s, k)]:,.0f}"]
+        for s in step_factors
+        for k in energy_factors
+    ]
+    record(
+        "fig3_annealing",
+        render_table(
+            ["steps (x m)", "k (x m/n)", "final MinLA energy"],
+            rows,
+            title="Figure 3: simulated-annealing tuning on epinion",
+        ),
+    )
+
+    # (a) More steps help (monotone at fixed k = 0, within noise).
+    assert results[(4.0, 0.0)] <= results[(0.25, 0.0)]
+    # (b) Huge k = accept everything = worst energy of its row.
+    for s in step_factors:
+        row = [results[(s, k)] for k in energy_factors]
+        assert results[(s, 1e6)] == max(row)
+    # (c) Small k is within a few percent of pure local search.
+    for s in step_factors:
+        local = results[(s, 0.0)]
+        assert results[(s, 0.01)] <= local * 1.05

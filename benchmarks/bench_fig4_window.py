@@ -1,0 +1,51 @@
+"""F4 — replication Figure 4 / original Figure 8: window-size tuning.
+
+Builds Gorder with window sizes from 1 upwards, runs PageRank on the
+flickr analogue under each, and reproduces the paper's observations:
+small windows already capture most of the benefit (the curve is flat
+within a few percent past w ~ 5), while the ordering cost grows with
+the window.
+"""
+
+from repro.perf import window_sweep, render_table
+
+WINDOWS = (1, 2, 3, 5, 8, 16, 64, 256)
+
+
+def test_fig4_window_sweep(benchmark, profile, record):
+    dataset = "flickr" if "flickr" in profile.datasets else (
+        profile.datasets[-1]
+    )
+    results = benchmark.pedantic(
+        window_sweep,
+        args=(profile,),
+        kwargs={"dataset_name": dataset, "windows": WINDOWS},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            window,
+            f"{results[window].cycles / 1e6:.2f}",
+            f"{100 * results[window].stats.l1_miss_rate:.1f}%",
+            f"{results[window].ordering_seconds:.2f}",
+        ]
+        for window in WINDOWS
+    ]
+    record(
+        "fig4_window",
+        render_table(
+            ["window w", "PR cycles (M)", "L1-mr", "Gorder time (s)"],
+            rows,
+            title=f"Figure 4: Gorder window sweep (PR on {dataset})",
+        ),
+    )
+
+    cycles = {w: results[w].cycles for w in WINDOWS}
+    best = min(cycles.values())
+    # The plateau: every window from 5 up is within 20% of the best.
+    for window in WINDOWS:
+        if window >= 5:
+            assert cycles[window] <= best * 1.2
+    # w = 1 captures less locality than the best window.
+    assert cycles[1] >= best

@@ -1,0 +1,76 @@
+"""F5 — replication Figure 5 / original Figure 9: speedup of Gorder.
+
+The paper's headline experiment: every algorithm on every dataset
+under every ordering, reported as runtime relative to Gorder.  Asserts
+the headline claims — Gorder is the best or near-best ordering in
+every series, and Random is (near-)worst.
+"""
+
+from benchmarks.conftest import ensure_matrix
+from repro.perf import (
+    relative_to_gorder,
+    render_speedup_series,
+    save_results,
+)
+
+
+def test_fig5_speedup(benchmark, profile, record, matrix_holder,
+                      results_dir):
+    matrix = benchmark.pedantic(
+        ensure_matrix,
+        args=(matrix_holder, profile),
+        rounds=1,
+        iterations=1,
+    )
+    relative = relative_to_gorder(matrix)
+    save_results(
+        matrix,
+        results_dir / "fig5_speedup.json",
+        metadata={"profile": profile.name},
+    )
+
+    panels = []
+    for algorithm in profile.algorithms:
+        for dataset in profile.datasets:
+            series = {
+                ordering: relative[(dataset, algorithm, ordering)]
+                for ordering in profile.orderings
+            }
+            gorder_cycles = matrix[(dataset, algorithm, "gorder")].cycles
+            panels.append(
+                render_speedup_series(
+                    f"{algorithm} on {dataset} "
+                    f"(Gorder = {gorder_cycles / 1e6:.1f}M cycles)",
+                    series,
+                )
+            )
+    record("fig5_speedup", "\n\n".join(panels))
+
+    wins = 0
+    near_best = 0
+    total_series = 0
+    for algorithm in profile.algorithms:
+        for dataset in profile.datasets:
+            total_series += 1
+            values = {
+                ordering: relative[(dataset, algorithm, ordering)]
+                for ordering in profile.orderings
+            }
+            best = min(values.values())
+            if values["gorder"] == best:
+                wins += 1
+            if values["gorder"] <= best * 1.10:
+                near_best += 1
+            # Random never beats Gorder meaningfully.
+            assert values["random"] >= 0.95
+
+    # Gorder wins or nearly wins the large majority of series
+    # (replication: best in half, second-best in most others).
+    assert near_best >= 0.7 * total_series
+    assert wins >= 0.3 * total_series
+
+    # The headline speedup: on the largest dataset, Gorder beats the
+    # original order by a clear margin for PageRank.
+    largest = profile.datasets[-1]
+    assert relative[(largest, "pr", "original")] > 1.1
+    assert relative[(largest, "pr", "random")] > 1.3

@@ -1,0 +1,48 @@
+"""F6 — replication Figure 6: ranking of ordering methods.
+
+Aggregates the Figure 5 matrix into a rank histogram: for each
+(algorithm, dataset) series, orderings are ranked by runtime; the
+figure counts how often each ordering achieves each rank.  The
+paper's shape: Gorder collects the most first places; Random collects
+the most last places.
+"""
+
+from benchmarks.conftest import ensure_matrix
+from repro.perf import rank_orderings, render_rank_histogram
+
+
+def test_fig6_ranking(benchmark, profile, record, matrix_holder):
+    matrix = ensure_matrix(matrix_holder, profile)
+    histogram = benchmark.pedantic(
+        rank_orderings, args=(matrix,), rounds=1, iterations=1
+    )
+    series_count = len(profile.datasets) * len(profile.algorithms)
+    record(
+        "fig6_ranking",
+        render_rank_histogram(
+            f"Figure 6: ordering ranks over {series_count} series",
+            histogram,
+        ),
+    )
+
+    def mean_rank(name):
+        counts = histogram[name]
+        return sum(r * c for r, c in enumerate(counts)) / sum(counts)
+
+    # Gorder has the best (lowest) mean rank of all orderings.
+    gorder_rank = mean_rank("gorder")
+    assert gorder_rank == min(mean_rank(name) for name in histogram)
+
+    # Gorder is first in a meaningful share of the series.
+    assert histogram["gorder"][0] >= 0.25 * series_count
+
+    # Random sits in the bottom half on average.
+    num_orderings = len(histogram)
+    assert mean_rank("random") > (num_orderings - 1) / 2
+
+    # Every series hands out each rank exactly once.
+    for rank in range(num_orderings):
+        assert (
+            sum(histogram[name][rank] for name in histogram)
+            == series_count
+        )

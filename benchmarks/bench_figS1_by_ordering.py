@@ -1,0 +1,39 @@
+"""S1 — replication Figure S1: speedups grouped by ordering.
+
+The same data as Figure 5, but each panel fixes an (algorithm,
+ordering) pair and shows the relative runtime across datasets —
+emphasising each ordering's overall behaviour.
+"""
+
+from benchmarks.conftest import ensure_matrix
+from repro.perf import relative_to_gorder, render_speedup_series
+
+
+def test_figS1_grouped_by_ordering(benchmark, profile, record,
+                                   matrix_holder):
+    matrix = ensure_matrix(matrix_holder, profile)
+    relative = benchmark.pedantic(
+        relative_to_gorder, args=(matrix,), rounds=1, iterations=1
+    )
+
+    panels = []
+    for algorithm in profile.algorithms:
+        for ordering in profile.orderings:
+            series = {
+                dataset: relative[(dataset, algorithm, ordering)]
+                for dataset in profile.datasets
+            }
+            panels.append(
+                render_speedup_series(
+                    f"{algorithm} / {ordering} across datasets "
+                    "(relative to Gorder)",
+                    series,
+                )
+            )
+    record("figS1_by_ordering", "\n\n".join(panels))
+
+    # Grouped view must carry exactly the Figure 5 data: the gorder
+    # row is identically 1.0 everywhere.
+    for algorithm in profile.algorithms:
+        for dataset in profile.datasets:
+            assert relative[(dataset, algorithm, "gorder")] == 1.0

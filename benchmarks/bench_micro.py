@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the library's own hot paths.
+
+Unlike the paper-artifact benches (single-shot ``pedantic`` runs),
+these use pytest-benchmark's normal multi-round measurement: they
+track the throughput of the simulator and ordering kernels so
+regressions in the *infrastructure* are visible independently of the
+experiment results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import neighbor_query, neighbor_query_traced
+from repro.cache import Memory, scaled_hierarchy
+from repro.graph import datasets
+from repro.ordering import UnitHeap, gorder_order, rcm_order
+
+
+@pytest.fixture(scope="module")
+def pokec():
+    return datasets.load("pokec")
+
+
+def test_micro_cache_access_throughput(benchmark):
+    hierarchy = scaled_hierarchy()
+    rng = np.random.default_rng(1)
+    lines = rng.integers(0, 4096, size=20000).tolist()
+
+    def run():
+        access = hierarchy.access
+        for line in lines:
+            access(line)
+
+    benchmark(run)
+
+
+def test_micro_touch_run_throughput(benchmark):
+    memory = Memory()
+    array = memory.array("a", 200000, 4)
+
+    def run():
+        array.touch_run(0, 200000)
+
+    benchmark(run)
+
+
+def test_micro_unit_heap_churn(benchmark):
+    def run():
+        heap = UnitHeap(2000)
+        for i in range(2000):
+            for _ in range(i % 7):
+                heap.increase(i)
+        for _ in range(2000):
+            heap.pop_max()
+
+    benchmark(run)
+
+
+def test_micro_gorder_pokec(benchmark, pokec):
+    benchmark.pedantic(
+        gorder_order, args=(pokec,), rounds=2, iterations=1
+    )
+
+
+def test_micro_rcm_pokec(benchmark, pokec):
+    benchmark(rcm_order, pokec)
+
+
+def test_micro_pure_nq(benchmark, pokec):
+    benchmark(neighbor_query, pokec)
+
+
+def test_micro_traced_nq(benchmark, pokec):
+    def run():
+        neighbor_query_traced(pokec, Memory())
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

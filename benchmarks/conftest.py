@@ -1,0 +1,60 @@
+"""Shared fixtures for the paper-artifact benchmarks.
+
+Each ``bench_*`` file regenerates one table or figure of the paper
+(see DESIGN.md's per-experiment index).  Results are printed and also
+written to ``benchmarks/results/`` so they survive pytest's output
+capture.
+
+The experiment scale is selected with ``REPRO_PROFILE``
+(quick | standard | full); ``full`` reproduces the complete matrix of
+the replication and takes tens of minutes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.perf import get_profile, speedup_matrix
+
+RESULTS_ROOT = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return get_profile()
+
+
+@pytest.fixture(scope="session")
+def results_dir(profile):
+    """Per-profile result directory, so a quick run never overwrites
+    archived full-profile artifacts."""
+    directory = RESULTS_ROOT / profile.name
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory
+
+
+@pytest.fixture(scope="session")
+def record(results_dir):
+    """Print a result block and persist it to results/<profile>/."""
+
+    def _record(name: str, text: str) -> None:
+        print()
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def matrix_holder():
+    """Lazy container for the shared speedup matrix (F5/F6/S1)."""
+    return {"matrix": None}
+
+
+def ensure_matrix(holder, profile):
+    """Compute the speedup matrix once per session."""
+    if holder["matrix"] is None:
+        holder["matrix"] = speedup_matrix(profile)
+    return holder["matrix"]

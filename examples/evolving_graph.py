@@ -1,0 +1,102 @@
+"""Evolving graphs: keep the ordering fresh without recomputation.
+
+The replication's closing discussion: Gorder's hours-long computation
+"can only be amortised if algorithms are run thousands of times", and
+evolving networks would need the ordering adapted "without running the
+whole process again".  This example demonstrates the library's
+incremental extension: a social network grows in batches, and
+`gorder_extend` integrates each batch into the existing arrangement at
+a fraction of a full recomputation, staying close to full-Gorder
+quality.
+
+Run:  python examples/evolving_graph.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.graph import from_arrays, generators
+from repro.ordering import (
+    append_identity,
+    gorder_extend,
+    gorder_order,
+    gorder_score,
+)
+
+
+def grow(graph, batch, rng):
+    """Append `batch` users.
+
+    New users arrive socially: each follows a few existing accounts,
+    closes triangles with their followees' followees, and befriends
+    recent arrivals from the same signup wave.
+    """
+    sources, targets = graph.edge_array()
+    new_sources, new_targets = [], []
+    for i in range(batch):
+        u = graph.num_nodes + i
+        for _ in range(3):
+            v = int(rng.integers(0, graph.num_nodes))
+            new_sources.append(u)
+            new_targets.append(v)
+            # Triadic closure: also follow one of v's followees.
+            row = graph.out_neighbors(v)
+            if row.shape[0]:
+                new_sources.append(u)
+                new_targets.append(
+                    int(row[rng.integers(0, row.shape[0])])
+                )
+        for _ in range(2):  # same signup wave
+            if i:
+                new_sources.append(u)
+                new_targets.append(
+                    graph.num_nodes + int(rng.integers(0, i))
+                )
+    return from_arrays(
+        np.concatenate([sources, np.array(new_sources, np.int64)]),
+        np.concatenate([targets, np.array(new_targets, np.int64)]),
+        num_nodes=graph.num_nodes + batch,
+        name="evolving",
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    graph = generators.social_graph(
+        1200, edges_per_node=8, seed=7, name="evolving"
+    )
+    perm = gorder_order(graph)
+    print(f"day 0: {graph.num_nodes} users, full Gorder computed\n")
+    print(f"{'day':>4s} {'users':>6s} {'extend':>8s} {'full':>8s} "
+          f"{'F(extend)':>10s} {'F(full)':>9s} {'F(naive)':>9s}")
+
+    for day in range(1, 4):
+        graph = grow(graph, 150, rng)
+
+        start = time.perf_counter()
+        extended = gorder_extend(graph, perm)
+        extend_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        full = gorder_order(graph)
+        full_seconds = time.perf_counter() - start
+
+        naive = append_identity(perm, graph.num_nodes)
+        print(
+            f"{day:4d} {graph.num_nodes:6d} {extend_seconds:7.3f}s "
+            f"{full_seconds:7.3f}s {gorder_score(graph, extended):10d} "
+            f"{gorder_score(graph, full):9d} "
+            f"{gorder_score(graph, naive):9d}"
+        )
+        perm = extended  # carry the incremental arrangement forward
+
+    print(
+        "\nThe incremental extension costs a fraction of the full"
+        "\nrecomputation, scores far above naively appending new ids,"
+        "\nand stays within reach of the from-scratch Gorder score."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Quickstart: order a graph with Gorder and measure the cache win.
+
+Loads the flickr analogue, computes the Gorder arrangement, relabels
+the graph, and compares PageRank's simulated cache behaviour before
+and after — the end-to-end workflow of the paper in ~30 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Memory, datasets, gorder_order, pagerank, relabel
+from repro.algorithms import pagerank_traced
+
+import numpy as np
+
+
+def main() -> None:
+    graph = datasets.load("wiki")
+    print(f"loaded {graph.name}: {graph.num_nodes} nodes, "
+          f"{graph.num_edges} edges")
+
+    # 1. Compute the Gorder arrangement (the paper's contribution).
+    perm = gorder_order(graph, window=5)
+    ordered = relabel(graph, perm)
+
+    # 2. Results are invariant: PageRank scores match after mapping.
+    before = pagerank(graph, iterations=30)
+    after = pagerank(ordered, iterations=30)
+    assert np.allclose(before, after[perm])
+    print("PageRank results identical under the new ordering")
+
+    # 3. Performance is not: compare simulated cache behaviour.
+    for label, candidate in (("original", graph), ("gorder", ordered)):
+        memory = Memory()
+        pagerank_traced(candidate, memory, iterations=3)
+        cost = memory.cost()
+        stats = memory.stats()
+        print(
+            f"{label:>9s}: {cost.total_cycles / 1e6:6.1f}M cycles "
+            f"({100 * cost.stall_fraction:.0f}% stall), "
+            f"L1 miss rate {100 * stats.l1_miss_rate:.1f}%, "
+            f"memory miss rate {100 * stats.cache_miss_rate:.1f}%"
+        )
+
+    memory_original = Memory()
+    pagerank_traced(graph, memory_original, iterations=3)
+    memory_gorder = Memory()
+    pagerank_traced(ordered, memory_gorder, iterations=3)
+    speedup = (
+        memory_original.cost().total_cycles
+        / memory_gorder.cost().total_cycles
+    )
+    print(f"Gorder speedup over the original order: {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

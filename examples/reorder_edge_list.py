@@ -1,0 +1,74 @@
+"""Reorder an on-disk edge list — the downstream user's workflow.
+
+Takes a SNAP-style edge-list file, computes an ordering, and writes
+the relabeled edge list plus the permutation, exactly what you would
+feed into an existing C++/Rust graph engine to get the cache benefit
+without changing the engine.
+
+Run:  python examples/reorder_edge_list.py [input.txt] [ordering]
+
+Without arguments it demonstrates the flow on a generated file.
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph import (
+    generators,
+    read_edge_list,
+    relabel,
+    write_edge_list,
+)
+from repro.ordering import ORDERING_NAMES, compute_ordering, gorder_score
+
+
+def reorder_file(input_path: Path, ordering: str) -> None:
+    graph = read_edge_list(input_path)
+    print(f"read {input_path}: {graph.num_nodes} nodes, "
+          f"{graph.num_edges} edges")
+
+    perm = compute_ordering(ordering, graph, seed=0)
+    ordered = relabel(graph, perm)
+
+    output_path = input_path.with_suffix(f".{ordering}.txt")
+    perm_path = input_path.with_suffix(f".{ordering}.perm.txt")
+    write_edge_list(ordered, output_path)
+    np.savetxt(perm_path, perm, fmt="%d")
+
+    before = gorder_score(graph, np.arange(graph.num_nodes))
+    after = gorder_score(graph, perm)
+    print(f"ordering      : {ordering}")
+    print(f"locality score: F = {before} -> {after}")
+    print(f"reordered list: {output_path}")
+    print(f"permutation   : {perm_path} "
+          "(line u holds the new id of old node u)")
+
+
+def main() -> None:
+    if len(sys.argv) >= 2:
+        input_path = Path(sys.argv[1])
+        ordering = sys.argv[2] if len(sys.argv) >= 3 else "gorder"
+        if ordering not in ORDERING_NAMES:
+            raise SystemExit(
+                f"unknown ordering {ordering!r}; "
+                f"choose from {', '.join(ORDERING_NAMES)}"
+            )
+        reorder_file(input_path, ordering)
+        return
+
+    # Demo mode: generate a small web graph, write it, reorder it.
+    with tempfile.TemporaryDirectory() as tmp:
+        demo = Path(tmp) / "crawl.txt"
+        graph = generators.web_graph(
+            800, pages_per_host=40, out_degree=8, seed=5, name="demo"
+        )
+        write_edge_list(graph, demo)
+        print("demo mode: generated", demo)
+        reorder_file(demo, "gorder")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Social-network analysis under a cache-friendly ordering.
+
+A product-analytics style workload on a social-graph analogue:
+influencer scoring (PageRank), engagement cores (k-core), reachability
+(BFS/SCC) and friend-of-friend statistics (NQ).  Shows that analysis
+*results* are pure graph properties — identical under any node
+ordering — while the memory behaviour of the whole batch improves
+under Gorder.
+
+Run:  python examples/social_network_analysis.py
+"""
+
+import numpy as np
+
+from repro import Memory
+from repro.algorithms import (
+    REGISTRY,
+    core_decomposition,
+    neighbor_query,
+    pagerank,
+    strongly_connected_components,
+)
+from repro.graph import generators, invert_permutation, relabel
+from repro.ordering import gorder_order
+
+
+def main() -> None:
+    grown = generators.social_graph(
+        3000, edges_per_node=12, reciprocity=0.5, seed=99,
+        name="community",
+    )
+    # Production exports rarely arrive in a friendly order: user ids
+    # are hashes/UUIDs, so the on-disk layout is effectively random.
+    # Model that by shuffling the ids before the analysis starts.
+    scramble = np.random.default_rng(1).permutation(
+        grown.num_nodes
+    ).astype(np.int64)
+    network = relabel(grown, scramble, name="community-hashed")
+    print(f"social network: {network.num_nodes} users, "
+          f"{network.num_edges} follows (hash-ordered ids)\n")
+
+    # --- Analysis on the original layout --------------------------
+    ranks = pagerank(network, iterations=40)
+    cores = core_decomposition(network)
+    components = strongly_connected_components(network)
+    friend_degrees = neighbor_query(network)
+
+    top = np.argsort(ranks)[::-1][:5]
+    print("top influencers (PageRank):")
+    for user in top:
+        print(
+            f"  user {int(user):5d}: rank {ranks[user]:.5f}, "
+            f"core {int(cores[user])}, "
+            f"friends-of-friends weight {int(friend_degrees[user])}"
+        )
+    largest_scc = np.bincount(components).max()
+    print(f"largest strongly connected community: {largest_scc} users")
+    print(f"deepest engagement core: {int(cores.max())}\n")
+
+    # --- Same analysis after Gorder: identical answers ------------
+    perm = gorder_order(network)
+    ordered = relabel(network, perm)
+    ranks_after = pagerank(ordered, iterations=40)
+    assert np.allclose(ranks, ranks_after[perm])
+    cores_after = core_decomposition(ordered)
+    assert np.array_equal(cores, cores_after[perm])
+    print("re-ran the analysis under Gorder: identical results")
+
+    # --- ...but the batch runs with far fewer cache misses --------
+    def batch_cost(graph) -> tuple[float, float]:
+        total = 0.0
+        misses = 0
+        refs = 0
+        for name in ("nq", "pr", "bfs", "kcore"):
+            memory = Memory()
+            params = {"iterations": 3} if name == "pr" else {}
+            REGISTRY[name].traced(graph, memory, **params)
+            total += memory.cost().total_cycles
+            stats = memory.stats()
+            misses += stats.l1_misses
+            refs += stats.l1_refs
+        return total, misses / refs
+
+    base_cycles, base_mr = batch_cost(network)
+    fast_cycles, fast_mr = batch_cost(ordered)
+    print(
+        f"analysis batch, original order: {base_cycles / 1e6:.1f}M "
+        f"cycles, L1 miss rate {100 * base_mr:.1f}%"
+    )
+    print(
+        f"analysis batch, Gorder:         {fast_cycles / 1e6:.1f}M "
+        f"cycles, L1 miss rate {100 * fast_mr:.1f}%"
+    )
+    print(f"speedup: {base_cycles / fast_cycles:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

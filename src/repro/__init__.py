@@ -1,0 +1,113 @@
+"""repro — reproduction of "Speedup Graph Processing by Graph Ordering".
+
+Wei, Yu, Lu & Lin (SIGMOD 2016), cross-checked against the ReScience
+replication by Lécuyer, Danisch & Tabourier (2021).
+
+The package has five layers:
+
+* :mod:`repro.graph` — CSR graphs, builders, I/O, synthetic dataset
+  analogues of the paper's benchmarks.
+* :mod:`repro.cache` — the set-associative multi-level cache simulator
+  and cycle cost model that stand in for the paper's hardware
+  counters (see DESIGN.md for the substitution argument).
+* :mod:`repro.ordering` — Gorder (the paper's contribution) and the
+  nine baseline orderings.
+* :mod:`repro.algorithms` — the nine benchmark graph algorithms, each
+  in a pure and a cache-traced variant.
+* :mod:`repro.perf` — the experiment harness reproducing every table
+  and figure.
+
+Quickstart::
+
+    from repro import datasets, gorder_order, relabel, pagerank
+    graph = datasets.load("flickr")
+    ordered = relabel(graph, gorder_order(graph))
+    ranks = pagerank(ordered)
+"""
+
+from repro import algorithms, cache, graph, ordering, perf
+from repro.algorithms import (
+    breadth_first_search,
+    core_decomposition,
+    depth_first_search,
+    diameter,
+    dominating_set,
+    neighbor_query,
+    pagerank,
+    shortest_paths,
+    strongly_connected_components,
+)
+from repro.cache import (
+    CacheHierarchy,
+    CacheLevel,
+    CostModel,
+    Memory,
+    RunCost,
+    paper_hierarchy,
+    scaled_hierarchy,
+)
+from repro.errors import (
+    GraphFormatError,
+    InvalidParameterError,
+    InvalidPermutationError,
+    ReproError,
+    UnknownAlgorithmError,
+    UnknownDatasetError,
+    UnknownOrderingError,
+)
+from repro.graph import (
+    CSRGraph,
+    from_edges,
+    read_edge_list,
+    relabel,
+)
+from repro.graph import datasets
+from repro.ordering import (
+    compute_ordering,
+    gorder_order,
+    gorder_score,
+    minla_energy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "graph",
+    "cache",
+    "ordering",
+    "algorithms",
+    "perf",
+    "datasets",
+    "CSRGraph",
+    "from_edges",
+    "read_edge_list",
+    "relabel",
+    "compute_ordering",
+    "gorder_order",
+    "gorder_score",
+    "minla_energy",
+    "neighbor_query",
+    "breadth_first_search",
+    "depth_first_search",
+    "strongly_connected_components",
+    "shortest_paths",
+    "pagerank",
+    "dominating_set",
+    "core_decomposition",
+    "diameter",
+    "Memory",
+    "CacheLevel",
+    "CacheHierarchy",
+    "CostModel",
+    "RunCost",
+    "paper_hierarchy",
+    "scaled_hierarchy",
+    "ReproError",
+    "GraphFormatError",
+    "InvalidPermutationError",
+    "InvalidParameterError",
+    "UnknownOrderingError",
+    "UnknownDatasetError",
+    "UnknownAlgorithmError",
+    "__version__",
+]

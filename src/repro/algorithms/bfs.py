@@ -1,0 +1,90 @@
+"""BFS — whole-graph breadth-first search.
+
+A BFS forest over the full graph: traversal starts at node 0 and
+restarts from the lowest-id unvisited node until every node is
+numbered, visiting neighbours in lexicographic (ascending id) order as
+the replication specifies.  Returns the hop distance of every node
+from its forest root (roots have distance 0).
+
+The cache-relevant access is the per-edge ``distance[v]`` probe that
+checks whether a neighbour was already discovered.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.common import NODE_BYTES, declare_graph
+from repro.cache.layout import Memory
+from repro.graph.csr import CSRGraph
+
+#: Marker for not-yet-visited nodes in the distance array.
+UNVISITED = -1
+
+
+def breadth_first_search(graph: CSRGraph) -> np.ndarray:
+    """Whole-graph BFS; returns per-node distance from its forest root."""
+    n = graph.num_nodes
+    offsets = graph.offsets
+    adjacency = graph.adjacency
+    distance = np.full(n, UNVISITED, dtype=np.int64)
+    queue = np.empty(n, dtype=np.int64)
+    for root in range(n):
+        if distance[root] != UNVISITED:
+            continue
+        distance[root] = 0
+        head = 0
+        tail = 1
+        queue[0] = root
+        while head < tail:
+            u = int(queue[head])
+            head += 1
+            next_distance = distance[u] + 1
+            for v in adjacency[offsets[u]:offsets[u + 1]].tolist():
+                if distance[v] == UNVISITED:
+                    distance[v] = next_distance
+                    queue[tail] = v
+                    tail += 1
+    return distance
+
+
+def breadth_first_search_traced(
+    graph: CSRGraph, memory: Memory
+) -> np.ndarray:
+    """Whole-graph BFS with traced memory accesses."""
+    n = graph.num_nodes
+    traced = declare_graph(memory, graph)
+    traced_distance = memory.array("distance", n, NODE_BYTES)
+    traced_queue = memory.array("queue", n, NODE_BYTES)
+    offsets = graph.offsets
+    adjacency = graph.adjacency
+    distance = np.full(n, UNVISITED, dtype=np.int64)
+    queue = np.empty(n, dtype=np.int64)
+    touch_distance = traced_distance.touch
+    touch_queue = traced_queue.touch
+    for root in range(n):
+        traced_distance.touch(root)  # the restart scan probes distance
+        if distance[root] != UNVISITED:
+            continue
+        distance[root] = 0
+        head = 0
+        tail = 1
+        queue[0] = root
+        touch_queue(0)
+        while head < tail:
+            touch_queue(head)
+            u = int(queue[head])
+            head += 1
+            traced.offsets.touch(u)
+            start = int(offsets[u])
+            end = int(offsets[u + 1])
+            traced.adjacency.touch_run(start, end - start)
+            next_distance = distance[u] + 1
+            for v in adjacency[start:end].tolist():
+                touch_distance(v)
+                if distance[v] == UNVISITED:
+                    distance[v] = next_distance
+                    queue[tail] = v
+                    touch_queue(tail)
+                    tail += 1
+    return distance

@@ -1,0 +1,88 @@
+"""DFS — whole-graph depth-first search.
+
+Iterative DFS with an explicit stack, neighbours pushed in reverse so
+the lexicographically smallest pops first.  Visited flags are set at
+push time (the standard explicit-stack discipline — the ChDFS
+*ordering* uses exactly the same discipline, which is what makes it
+the fastest ordering for this algorithm in the replication).
+
+Returns the preorder visit number of every node.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.common import NODE_BYTES, declare_graph
+from repro.cache.layout import Memory
+from repro.graph.csr import CSRGraph
+
+
+def depth_first_search(graph: CSRGraph) -> np.ndarray:
+    """Whole-graph DFS; returns per-node preorder visit index."""
+    n = graph.num_nodes
+    offsets = graph.offsets
+    adjacency = graph.adjacency
+    visited = np.zeros(n, dtype=bool)
+    preorder = np.empty(n, dtype=np.int64)
+    counter = 0
+    for root in range(n):
+        if visited[root]:
+            continue
+        visited[root] = True
+        stack = [root]
+        while stack:
+            u = stack.pop()
+            preorder[u] = counter
+            counter += 1
+            neighbors = adjacency[offsets[u]:offsets[u + 1]]
+            for i in range(neighbors.shape[0] - 1, -1, -1):
+                v = int(neighbors[i])
+                if not visited[v]:
+                    visited[v] = True
+                    stack.append(v)
+    return preorder
+
+
+def depth_first_search_traced(
+    graph: CSRGraph, memory: Memory
+) -> np.ndarray:
+    """Whole-graph DFS with traced memory accesses."""
+    n = graph.num_nodes
+    traced = declare_graph(memory, graph)
+    traced_visited = memory.array("visited", n, 1)
+    traced_preorder = memory.array("preorder", n, NODE_BYTES)
+    traced_stack = memory.array("stack", n, NODE_BYTES)
+    offsets = graph.offsets
+    adjacency = graph.adjacency
+    visited = np.zeros(n, dtype=bool)
+    preorder = np.empty(n, dtype=np.int64)
+    counter = 0
+    touch_visited = traced_visited.touch
+    touch_stack = traced_stack.touch
+    for root in range(n):
+        touch_visited(root)  # restart scan probes the visited flag
+        if visited[root]:
+            continue
+        visited[root] = True
+        stack = [root]
+        touch_stack(0)
+        while stack:
+            touch_stack(len(stack) - 1)
+            u = stack.pop()
+            traced_preorder.touch(u)
+            preorder[u] = counter
+            counter += 1
+            traced.offsets.touch(u)
+            start = int(offsets[u])
+            end = int(offsets[u + 1])
+            traced.adjacency.touch_run(start, end - start)
+            neighbors = adjacency[start:end]
+            for i in range(neighbors.shape[0] - 1, -1, -1):
+                v = int(neighbors[i])
+                touch_visited(v)
+                if not visited[v]:
+                    visited[v] = True
+                    stack.append(v)
+                    touch_stack(len(stack) - 1)
+    return preorder

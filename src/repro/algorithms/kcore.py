@@ -1,0 +1,93 @@
+"""Kcore — core decomposition by peeling.
+
+Recursively removes the minimum-degree node of the undirected view; a
+node's *core number* is the peel level ``k`` current when it is
+removed.  Following the replication, degrees live in a **binary heap**
+with lazy invalidation (stale entries skipped at pop), giving the
+quasi-linear O(m log n) variant — and giving the cache model the heap
+traffic to account, via :class:`TracedBinaryHeap`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.common import NODE_BYTES
+from repro.algorithms.traced_heap import TracedBinaryHeap
+from repro.cache.layout import Memory
+from repro.graph.csr import CSRGraph
+
+
+def core_decomposition(graph: CSRGraph) -> np.ndarray:
+    """Core number of every node (on the undirected view)."""
+    return _peel(graph, memory=None)
+
+
+def core_decomposition_traced(
+    graph: CSRGraph, memory: Memory
+) -> np.ndarray:
+    """Core decomposition with traced memory accesses."""
+    return _peel(graph, memory=memory)
+
+
+def _peel(graph: CSRGraph, memory: Memory | None) -> np.ndarray:
+    undirected = graph.undirected()
+    n = undirected.num_nodes
+    offsets = undirected.offsets
+    adjacency = undirected.adjacency
+    degrees = np.diff(offsets).astype(np.int64)
+    if memory is None:
+        heap = TracedBinaryHeap(None)
+        touch_degree = _no_touch
+        touch_core = _no_touch
+        touch_removed = _no_touch
+        traced_offsets = traced_adjacency = None
+    else:
+        # Heap capacity: one initial entry per node plus one re-push per
+        # undirected edge endpoint decrement.
+        heap = TracedBinaryHeap.declare(
+            memory, "kcore_heap", n + undirected.num_edges
+        )
+        traced_offsets = memory.array("u_offsets", n + 1, 8)
+        traced_adjacency = memory.array(
+            "u_adjacency", undirected.num_edges, NODE_BYTES
+        )
+        touch_degree = memory.array("degree", n, NODE_BYTES).touch
+        touch_core = memory.array("core", n, NODE_BYTES).touch
+        touch_removed = memory.array("removed", n, 1).touch
+    core = np.zeros(n, dtype=np.int64)
+    removed = np.zeros(n, dtype=bool)
+    for u in range(n):
+        heap.push(int(degrees[u]), u)
+    level = 0
+    for _ in range(n):
+        while True:
+            key, u = heap.pop()
+            touch_removed(u)
+            if removed[u]:
+                continue  # lazily invalidated entry
+            touch_degree(u)
+            if key == int(degrees[u]):
+                break
+        removed[u] = True
+        if key > level:
+            level = key
+        core[u] = level
+        touch_core(u)
+        if traced_offsets is not None:
+            traced_offsets.touch(u)
+        start = int(offsets[u])
+        end = int(offsets[u + 1])
+        if traced_adjacency is not None:
+            traced_adjacency.touch_run(start, end - start)
+        for v in adjacency[start:end].tolist():
+            touch_removed(v)
+            if not removed[v]:
+                touch_degree(v)
+                degrees[v] -= 1
+                heap.push(int(degrees[v]), v)
+    return core
+
+
+def _no_touch(index: int) -> None:
+    """Untraced placeholder touch."""

@@ -1,0 +1,159 @@
+"""SCC — strongly connected components via Tarjan's algorithm.
+
+Iterative Tarjan [Tarjan 1972] with an explicit work stack (the
+datasets are far deeper than CPython's recursion limit).  Returns a
+component id per node; ids are assigned in the order components
+complete, so they are deterministic.  Nodes in the same component get
+the same id, and the partition is invariant under relabeling — the
+integration tests rely on both properties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.common import NODE_BYTES, declare_graph
+from repro.cache.layout import Memory
+from repro.graph.csr import CSRGraph
+
+_UNSET = -1
+
+
+def strongly_connected_components(graph: CSRGraph) -> np.ndarray:
+    """Tarjan SCC; returns the component id of every node."""
+    n = graph.num_nodes
+    offsets = graph.offsets
+    adjacency = graph.adjacency
+    disc = np.full(n, _UNSET, dtype=np.int64)
+    low = np.zeros(n, dtype=np.int64)
+    component = np.full(n, _UNSET, dtype=np.int64)
+    on_stack = np.zeros(n, dtype=bool)
+    tarjan_stack: list[int] = []
+    counter = 0
+    components = 0
+    for root in range(n):
+        if disc[root] != _UNSET:
+            continue
+        work: list[list[int]] = [[root, 0]]
+        while work:
+            u, edge_index = work[-1]
+            if edge_index == 0:
+                disc[u] = low[u] = counter
+                counter += 1
+                tarjan_stack.append(u)
+                on_stack[u] = True
+            start = int(offsets[u])
+            end = int(offsets[u + 1])
+            descended = False
+            i = start + edge_index
+            while i < end:
+                v = int(adjacency[i])
+                i += 1
+                if disc[v] == _UNSET:
+                    work[-1][1] = i - start
+                    work.append([v, 0])
+                    descended = True
+                    break
+                if on_stack[v] and disc[v] < low[u]:
+                    low[u] = disc[v]
+            if descended:
+                continue
+            if low[u] == disc[u]:
+                while True:
+                    w = tarjan_stack.pop()
+                    on_stack[w] = False
+                    component[w] = components
+                    if w == u:
+                        break
+                components += 1
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                if low[u] < low[parent]:
+                    low[parent] = low[u]
+        # edge_index bookkeeping: loop resumed via the stored value.
+    return component
+
+
+def strongly_connected_components_traced(
+    graph: CSRGraph, memory: Memory
+) -> np.ndarray:
+    """Tarjan SCC with traced memory accesses."""
+    n = graph.num_nodes
+    traced = declare_graph(memory, graph)
+    traced_disc = memory.array("disc", n, NODE_BYTES)
+    traced_low = memory.array("low", n, NODE_BYTES)
+    traced_component = memory.array("component", n, NODE_BYTES)
+    traced_on_stack = memory.array("on_stack", n, 1)
+    traced_stack = memory.array("tarjan_stack", n, NODE_BYTES)
+    offsets = graph.offsets
+    adjacency = graph.adjacency
+    disc = np.full(n, _UNSET, dtype=np.int64)
+    low = np.zeros(n, dtype=np.int64)
+    component = np.full(n, _UNSET, dtype=np.int64)
+    on_stack = np.zeros(n, dtype=bool)
+    tarjan_stack: list[int] = []
+    counter = 0
+    components = 0
+    touch_disc = traced_disc.touch
+    touch_low = traced_low.touch
+    touch_on_stack = traced_on_stack.touch
+    touch_stack = traced_stack.touch
+    touch_adjacency = traced.adjacency.touch
+    for root in range(n):
+        touch_disc(root)  # restart scan
+        if disc[root] != _UNSET:
+            continue
+        work: list[list[int]] = [[root, 0]]
+        while work:
+            u, edge_index = work[-1]
+            if edge_index == 0:
+                touch_disc(u)
+                touch_low(u)
+                disc[u] = low[u] = counter
+                counter += 1
+                tarjan_stack.append(u)
+                touch_stack(len(tarjan_stack) - 1)
+                on_stack[u] = True
+                touch_on_stack(u)
+                traced.offsets.touch(u)
+            start = int(offsets[u])
+            end = int(offsets[u + 1])
+            descended = False
+            i = start + edge_index
+            while i < end:
+                touch_adjacency(i)
+                v = int(adjacency[i])
+                i += 1
+                touch_disc(v)
+                if disc[v] == _UNSET:
+                    work[-1][1] = i - start
+                    work.append([v, 0])
+                    descended = True
+                    break
+                touch_on_stack(v)
+                if on_stack[v] and disc[v] < low[u]:
+                    touch_low(u)
+                    low[u] = disc[v]
+            if descended:
+                continue
+            touch_low(u)
+            touch_disc(u)
+            if low[u] == disc[u]:
+                while True:
+                    touch_stack(len(tarjan_stack) - 1)
+                    w = tarjan_stack.pop()
+                    on_stack[w] = False
+                    touch_on_stack(w)
+                    component[w] = components
+                    traced_component.touch(w)
+                    if w == u:
+                        break
+                components += 1
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                touch_low(parent)
+                if low[u] < low[parent]:
+                    low[parent] = low[u]
+    return component

@@ -1,0 +1,95 @@
+"""Array-backed binary min-heap with traced memory accesses.
+
+Kcore's peeling loop keeps node degrees in a binary heap (as the
+replication describes).  To charge the heap's memory traffic to the
+cache model faithfully, the traced variant cannot use ``heapq`` (its
+accesses would be invisible) — this class implements the heap over a
+declared :class:`~repro.cache.layout.TracedArray`, touching every slot
+a C implementation would read or write during sift-up/sift-down.
+"""
+
+from __future__ import annotations
+
+from repro.cache.layout import Memory, TracedArray
+
+
+class TracedBinaryHeap:
+    """Min-heap of ``(key, value)`` pairs over a simulated array.
+
+    One heap slot models an 8-byte packed entry (4-byte key + 4-byte
+    value).  Pass ``traced=None`` to get an untraced heap with
+    identical semantics (used to keep the pure and traced Kcore
+    implementations structurally identical).
+    """
+
+    __slots__ = ("_items", "_touch")
+
+    def __init__(self, traced: TracedArray | None) -> None:
+        self._items: list[tuple[int, int]] = []
+        self._touch = traced.touch if traced is not None else _no_touch
+
+    @classmethod
+    def declare(
+        cls, memory: Memory, name: str, capacity: int
+    ) -> "TracedBinaryHeap":
+        """Declare the backing array in ``memory`` and wrap it."""
+        return cls(memory.array(name, capacity, 8))
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def push(self, key: int, value: int) -> None:
+        """Insert an entry and restore the heap property."""
+        items = self._items
+        touch = self._touch
+        items.append((key, value))
+        index = len(items) - 1
+        touch(index)
+        while index > 0:
+            parent = (index - 1) >> 1
+            touch(parent)
+            if items[parent] <= items[index]:
+                break
+            items[parent], items[index] = items[index], items[parent]
+            touch(index)
+            index = parent
+        # loop end: either at root or parent is smaller
+
+    def pop(self) -> tuple[int, int]:
+        """Remove and return the minimal ``(key, value)`` entry."""
+        items = self._items
+        touch = self._touch
+        if not items:
+            raise IndexError("pop from an empty TracedBinaryHeap")
+        touch(0)
+        top = items[0]
+        last = items.pop()
+        size = len(items)
+        if size:
+            items[0] = last
+            touch(0)
+            index = 0
+            while True:
+                left = 2 * index + 1
+                if left >= size:
+                    break
+                smallest = left
+                touch(left)
+                right = left + 1
+                if right < size:
+                    touch(right)
+                    if items[right] < items[left]:
+                        smallest = right
+                if items[smallest] >= items[index]:
+                    break
+                items[index], items[smallest] = (
+                    items[smallest], items[index],
+                )
+                touch(index)
+                touch(smallest)
+                index = smallest
+        return top
+
+
+def _no_touch(index: int) -> None:
+    """Untraced placeholder touch."""

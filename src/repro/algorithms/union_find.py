@@ -1,0 +1,92 @@
+"""Union-find (disjoint set union) with an optional cache trace.
+
+Substrate for weakly-connected components.  Uses union by size and
+path halving; ``find`` is the ultimate pointer-chasing workload, so
+the traced variant makes DSU a sharp probe of an ordering's locality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.layout import Memory, TracedArray
+from repro.errors import InvalidParameterError
+
+
+class UnionFind:
+    """Disjoint sets over items ``0 .. n-1``.
+
+    Pass a :class:`Memory` to charge every parent/size access to the
+    cache simulator (one 4-byte slot per item and array).
+    """
+
+    __slots__ = ("_parent", "_size", "_count", "_touch_parent",
+                 "_touch_size")
+
+    def __init__(self, num_items: int, memory: Memory | None = None,
+                 name: str = "dsu") -> None:
+        if num_items < 0:
+            raise InvalidParameterError(
+                f"num_items must be non-negative, got {num_items}"
+            )
+        self._parent = np.arange(num_items, dtype=np.int64)
+        self._size = np.ones(num_items, dtype=np.int64)
+        self._count = num_items
+        if memory is None:
+            self._touch_parent = _no_touch
+            self._touch_size = _no_touch
+        else:
+            self._touch_parent = memory.array(
+                f"{name}_parent", num_items, 4
+            ).touch
+            self._touch_size = memory.array(
+                f"{name}_size", num_items, 4
+            ).touch
+
+    @property
+    def num_components(self) -> int:
+        """Current number of disjoint sets."""
+        return self._count
+
+    def find(self, item: int) -> int:
+        """Representative of ``item``'s set (path halving)."""
+        parent = self._parent
+        touch = self._touch_parent
+        touch(item)
+        while parent[item] != item:
+            grandparent = int(parent[int(parent[item])])
+            touch(int(parent[item]))
+            parent[item] = grandparent
+            touch(item)  # the halving write
+            item = grandparent
+            touch(item)
+        return int(item)
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; True if they were apart."""
+        root_a = self.find(a)
+        root_b = self.find(b)
+        if root_a == root_b:
+            return False
+        self._touch_size(root_a)
+        self._touch_size(root_b)
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._touch_parent(root_b)
+        self._size[root_a] += self._size[root_b]
+        self._touch_size(root_a)
+        self._count -= 1
+        return True
+
+    def components(self) -> np.ndarray:
+        """Component id per item (ids are compacted root ranks)."""
+        n = self._parent.shape[0]
+        roots = np.array([self.find(i) for i in range(n)],
+                         dtype=np.int64)
+        _, labels = np.unique(roots, return_inverse=True)
+        return labels.astype(np.int64)
+
+
+def _no_touch(index: int) -> None:
+    """Untraced placeholder touch."""

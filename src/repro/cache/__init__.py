@@ -1,0 +1,40 @@
+"""Cache simulator: levels, hierarchy, memory layout and cost model."""
+
+from repro.cache.cost import DEFAULT_COST_MODEL, CostModel, RunCost
+from repro.cache.hierarchy import (
+    MEMORY_LEVEL,
+    CacheHierarchy,
+    paper_hierarchy,
+    scaled_hierarchy,
+)
+from repro.cache.layout import Memory, TracedArray
+from repro.cache.level import CacheLevel
+from repro.cache.reuse import (
+    COLD,
+    RecordingHierarchy,
+    lru_misses,
+    median_reuse_distance,
+    miss_curve,
+    reuse_distances,
+)
+from repro.cache.stats import CacheStats
+
+__all__ = [
+    "CacheLevel",
+    "CacheHierarchy",
+    "MEMORY_LEVEL",
+    "paper_hierarchy",
+    "scaled_hierarchy",
+    "Memory",
+    "TracedArray",
+    "CacheStats",
+    "COLD",
+    "RecordingHierarchy",
+    "reuse_distances",
+    "lru_misses",
+    "miss_curve",
+    "median_reuse_distance",
+    "CostModel",
+    "RunCost",
+    "DEFAULT_COST_MODEL",
+]

@@ -1,0 +1,196 @@
+"""Memory layout model: maps array elements to cache lines.
+
+An instrumented algorithm does not touch real memory in any observable
+way (CPython hides it); instead it declares the arrays a C
+implementation would allocate — the CSR ``offsets``/``adjacency``
+arrays plus its own property arrays — and *touches* elements as it
+runs.  :class:`Memory` lays those arrays out contiguously (line-aligned
+bases, realistic element sizes) and drives every touch through the
+cache hierarchy, tallying which level served each reference.
+
+This is the heart of the substitution documented in DESIGN.md: node
+ids with close values land on the same cache line of the same array,
+exactly the effect a graph ordering manipulates.
+"""
+
+from __future__ import annotations
+
+from repro.cache.cost import DEFAULT_COST_MODEL, CostModel, RunCost
+from repro.cache.hierarchy import CacheHierarchy, scaled_hierarchy
+from repro.cache.stats import CacheStats
+from repro.errors import InvalidParameterError
+
+
+class TracedArray:
+    """A declared array whose element accesses hit the simulator.
+
+    Create via :meth:`Memory.array`.  ``touch(i)`` models reading or
+    writing element ``i``; ``touch_run(start, count)`` models a
+    sequential scan and exploits the guarantee that consecutive
+    elements on one line hit L1 after the line is first referenced.
+    """
+
+    __slots__ = ("name", "length", "itemsize", "_base", "_memory")
+
+    def __init__(
+        self,
+        name: str,
+        length: int,
+        itemsize: int,
+        base: int,
+        memory: "Memory",
+    ) -> None:
+        self.name = name
+        self.length = length
+        self.itemsize = itemsize
+        self._base = base
+        self._memory = memory
+
+    def touch(self, index: int) -> None:
+        """Model one reference to element ``index``."""
+        memory = self._memory
+        level = memory._hierarchy.access(
+            (self._base + index * self.itemsize) >> memory._line_shift
+        )
+        memory.level_counts[level] += 1
+
+    def touch_run(self, start: int, count: int) -> None:
+        """Model a sequential scan of ``count`` elements from ``start``.
+
+        Each element counts as one reference (the hardware counters the
+        paper reads count every load).  The first line of the run is a
+        demand access; every following line is brought in by the
+        stream prefetcher — it still updates cache state and hierarchy
+        counters, but its latency is hidden (no stall contribution;
+        see :meth:`CostModel.cost`).  Element references on a resident
+        line are L1 hits by LRU.
+        """
+        if count <= 0:
+            return
+        memory = self._memory
+        shift = memory._line_shift
+        itemsize = self.itemsize
+        base = self._base
+        counts = memory.level_counts
+        access = memory._hierarchy.access
+        first_line = (base + start * itemsize) >> shift
+        last_line = (base + (start + count - 1) * itemsize) >> shift
+        per_line = (1 << shift) // itemsize
+        remaining = count
+        # First (possibly partial) line: a demand access.
+        offset_in_line = (
+            (base + start * itemsize) & ((1 << shift) - 1)
+        ) // itemsize
+        on_first = min(remaining, per_line - offset_in_line)
+        counts[access(first_line)] += 1
+        counts[1] += on_first - 1
+        remaining -= on_first
+        # Subsequent lines: prefetched fills + L1-hit element reads.
+        prefetched = 0
+        line = first_line + 1
+        while line <= last_line:
+            on_line = min(remaining, per_line)
+            access(line)
+            prefetched += 1
+            counts[1] += on_line
+            remaining -= on_line
+            line += 1
+        memory.prefetched_refs += prefetched
+
+    def line_of(self, index: int) -> int:
+        """Cache line id of element ``index`` (for tests)."""
+        return (
+            self._base + index * self.itemsize
+        ) >> self._memory._line_shift
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TracedArray({self.name}: {self.length} x {self.itemsize} B "
+            f"@ {self._base:#x})"
+        )
+
+
+class Memory:
+    """Simulated address space + cache hierarchy + cost accounting."""
+
+    def __init__(
+        self,
+        hierarchy: CacheHierarchy | None = None,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+    ) -> None:
+        self._hierarchy = hierarchy or scaled_hierarchy()
+        line_size = self._hierarchy.line_size
+        self._line_shift = line_size.bit_length() - 1
+        self._next_base = 0
+        self.cost_model = cost_model
+        #: References by serving level: [memory, L1, L2, L3, ...].
+        self.level_counts = [0] * (self._hierarchy.num_levels + 1)
+        #: Pure-CPU cycles added via :meth:`work`.
+        self.extra_work = 0.0
+        #: Sequential-scan references hidden by the stream prefetcher.
+        self.prefetched_refs = 0
+        self.arrays: dict[str, TracedArray] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def hierarchy(self) -> CacheHierarchy:
+        return self._hierarchy
+
+    def array(self, name: str, length: int, itemsize: int) -> TracedArray:
+        """Declare (allocate) an array and return its traced handle.
+
+        Arrays are laid out consecutively, each base aligned to a cache
+        line — the layout a sensible C allocator would produce.
+        """
+        if itemsize < 1 or (itemsize & (itemsize - 1)):
+            raise InvalidParameterError(
+                f"itemsize must be a positive power of two, got {itemsize}"
+            )
+        if length < 0:
+            raise InvalidParameterError(
+                f"array length must be non-negative, got {length}"
+            )
+        if name in self.arrays:
+            raise InvalidParameterError(
+                f"array {name!r} is already declared"
+            )
+        array = TracedArray(name, length, itemsize, self._next_base, self)
+        line_size = 1 << self._line_shift
+        span = max(length * itemsize, 1)
+        self._next_base += (span + line_size - 1) // line_size * line_size
+        self.arrays[name] = array
+        return array
+
+    def work(self, cycles: float) -> None:
+        """Account pure-CPU work that performs no data reference."""
+        self.extra_work += cycles
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def total_refs(self) -> int:
+        """Demand data references issued so far.
+
+        Prefetched line fetches are tracked separately in
+        :attr:`prefetched_refs`; they are requests the hardware issues
+        on its own, not loads the program executes.
+        """
+        return sum(self.level_counts)
+
+    def stats(self) -> CacheStats:
+        """Hierarchy counters as a :class:`CacheStats` snapshot."""
+        return self._hierarchy.snapshot()
+
+    def cost(self) -> RunCost:
+        """Simulated cycle cost of everything traced so far."""
+        return self.cost_model.cost(
+            self.level_counts, self.extra_work, self.prefetched_refs
+        )
+
+    def reset(self) -> None:
+        """Flush caches and zero counters; declared arrays survive."""
+        self._hierarchy.flush()
+        self.level_counts = [0] * (self._hierarchy.num_levels + 1)
+        self.extra_work = 0.0
+        self.prefetched_refs = 0

@@ -1,0 +1,163 @@
+"""A single set-associative, LRU cache level.
+
+The simulator works at cache-line granularity.  A level is a fixed
+number of *sets*; a line maps to set ``line_id % num_sets`` and at most
+``associativity`` lines live in a set, evicted least-recently-used
+first.  We exploit CPython's insertion-ordered ``dict`` for an O(1)
+LRU: a hit deletes and re-inserts the key (moving it to the back), an
+eviction pops the front.
+
+Geometry mirrors real hardware: ``capacity = num_sets * associativity
+* line_size``.  The experiment configs scale capacities down so that
+the scaled datasets overflow the hierarchy exactly as the paper's
+billion-edge graphs overflow a real 32 KiB / 256 KiB / 20 MiB one.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidParameterError
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+class CacheLevel:
+    """One level of the cache hierarchy.
+
+    Parameters
+    ----------
+    capacity:
+        Total bytes of data the level can hold.
+    line_size:
+        Bytes per cache line (power of two; 64 on the paper's hardware).
+    associativity:
+        Ways per set.  Use ``capacity // line_size`` for a fully
+        associative level.
+    name:
+        Label used in reports ("L1", "L2", ...).
+    policy:
+        Replacement policy: ``"lru"`` (default), ``"fifo"`` (insertion
+        order, no promotion on hit) or ``"random"`` (uniform victim,
+        seeded).  Real parts mix these (L1s are LRU-ish, some LLCs
+        pseudo-random); the geometry ablation uses them to test the
+        paper's hardware-insensitivity claim.
+    seed:
+        RNG seed for the ``"random"`` policy.
+    """
+
+    __slots__ = (
+        "name", "capacity", "line_size", "associativity",
+        "num_sets", "_set_mask", "_sets", "refs", "misses",
+        "policy", "_rng",
+    )
+
+    POLICIES = ("lru", "fifo", "random")
+
+    def __init__(
+        self,
+        capacity: int,
+        line_size: int = 64,
+        associativity: int = 8,
+        name: str = "cache",
+        policy: str = "lru",
+        seed: int = 0,
+    ) -> None:
+        if policy not in self.POLICIES:
+            raise InvalidParameterError(
+                f"policy must be one of {self.POLICIES}, got {policy!r}"
+            )
+        if not _is_power_of_two(line_size):
+            raise InvalidParameterError(
+                f"line_size must be a power of two, got {line_size}"
+            )
+        if associativity < 1:
+            raise InvalidParameterError(
+                f"associativity must be positive, got {associativity}"
+            )
+        if capacity < line_size * associativity:
+            raise InvalidParameterError(
+                f"capacity {capacity} cannot hold even one full set "
+                f"({line_size} B lines x {associativity} ways)"
+            )
+        num_sets = capacity // (line_size * associativity)
+        if not _is_power_of_two(num_sets):
+            raise InvalidParameterError(
+                f"capacity/(line_size*associativity) must be a power of "
+                f"two, got {num_sets} sets"
+            )
+        self.name = name
+        self.capacity = num_sets * associativity * line_size
+        self.line_size = line_size
+        self.associativity = associativity
+        self.num_sets = num_sets
+        self._set_mask = num_sets - 1
+        self._sets: list[dict[int, None]] = [dict() for _ in range(num_sets)]
+        self.refs = 0
+        self.misses = 0
+        self.policy = policy
+        self._rng = (
+            __import__("random").Random(seed)
+            if policy == "random"
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    def access(self, line: int) -> bool:
+        """Reference ``line``; return True on hit.
+
+        Under LRU a hit promotes the line to most-recently-used; FIFO
+        and random leave residency order untouched.  On a miss the
+        line is filled, evicting the policy's victim if the set is
+        full.  Statistics (``refs``/``misses``) update either way.
+        """
+        self.refs += 1
+        lines = self._sets[line & self._set_mask]
+        if line in lines:
+            if self.policy == "lru":
+                del lines[line]
+                lines[line] = None
+            return True
+        self.misses += 1
+        if len(lines) >= self.associativity:
+            if self._rng is None:
+                victim = next(iter(lines))  # front = LRU or FIFO-oldest
+            else:
+                victim = self._rng.choice(list(lines))
+            del lines[victim]
+        lines[line] = None
+        return False
+
+    def contains(self, line: int) -> bool:
+        """Whether ``line`` is currently resident (no LRU update)."""
+        return line in self._sets[line & self._set_mask]
+
+    def resident_lines(self) -> set[int]:
+        """Snapshot of every line currently held (for tests)."""
+        resident: set[int] = set()
+        for lines in self._sets:
+            resident.update(lines)
+        return resident
+
+    def reset_statistics(self) -> None:
+        """Zero the reference/miss counters, keeping contents."""
+        self.refs = 0
+        self.misses = 0
+
+    def flush(self) -> None:
+        """Drop all cached lines and zero the counters."""
+        for lines in self._sets:
+            lines.clear()
+        self.reset_statistics()
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of references that missed (0 when never referenced)."""
+        return self.misses / self.refs if self.refs else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CacheLevel({self.name}: {self.capacity} B, "
+            f"{self.num_sets}x{self.associativity} ways, "
+            f"{self.line_size} B lines)"
+        )

@@ -1,0 +1,98 @@
+"""Cache statistics snapshots — the columns of the paper's Tables 3/4.
+
+The replication reports, per (ordering, dataset), for PageRank:
+
+* ``L1-ref``  — number of L1 data references,
+* ``L1-mr``   — L1 miss rate,
+* ``L3-ref``  — references reaching the last-level cache,
+* ``L3-r``    — fraction of all references that reach L3,
+* ``Cache-mr``— fraction of all references served by main memory.
+
+:class:`CacheStats` captures those plus the L2 numbers the text
+mentions in passing, and knows how to render itself as a table row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable per-run snapshot of hierarchy counters."""
+
+    l1_refs: int
+    l1_misses: int
+    l2_refs: int
+    l2_misses: int
+    l3_refs: int
+    l3_misses: int
+
+    # ------------------------------------------------------------------
+    # Derived rates (the paper's columns)
+    # ------------------------------------------------------------------
+    @property
+    def l1_miss_rate(self) -> float:
+        """``L1-mr``: fraction of L1 references that missed."""
+        return self.l1_misses / self.l1_refs if self.l1_refs else 0.0
+
+    @property
+    def l2_miss_rate(self) -> float:
+        """Fraction of L2 references that missed."""
+        return self.l2_misses / self.l2_refs if self.l2_refs else 0.0
+
+    @property
+    def l3_miss_rate(self) -> float:
+        """Fraction of L3 references that missed."""
+        return self.l3_misses / self.l3_refs if self.l3_refs else 0.0
+
+    @property
+    def l3_ratio(self) -> float:
+        """``L3-r``: fraction of all references that reached L3."""
+        return self.l3_refs / self.l1_refs if self.l1_refs else 0.0
+
+    @property
+    def cache_miss_rate(self) -> float:
+        """``Cache-mr``: fraction of all references served by memory."""
+        return self.l3_misses / self.l1_refs if self.l1_refs else 0.0
+
+    @property
+    def memory_accesses(self) -> int:
+        """References that fell through every cache level."""
+        return self.l3_misses
+
+    # ------------------------------------------------------------------
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            self.l1_refs + other.l1_refs,
+            self.l1_misses + other.l1_misses,
+            self.l2_refs + other.l2_refs,
+            self.l2_misses + other.l2_misses,
+            self.l3_refs + other.l3_refs,
+            self.l3_misses + other.l3_misses,
+        )
+
+    def __sub__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            self.l1_refs - other.l1_refs,
+            self.l1_misses - other.l1_misses,
+            self.l2_refs - other.l2_refs,
+            self.l2_misses - other.l2_misses,
+            self.l3_refs - other.l3_refs,
+            self.l3_misses - other.l3_misses,
+        )
+
+    def table_row(self) -> dict[str, float]:
+        """The paper's Table 3 columns for this run."""
+        return {
+            "L1-ref": self.l1_refs,
+            "L1-mr": self.l1_miss_rate,
+            "L3-ref": self.l3_refs,
+            "L3-r": self.l3_ratio,
+            "Cache-mr": self.cache_miss_rate,
+        }
+
+    @staticmethod
+    def zero() -> "CacheStats":
+        """An all-zero snapshot (additive identity)."""
+        return CacheStats(0, 0, 0, 0, 0, 0)

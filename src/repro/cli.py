@@ -1,0 +1,390 @@
+"""Command-line interface: ``python -m repro`` / ``repro-gorder``.
+
+Subcommands map onto the paper's artifacts and common library tasks::
+
+    repro-gorder datasets                 # Table 1
+    repro-gorder order --dataset flickr --ordering gorder -o perm.txt
+    repro-gorder order --input edges.txt --ordering rcm
+    repro-gorder run --dataset pokec --algorithm pr --ordering gorder
+    repro-gorder speedup --profile quick  # Figure 5 panels
+    repro-gorder ranking --profile quick  # Figure 6
+    repro-gorder stall --dataset sdarc    # Figure 1
+    repro-gorder cache-stats --dataset flickr   # Table 3
+    repro-gorder ordering-time --profile quick  # Table 2
+    repro-gorder window --dataset flickr  # Figure 4 sweep
+    repro-gorder annealing                # Figure 3 sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+from repro import perf
+from repro.algorithms import ALGORITHM_NAMES
+from repro.errors import ReproError
+from repro.graph import datasets, read_edge_list
+from repro.graph.csr import CSRGraph
+from repro.ordering import ORDERING_NAMES, compute_ordering
+from repro.perf import report
+
+
+def _load_graph(args: argparse.Namespace) -> CSRGraph:
+    if getattr(args, "input", None):
+        return read_edge_list(args.input)
+    return datasets.load(args.dataset)
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    rows = perf.dataset_table()
+    print(
+        report.render_table(
+            list(rows[0].keys()),
+            [list(row.values()) for row in rows],
+            title="Table 1: dataset analogues",
+        )
+    )
+    return 0
+
+
+def _cmd_order(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    perm = compute_ordering(args.ordering, graph, seed=args.seed)
+    if args.output:
+        from repro.graph.io import save_permutation
+
+        save_permutation(perm, args.output)
+        print(f"wrote arrangement of {graph.num_nodes} nodes to "
+              f"{args.output}")
+    else:
+        for new_index in perm:
+            print(int(new_index))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    profile = perf.get_profile(args.profile)
+    params = perf.algorithm_params(args.algorithm, graph, profile)
+    result = perf.run_cell(
+        graph,
+        args.algorithm,
+        args.ordering,
+        seed=profile.seed,
+        params=params,
+        hierarchy=profile.hierarchy(),
+    )
+    stats = result.stats
+    print(f"dataset     : {result.dataset}")
+    print(f"algorithm   : {result.algorithm}")
+    print(f"ordering    : {result.ordering}")
+    print(f"cycles      : {result.cycles:,.0f}")
+    print(f"  execute   : {result.cost.execute_cycles:,.0f}")
+    print(f"  stall     : {result.cost.stall_cycles:,.0f} "
+          f"({100 * result.cost.stall_fraction:.1f}%)")
+    print(f"L1 miss rate: {100 * stats.l1_miss_rate:.2f}%")
+    print(f"cache-mr    : {100 * stats.cache_miss_rate:.2f}%")
+    print(f"ordering    : {result.ordering_seconds:.3f}s to compute")
+    return 0
+
+
+def _cmd_speedup(args: argparse.Namespace) -> int:
+    profile = perf.get_profile(args.profile)
+    matrix = perf.speedup_matrix(profile, progress=args.verbose)
+    relative = perf.relative_to_gorder(matrix)
+    for algorithm in profile.algorithms:
+        for dataset in profile.datasets:
+            series = {
+                ordering: relative[(dataset, algorithm, ordering)]
+                for ordering in profile.orderings
+            }
+            print(
+                report.render_speedup_series(
+                    f"{algorithm} on {dataset} "
+                    f"(relative to Gorder = 1.0)",
+                    series,
+                )
+            )
+            print()
+    return 0
+
+
+def _cmd_ranking(args: argparse.Namespace) -> int:
+    profile = perf.get_profile(args.profile)
+    matrix = perf.speedup_matrix(profile)
+    histogram = perf.rank_orderings(matrix)
+    print(
+        report.render_rank_histogram(
+            "Figure 6: ordering rank histogram "
+            f"({len(profile.datasets) * len(profile.algorithms)} series)",
+            histogram,
+        )
+    )
+    return 0
+
+
+def _cmd_stall(args: argparse.Namespace) -> int:
+    profile = perf.get_profile(args.profile)
+    results = perf.cache_stall_split(profile, dataset_name=args.dataset)
+    for ordering in ("original", "gorder"):
+        block = {
+            algorithm: results[(algorithm, ordering)]
+            for algorithm in profile.algorithms
+        }
+        print(
+            report.render_stall_split(
+                f"Figure 1 ({ordering} order, {args.dataset})", block
+            )
+        )
+        print()
+    return 0
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    profile = perf.get_profile(args.profile)
+    results = perf.cache_stats_table(profile, args.dataset)
+    print(
+        report.render_cache_stats(
+            f"Table 3: PageRank cache statistics on {args.dataset}",
+            results,
+        )
+    )
+    return 0
+
+
+def _cmd_ordering_time(args: argparse.Namespace) -> int:
+    profile = perf.get_profile(args.profile)
+    times = perf.ordering_times(profile)
+    headers = ["Ordering"] + list(profile.datasets)
+    rows = [
+        [ordering]
+        + [f"{times[(ordering, ds)]:.2f}" for ds in profile.datasets]
+        for ordering in profile.orderings
+    ]
+    print(
+        report.render_table(
+            headers, rows, title="Table 2: ordering time (seconds)"
+        )
+    )
+    return 0
+
+
+def _cmd_window(args: argparse.Namespace) -> int:
+    profile = perf.get_profile(args.profile)
+    results = perf.window_sweep(profile, dataset_name=args.dataset)
+    headers = ["window", "cycles(M)", "L1-mr", "order-time(s)"]
+    rows = [
+        [
+            window,
+            f"{result.cycles / 1e6:.2f}",
+            f"{100 * result.stats.l1_miss_rate:.1f}%",
+            f"{result.ordering_seconds:.2f}",
+        ]
+        for window, result in results.items()
+    ]
+    print(
+        report.render_table(
+            headers, rows,
+            title=f"Figure 4: window sweep (PR on {args.dataset})",
+        )
+    )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.ordering import OrderingEvaluation, evaluate_all
+
+    graph = _load_graph(args)
+    evaluations = evaluate_all(graph, seed=args.seed)
+    print(
+        report.render_table(
+            OrderingEvaluation.headers(),
+            [evaluation.as_row() for evaluation in evaluations],
+            title=f"Ordering quality on {graph.name} "
+            "(fastest probe first)",
+        )
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.graph.stats import summarize
+
+    headers = [
+        "dataset", "nodes", "edges", "avg-deg", "max-in", "max-out",
+        "reciprocity", "skew", "locality",
+    ]
+    if args.dataset or getattr(args, "input", None):
+        graphs = [_load_graph(args)]
+    else:
+        graphs = [datasets.load(name) for name in datasets.DATASET_NAMES]
+    rows = [summarize(graph).as_row() for graph in graphs]
+    print(report.render_table(headers, rows,
+                              title="Graph structural statistics"))
+    return 0
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    from repro.ordering import bits_per_edge
+
+    graph = _load_graph(args)
+    rows = []
+    for name in ORDERING_NAMES:
+        perm = compute_ordering(name, graph, seed=args.seed)
+        rows.append([name, f"{bits_per_edge(graph, perm):.2f}"])
+    rows.sort(key=lambda row: float(row[1]))
+    print(
+        report.render_table(
+            ["ordering", "bits/edge"],
+            rows,
+            title=f"Gap-encoding cost of {graph.name} per ordering",
+        )
+    )
+    return 0
+
+
+def _cmd_reuse(args: argparse.Namespace) -> int:
+    from repro.algorithms import spec as algorithm_spec
+    from repro.cache import (
+        Memory,
+        RecordingHierarchy,
+        median_reuse_distance,
+        miss_curve,
+        reuse_distances,
+        scaled_hierarchy,
+    )
+    from repro.graph import relabel
+
+    graph = _load_graph(args)
+    perm = compute_ordering(args.ordering, graph, seed=0)
+    recorder = RecordingHierarchy(scaled_hierarchy())
+    algorithm_spec(args.algorithm).traced(
+        relabel(graph, perm), Memory(recorder)
+    )
+    distances = reuse_distances(recorder.trace())
+    curve = miss_curve(distances, [16, 64, 256, 1024])
+    print(f"dataset   : {graph.name}")
+    print(f"algorithm : {args.algorithm}")
+    print(f"ordering  : {args.ordering}")
+    print(f"accesses  : {distances.shape[0]} (line granularity)")
+    print(f"median RD : {median_reuse_distance(distances):.0f} lines")
+    for capacity, rate in curve.items():
+        print(f"LRU {capacity:5d} lines -> miss rate {100 * rate:.1f}%")
+    return 0
+
+
+def _cmd_annealing(args: argparse.Namespace) -> int:
+    results = perf.annealing_sweep(dataset_name=args.dataset)
+    headers = ["steps_x", "k_x", "energy"]
+    rows = [
+        [s, k, f"{energy:,.0f}"]
+        for (s, k), energy in sorted(results.items())
+    ]
+    print(
+        report.render_table(
+            headers, rows,
+            title=f"Figure 3: annealing sweep on {args.dataset} "
+            "(steps/energy as factors of defaults)",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-gorder",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name, func, **kwargs):
+        p = sub.add_parser(name, **kwargs)
+        p.set_defaults(func=func)
+        return p
+
+    add("datasets", _cmd_datasets, help="list the dataset analogues")
+
+    p = add("order", _cmd_order, help="compute a node arrangement")
+    p.add_argument("--dataset", default="epinion",
+                   help="dataset analogue name")
+    p.add_argument("--input", help="edge-list file instead of a dataset")
+    p.add_argument("--ordering", default="gorder",
+                   choices=ORDERING_NAMES)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", help="write the arrangement here")
+
+    p = add("run", _cmd_run, help="simulate one algorithm run")
+    p.add_argument("--dataset", default="pokec")
+    p.add_argument("--input", help="edge-list file instead of a dataset")
+    p.add_argument("--algorithm", default="pr", choices=ALGORITHM_NAMES)
+    p.add_argument("--ordering", default="gorder",
+                   choices=ORDERING_NAMES)
+    p.add_argument("--profile", default=None)
+
+    for name, func, help_text in [
+        ("speedup", _cmd_speedup, "Figure 5: relative runtimes"),
+        ("ranking", _cmd_ranking, "Figure 6: rank histogram"),
+        ("ordering-time", _cmd_ordering_time, "Table 2: ordering time"),
+    ]:
+        p = add(name, func, help=help_text)
+        p.add_argument("--profile", default=None)
+        p.add_argument("-v", "--verbose", action="store_true")
+
+    p = add("stall", _cmd_stall, help="Figure 1: execute vs stall")
+    p.add_argument("--dataset", default="sdarc")
+    p.add_argument("--profile", default=None)
+
+    p = add("cache-stats", _cmd_cache_stats,
+            help="Table 3: PR cache statistics")
+    p.add_argument("--dataset", default="flickr")
+    p.add_argument("--profile", default=None)
+
+    p = add("window", _cmd_window, help="Figure 4: window sweep")
+    p.add_argument("--dataset", default="flickr")
+    p.add_argument("--profile", default=None)
+
+    p = add("annealing", _cmd_annealing, help="Figure 3: SA sweep")
+    p.add_argument("--dataset", default="epinion")
+
+    p = add("evaluate", _cmd_evaluate,
+            help="compare every ordering's quality on one graph")
+    p.add_argument("--dataset", default="epinion")
+    p.add_argument("--input", help="edge-list file instead of a dataset")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = add("stats", _cmd_stats,
+            help="structural statistics of datasets")
+    p.add_argument("--dataset", default=None)
+    p.add_argument("--input", help="edge-list file instead of a dataset")
+
+    p = add("compress", _cmd_compress,
+            help="gap-encoding cost per ordering")
+    p.add_argument("--dataset", default="epinion")
+    p.add_argument("--input", help="edge-list file instead of a dataset")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = add("reuse", _cmd_reuse,
+            help="reuse-distance profile of one run")
+    p.add_argument("--dataset", default="epinion")
+    p.add_argument("--input", help="edge-list file instead of a dataset")
+    p.add_argument("--algorithm", default="nq", choices=ALGORITHM_NAMES)
+    p.add_argument("--ordering", default="gorder",
+                   choices=ORDERING_NAMES)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""Exception hierarchy shared by every repro subpackage.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch one type at an API boundary
+without swallowing genuine programming errors (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """An edge-list file or array could not be parsed into a graph."""
+
+
+class InvalidPermutationError(ReproError):
+    """A node arrangement is not a valid permutation of ``range(n)``."""
+
+
+class InvalidParameterError(ReproError):
+    """A parameter value is outside its documented domain."""
+
+
+class UnknownOrderingError(ReproError):
+    """An ordering name was not found in the ordering registry."""
+
+
+class UnknownDatasetError(ReproError):
+    """A dataset name was not found in the dataset registry."""
+
+
+class UnknownAlgorithmError(ReproError):
+    """An algorithm name was not found in the algorithm registry."""

@@ -1,0 +1,369 @@
+"""Seeded synthetic graph generators.
+
+The paper evaluates on two families of real-world graphs that we cannot
+ship (30M-2B edges, network downloads): **online social networks**
+(pokec, flickr, livejournal, gplus, twitter, epinion) and **web graphs**
+(wiki, pldarc, sdarc).  These generators produce scaled analogues with
+the structural properties the paper's experiments rely on:
+
+* skewed (heavy-tailed) degree distributions,
+* small diameter and sparsity,
+* a meaningful *original* ordering: real datasets are "collected in a
+  way that is not random" and their default order already has locality.
+  The social generator's ids follow arrival time of a preferential-
+  attachment process (recent nodes attach to recent popular nodes); the
+  web generator groups pages into hosts with consecutive ids and mostly
+  intra-host links, mirroring URLs listed alphabetically.
+
+Every generator takes an explicit ``seed`` and is deterministic for a
+given (parameters, seed) pair, so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.graph.builder import from_arrays
+from repro.graph.csr import CSRGraph
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise InvalidParameterError(message)
+
+
+# ----------------------------------------------------------------------
+# Deterministic toy graphs (used heavily by tests)
+# ----------------------------------------------------------------------
+def ring(num_nodes: int, name: str = "ring") -> CSRGraph:
+    """Directed cycle ``0 -> 1 -> ... -> n-1 -> 0``."""
+    _require(num_nodes >= 1, "ring needs at least one node")
+    sources = np.arange(num_nodes, dtype=np.int64)
+    targets = (sources + 1) % num_nodes
+    return from_arrays(sources, targets, num_nodes=num_nodes, name=name)
+
+
+def path(num_nodes: int, name: str = "path") -> CSRGraph:
+    """Directed path ``0 -> 1 -> ... -> n-1``."""
+    _require(num_nodes >= 1, "path needs at least one node")
+    sources = np.arange(num_nodes - 1, dtype=np.int64)
+    return from_arrays(
+        sources, sources + 1, num_nodes=num_nodes, name=name
+    )
+
+
+def star(num_leaves: int, name: str = "star") -> CSRGraph:
+    """Hub node 0 pointing at ``num_leaves`` leaves (and back)."""
+    _require(num_leaves >= 0, "star needs a non-negative leaf count")
+    leaves = np.arange(1, num_leaves + 1, dtype=np.int64)
+    hub = np.zeros(num_leaves, dtype=np.int64)
+    sources = np.concatenate([hub, leaves])
+    targets = np.concatenate([leaves, hub])
+    return from_arrays(
+        sources, targets, num_nodes=num_leaves + 1, name=name
+    )
+
+
+def complete(num_nodes: int, name: str = "complete") -> CSRGraph:
+    """Complete directed graph without self-loops."""
+    _require(num_nodes >= 1, "complete graph needs at least one node")
+    grid_u, grid_v = np.meshgrid(
+        np.arange(num_nodes, dtype=np.int64),
+        np.arange(num_nodes, dtype=np.int64),
+        indexing="ij",
+    )
+    keep = grid_u != grid_v
+    return from_arrays(
+        grid_u[keep], grid_v[keep], num_nodes=num_nodes, name=name
+    )
+
+
+def grid(rows: int, cols: int, name: str = "grid") -> CSRGraph:
+    """Bidirected 4-neighbour grid, row-major node ids."""
+    _require(rows >= 1 and cols >= 1, "grid needs positive dimensions")
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    right = np.stack(
+        [ids[:, :-1].ravel(), ids[:, 1:].ravel()], axis=1
+    )
+    down = np.stack(
+        [ids[:-1, :].ravel(), ids[1:, :].ravel()], axis=1
+    )
+    forward = np.concatenate([right, down], axis=0)
+    both = np.concatenate([forward, forward[:, ::-1]], axis=0)
+    return from_arrays(
+        both[:, 0], both[:, 1], num_nodes=rows * cols, name=name
+    )
+
+
+def binary_tree(depth: int, name: str = "tree") -> CSRGraph:
+    """Complete binary out-tree of the given depth (root is node 0)."""
+    _require(depth >= 0, "tree depth must be non-negative")
+    num_nodes = 2 ** (depth + 1) - 1
+    parents = np.arange((num_nodes - 1) // 2, dtype=np.int64)
+    left = 2 * parents + 1
+    right = 2 * parents + 2
+    sources = np.concatenate([parents, parents])
+    targets = np.concatenate([left, right])
+    return from_arrays(sources, targets, num_nodes=num_nodes, name=name)
+
+
+# ----------------------------------------------------------------------
+# Random graph families
+# ----------------------------------------------------------------------
+def erdos_renyi(
+    num_nodes: int,
+    num_edges: int,
+    seed: int = 0,
+    name: str = "erdos-renyi",
+) -> CSRGraph:
+    """Uniform random directed graph with ~``num_edges`` distinct edges.
+
+    Edges are sampled with replacement and deduplicated, so the final
+    edge count can be slightly below ``num_edges`` (exact for sparse
+    graphs in expectation; tests only rely on approximate density).
+    """
+    _require(num_nodes >= 1, "erdos_renyi needs at least one node")
+    _require(num_edges >= 0, "erdos_renyi needs a non-negative edge count")
+    rng = np.random.default_rng(seed)
+    sources = rng.integers(0, num_nodes, size=num_edges, dtype=np.int64)
+    targets = rng.integers(0, num_nodes, size=num_edges, dtype=np.int64)
+    return from_arrays(sources, targets, num_nodes=num_nodes, name=name)
+
+
+def social_graph(
+    num_nodes: int,
+    edges_per_node: int = 12,
+    reciprocity: float = 0.4,
+    community_bias: float = 0.35,
+    uniform_mix: float = 0.35,
+    id_noise: float = 0.15,
+    seed: int = 0,
+    name: str = "social",
+) -> CSRGraph:
+    """Directed social-network analogue (pokec/flickr/twitter family).
+
+    A preferential-attachment process: node ``t`` arrives and creates
+    ``edges_per_node`` out-edges.  Each target is chosen
+
+    * with probability ``community_bias``, *locally* — a node with a
+      nearby (recent) arrival index, modelling friends who joined
+      together and giving the original id order its locality;
+    * otherwise by *preferential attachment* (endpoint of a uniformly
+      random existing edge — the classic heavy-tail construction),
+      softened by ``uniform_mix``: that fraction of the non-local
+      draws picks a uniformly random node instead, so popularity is
+      skewed without collapsing onto a handful of celebrities.
+
+    Each new edge is reciprocated with probability ``reciprocity``
+    (social ties are frequently mutual).  Ids equal arrival order, up
+    to ``id_noise``: that fraction of nodes get ids shuffled among
+    themselves — export orders of real platforms are good but noisy.
+    """
+    _require(num_nodes >= 2, "social_graph needs at least two nodes")
+    _require(edges_per_node >= 1, "edges_per_node must be positive")
+    _require(0.0 <= reciprocity <= 1.0, "reciprocity must be in [0, 1]")
+    _require(
+        0.0 <= community_bias <= 1.0, "community_bias must be in [0, 1]"
+    )
+    _require(0.0 <= uniform_mix <= 1.0, "uniform_mix must be in [0, 1]")
+    _require(0.0 <= id_noise <= 1.0, "id_noise must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    seed_size = min(edges_per_node + 1, num_nodes)
+    sources: list[int] = []
+    targets: list[int] = []
+    # Seed clique so early preferential draws have endpoints to copy.
+    for u in range(seed_size):
+        for v in range(seed_size):
+            if u != v:
+                sources.append(u)
+                targets.append(v)
+    # endpoint pool for preferential attachment (edge endpoints occur in
+    # proportion to degree)
+    pool: list[int] = list(range(seed_size)) * 2
+    for t in range(seed_size, num_nodes):
+        drawn = 0
+        attempts = 0
+        chosen: set[int] = set()
+        while drawn < edges_per_node and attempts < 4 * edges_per_node:
+            attempts += 1
+            coin = rng.random()
+            if coin < community_bias:
+                # Local target: geometric-ish distance back in arrival
+                # order keeps ids of linked nodes close.
+                back = int(rng.geometric(0.05))
+                v = max(0, t - back)
+            elif coin < community_bias + (1 - community_bias) * uniform_mix:
+                v = int(rng.integers(0, t))
+            else:
+                v = int(pool[int(rng.integers(0, len(pool)))])
+            if v == t or v in chosen:
+                continue
+            chosen.add(v)
+            drawn += 1
+            sources.append(t)
+            targets.append(v)
+            pool.append(t)
+            pool.append(v)
+            if rng.random() < reciprocity:
+                sources.append(v)
+                targets.append(t)
+    source_array = np.array(sources, dtype=np.int64)
+    target_array = np.array(targets, dtype=np.int64)
+    num_noisy = int(round(id_noise * num_nodes))
+    if num_noisy >= 2:
+        noisy = rng.choice(num_nodes, size=num_noisy, replace=False)
+        noise_map = np.arange(num_nodes, dtype=np.int64)
+        noise_map[noisy] = noisy[rng.permutation(num_noisy)]
+        source_array = noise_map[source_array]
+        target_array = noise_map[target_array]
+    return from_arrays(
+        source_array,
+        target_array,
+        num_nodes=num_nodes,
+        name=name,
+    )
+
+
+def web_graph(
+    num_nodes: int,
+    pages_per_host: int = 32,
+    out_degree: int = 10,
+    intra_host_fraction: float = 0.75,
+    nearby_fraction: float = 0.15,
+    id_noise: float = 0.2,
+    seed: int = 0,
+    name: str = "web",
+) -> CSRGraph:
+    """Directed web-graph analogue (wiki/pldarc/sdarc family).
+
+    Pages are grouped into hosts of ``pages_per_host`` consecutive ids
+    (URLs sorted alphabetically share a host prefix).  Each page emits
+    ``out_degree`` links drawn from three pools:
+
+    * ``intra_host_fraction`` stay inside the host (navigation
+      templates) — the locality that makes the *original* order of
+      real crawls a strong baseline,
+    * ``nearby_fraction`` point into hosts a few positions away
+      (sister sites, alphabetically close domains),
+    * the rest follow a Zipf popularity law over **hosts** (authority
+      concentrates on popular sites, uniformly over their pages), with
+      popular hosts spread across the id space by multiplicative
+      hashing so authority is not id-adjacent.  In-degree is heavy-
+      tailed without all of it collapsing onto one page.
+    """
+    _require(num_nodes >= 2, "web_graph needs at least two nodes")
+    _require(pages_per_host >= 2, "pages_per_host must be at least 2")
+    _require(out_degree >= 1, "out_degree must be positive")
+    _require(
+        0.0 <= intra_host_fraction <= 1.0,
+        "intra_host_fraction must be in [0, 1]",
+    )
+    _require(
+        0.0 <= nearby_fraction <= 1.0
+        and intra_host_fraction + nearby_fraction <= 1.0,
+        "intra_host_fraction + nearby_fraction must be in [0, 1]",
+    )
+    rng = np.random.default_rng(seed)
+    total_links = num_nodes * out_degree
+    sources = np.repeat(
+        np.arange(num_nodes, dtype=np.int64), out_degree
+    )
+    hosts = sources // pages_per_host
+    host_starts = hosts * pages_per_host
+    host_sizes = np.minimum(num_nodes - host_starts, pages_per_host)
+    kind = rng.random(total_links)
+    # Page popularity within a host follows a Zipf law: navigation
+    # pages (the host's first ids, crawled first) absorb most internal
+    # links — the degree structure InDegSort/SlashBurn exploit.
+    page_ranks = (rng.zipf(1.3, size=total_links).astype(np.int64) - 1)
+    intra_targets = host_starts + page_ranks % host_sizes
+    # Nearby links: a popular page of a host within +-4 positions.
+    drift = rng.integers(-4, 5, size=total_links) * pages_per_host
+    nearby_starts = np.abs(host_starts + drift) % num_nodes
+    nearby_sizes = np.minimum(num_nodes - nearby_starts, pages_per_host)
+    nearby_targets = nearby_starts + page_ranks % nearby_sizes
+    # Global links: Zipf popularity over hosts (spread across the id
+    # space by a multiplicative hash), uniform over the host's pages.
+    num_hosts = (num_nodes + pages_per_host - 1) // pages_per_host
+    host_ranks = rng.zipf(1.4, size=total_links).astype(np.int64)
+    global_hosts = (host_ranks * np.int64(2654435761)) % num_hosts
+    global_starts = global_hosts * pages_per_host
+    global_sizes = np.minimum(num_nodes - global_starts, pages_per_host)
+    global_targets = global_starts + page_ranks % global_sizes
+    targets = np.where(
+        kind < intra_host_fraction,
+        intra_targets,
+        np.where(
+            kind < intra_host_fraction + nearby_fraction,
+            nearby_targets,
+            global_targets,
+        ),
+    )
+    # Crawl order preserves host *blocks* but not popularity order
+    # within a host (URLs are alphabetical, not sorted by in-degree):
+    # scatter each host's popularity ranks over its page slots.  This
+    # leaves the original order block-local (a strong baseline, as the
+    # paper observes) while leaving line-level packing of hot pages to
+    # the orderings under study.
+    page_map = np.empty(num_nodes, dtype=np.int64)
+    for start in range(0, num_nodes, pages_per_host):
+        size = min(pages_per_host, num_nodes - start)
+        page_map[start:start + size] = start + rng.permutation(size)
+    targets = page_map[targets]
+    # Crawl noise: a fraction ``id_noise`` of pages receive ids far
+    # from their host block (re-crawls, redirects, frontier effects).
+    # Real default orders are good but not perfect; this is the slack
+    # that topology-driven orderings like Gorder recover.
+    _require(0.0 <= id_noise <= 1.0, "id_noise must be in [0, 1]")
+    num_noisy = int(round(id_noise * num_nodes))
+    if num_noisy >= 2:
+        noisy = rng.choice(num_nodes, size=num_noisy, replace=False)
+        noise_map = np.arange(num_nodes, dtype=np.int64)
+        noise_map[noisy] = noisy[rng.permutation(num_noisy)]
+        sources = noise_map[sources]
+        targets = noise_map[targets]
+    return from_arrays(
+        sources, targets, num_nodes=num_nodes, name=name
+    )
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+    name: str = "rmat",
+) -> CSRGraph:
+    """Recursive-matrix (R-MAT / Graph500-style) power-law graph.
+
+    ``2**scale`` nodes and ``edge_factor * 2**scale`` sampled edges.
+    The (a, b, c, d) quadrant probabilities default to the Graph500
+    parameters; ``d = 1 - a - b - c``.
+    """
+    _require(scale >= 1, "rmat scale must be at least 1")
+    _require(edge_factor >= 1, "edge_factor must be positive")
+    d = 1.0 - a - b - c
+    _require(
+        min(a, b, c, d) >= 0.0, "rmat probabilities must be non-negative"
+    )
+    rng = np.random.default_rng(seed)
+    num_nodes = 1 << scale
+    num_edges = edge_factor * num_nodes
+    sources = np.zeros(num_edges, dtype=np.int64)
+    targets = np.zeros(num_edges, dtype=np.int64)
+    for bit in range(scale):
+        draw = rng.random(num_edges)
+        src_bit = (draw >= a + b).astype(np.int64)
+        # Conditional target bit: quadrants (a,b) in the top half,
+        # (c,d) in the bottom half.
+        in_top = draw < a + b
+        tgt_bit = np.where(
+            in_top, (draw >= a).astype(np.int64),
+            (draw >= a + b + c).astype(np.int64),
+        )
+        sources |= src_bit << bit
+        targets |= tgt_bit << bit
+    return from_arrays(sources, targets, num_nodes=num_nodes, name=name)

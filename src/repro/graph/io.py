@@ -1,0 +1,159 @@
+"""Read and write graphs in the two on-disk formats the project uses.
+
+* **Text edge lists** — the SNAP / Konect style used by the paper's
+  dataset sources: one ``u v`` pair per line, ``#`` or ``%`` comment
+  lines ignored, arbitrary whitespace separators.
+* **Binary ``.npz``** — a compact numpy container holding the CSR arrays
+  directly, used to cache generated datasets between benchmark runs.
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.builder import from_arrays
+from repro.graph.csr import CSRGraph
+
+_COMMENT_PREFIXES = ("#", "%", "//")
+
+
+def read_edge_list(
+    path: str | os.PathLike,
+    num_nodes: int | None = None,
+    name: str | None = None,
+) -> CSRGraph:
+    """Parse a whitespace-separated directed edge-list file.
+
+    Lines beginning with ``#``, ``%`` or ``//`` and blank lines are
+    skipped.  Each remaining line must contain at least two integer
+    fields (extra fields, e.g. timestamps in Konect dumps, are ignored).
+
+    Files ending in ``.gz`` are decompressed transparently (SNAP and
+    Konect distribute their dumps gzipped).
+
+    Raises
+    ------
+    GraphFormatError
+        On an unparsable line, with the line number in the message.
+    """
+    path = Path(path)
+    sources: list[int] = []
+    targets: list[int] = []
+    opener = gzip.open if path.suffix == ".gz" else open
+    with opener(path, "rt", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(_COMMENT_PREFIXES):
+                continue
+            fields = stripped.split()
+            if len(fields) < 2:
+                raise GraphFormatError(
+                    f"{path}:{line_number}: expected 'u v', got {stripped!r}"
+                )
+            try:
+                u = int(fields[0])
+                v = int(fields[1])
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"{path}:{line_number}: non-integer node id in "
+                    f"{stripped!r}"
+                ) from exc
+            sources.append(u)
+            targets.append(v)
+    return from_arrays(
+        np.array(sources, dtype=np.int64),
+        np.array(targets, dtype=np.int64),
+        num_nodes=num_nodes,
+        name=name or path.stem,
+    )
+
+
+def write_edge_list(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Write a graph as a ``# name n m`` header plus one edge per line."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(
+            f"# {graph.name} nodes={graph.num_nodes} "
+            f"edges={graph.num_edges}\n"
+        )
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+
+
+def save_permutation(
+    perm: "np.ndarray", path: str | os.PathLike
+) -> None:
+    """Write an arrangement as one new-index per line.
+
+    Line ``u`` holds the new id of old node ``u`` — the format the
+    original Gorder tool and the CLI use.
+    """
+    from repro.graph.permute import validate_permutation
+
+    perm = validate_permutation(np.asarray(perm), len(perm))
+    with open(Path(path), "w", encoding="utf-8") as handle:
+        for value in perm:
+            handle.write(f"{int(value)}\n")
+
+
+def load_permutation(
+    path: str | os.PathLike, num_nodes: int | None = None
+) -> "np.ndarray":
+    """Read an arrangement written by :func:`save_permutation`.
+
+    Validates that the file holds a permutation (of ``num_nodes``
+    when given, of its own length otherwise).
+    """
+    from repro.graph.permute import validate_permutation
+
+    path = Path(path)
+    values: list[int] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(_COMMENT_PREFIXES):
+                continue
+            try:
+                values.append(int(stripped))
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"{path}:{line_number}: not an integer: "
+                    f"{stripped!r}"
+                ) from exc
+    perm = np.array(values, dtype=np.int64)
+    return validate_permutation(
+        perm, num_nodes if num_nodes is not None else perm.shape[0]
+    )
+
+
+def save_npz(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Save the CSR arrays to a compressed ``.npz`` file."""
+    np.savez_compressed(
+        Path(path),
+        num_nodes=np.int64(graph.num_nodes),
+        offsets=graph.offsets,
+        adjacency=graph.adjacency,
+        name=np.str_(graph.name),
+    )
+
+
+def load_npz(path: str | os.PathLike) -> CSRGraph:
+    """Load a graph previously written by :func:`save_npz`."""
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            return CSRGraph(
+                int(data["num_nodes"]),
+                data["offsets"],
+                data["adjacency"],
+                name=str(data["name"]),
+            )
+    except KeyError as exc:
+        raise GraphFormatError(
+            f"{path} is not a repro graph archive (missing {exc})"
+        ) from exc

@@ -1,0 +1,108 @@
+"""Permutations of node ids and graph relabeling.
+
+Convention (matching the paper's notation): an *arrangement* pi is an
+integer array ``perm`` of length *n* with ``perm[u]`` the **new index**
+of node ``u`` — the paper's ``pi_u``.  The inverse view, a *sequence*
+``seq`` with ``seq[i]`` the old node placed at position ``i``, is what
+greedy procedures like Gorder naturally produce;
+:func:`permutation_from_sequence` converts between the two.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidPermutationError
+from repro.graph.builder import from_arrays
+from repro.graph.csr import CSRGraph
+
+
+def validate_permutation(perm: np.ndarray, num_nodes: int) -> np.ndarray:
+    """Check that ``perm`` is a permutation of ``range(num_nodes)``.
+
+    Returns the validated array as ``int64``.
+
+    Raises
+    ------
+    InvalidPermutationError
+        If the length is wrong or any index is missing/duplicated.
+    """
+    perm = np.asarray(perm)
+    if perm.ndim != 1 or perm.shape[0] != num_nodes:
+        raise InvalidPermutationError(
+            f"permutation must have length {num_nodes}, "
+            f"got shape {perm.shape}"
+        )
+    if not np.issubdtype(perm.dtype, np.integer):
+        raise InvalidPermutationError(
+            f"permutation must be integer-typed, got dtype {perm.dtype}"
+        )
+    perm = perm.astype(np.int64, copy=False)
+    if num_nodes == 0:
+        return perm
+    seen = np.zeros(num_nodes, dtype=bool)
+    if perm.min() < 0 or perm.max() >= num_nodes:
+        raise InvalidPermutationError(
+            f"permutation values must lie in [0, {num_nodes - 1}]"
+        )
+    seen[perm] = True
+    if not seen.all():
+        missing = int(np.flatnonzero(~seen)[0])
+        raise InvalidPermutationError(
+            f"not a permutation: index {missing} never assigned"
+        )
+    return perm
+
+
+def identity_permutation(num_nodes: int) -> np.ndarray:
+    """The identity arrangement (the dataset's *original* order)."""
+    return np.arange(num_nodes, dtype=np.int64)
+
+
+def invert_permutation(perm: np.ndarray) -> np.ndarray:
+    """Inverse arrangement: ``inv[perm[u]] == u``."""
+    perm = np.asarray(perm, dtype=np.int64)
+    inverse = np.empty_like(perm)
+    inverse[perm] = np.arange(perm.shape[0], dtype=np.int64)
+    return inverse
+
+
+def permutation_from_sequence(sequence: np.ndarray) -> np.ndarray:
+    """Convert a placement sequence to an arrangement.
+
+    ``sequence[i]`` is the old node id placed at new position ``i``;
+    the result ``perm`` satisfies ``perm[sequence[i]] == i``.
+    """
+    return invert_permutation(np.asarray(sequence, dtype=np.int64))
+
+
+def compose(outer: np.ndarray, inner: np.ndarray) -> np.ndarray:
+    """Arrangement equivalent to applying ``inner`` then ``outer``.
+
+    ``result[u] == outer[inner[u]]``.
+    """
+    inner = np.asarray(inner, dtype=np.int64)
+    outer = np.asarray(outer, dtype=np.int64)
+    if inner.shape != outer.shape:
+        raise InvalidPermutationError(
+            "cannot compose permutations of different lengths "
+            f"({outer.shape[0]} and {inner.shape[0]})"
+        )
+    return outer[inner]
+
+
+def relabel(graph: CSRGraph, perm: np.ndarray, name: str | None = None) -> CSRGraph:
+    """Return a copy of ``graph`` with node ``u`` renamed to ``perm[u]``.
+
+    The relabeled graph is structurally isomorphic to the input; only
+    the memory layout of the CSR arrays (and hence cache behaviour)
+    changes.  Neighbour lists are re-sorted under the new ids.
+    """
+    perm = validate_permutation(perm, graph.num_nodes)
+    sources, targets = graph.edge_array()
+    return from_arrays(
+        perm[sources],
+        perm[targets],
+        num_nodes=graph.num_nodes,
+        name=name or graph.name,
+    )

@@ -1,0 +1,59 @@
+"""Induced subgraph extraction.
+
+Needed by partitioned Gorder (each partition is ordered on its induced
+subgraph) and generally useful for downstream analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.graph.builder import from_arrays
+from repro.graph.csr import CSRGraph
+
+
+def induced_subgraph(
+    graph: CSRGraph, nodes: np.ndarray, name: str | None = None
+) -> tuple[CSRGraph, np.ndarray]:
+    """The subgraph induced by ``nodes``.
+
+    Parameters
+    ----------
+    graph:
+        The host graph.
+    nodes:
+        Distinct node ids to keep.  Their order defines the local ids:
+        ``nodes[i]`` becomes local node ``i``.
+
+    Returns
+    -------
+    ``(subgraph, local_of)`` where ``subgraph`` has ``len(nodes)``
+    nodes and every edge of ``graph`` with both endpoints kept, and
+    ``local_of`` maps host ids to local ids (−1 for dropped nodes).
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    if nodes.ndim != 1:
+        raise InvalidParameterError(
+            f"nodes must be one-dimensional, got shape {nodes.shape}"
+        )
+    if nodes.shape[0]:
+        if nodes.min() < 0 or nodes.max() >= graph.num_nodes:
+            raise InvalidParameterError(
+                "subgraph nodes must be valid ids of the host graph"
+            )
+    local_of = np.full(graph.num_nodes, -1, dtype=np.int64)
+    if np.any(local_of[nodes] != -1) or (
+        np.unique(nodes).shape[0] != nodes.shape[0]
+    ):
+        raise InvalidParameterError("subgraph nodes must be distinct")
+    local_of[nodes] = np.arange(nodes.shape[0], dtype=np.int64)
+    sources, targets = graph.edge_array()
+    keep = (local_of[sources] >= 0) & (local_of[targets] >= 0)
+    subgraph = from_arrays(
+        local_of[sources[keep]],
+        local_of[targets[keep]],
+        num_nodes=nodes.shape[0],
+        name=name or f"{graph.name}-sub",
+    )
+    return subgraph, local_of

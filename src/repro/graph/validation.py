@@ -1,0 +1,87 @@
+"""Deep validation of user-supplied graphs.
+
+:class:`CSRGraph` validates structural well-formedness at
+construction; this module answers the *quality* questions a user with
+an externally produced edge list has before running experiments:
+duplicates, self-loops, isolated nodes, degenerate shapes.  Returns
+findings instead of raising, so callers can decide what is acceptable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Findings about a graph's content."""
+
+    num_nodes: int
+    num_edges: int
+    num_self_loops: int
+    num_duplicate_edges: int
+    num_isolated_nodes: int
+    num_sink_nodes: int  # out-degree 0 (PageRank dangling mass)
+    num_source_nodes: int  # in-degree 0
+    is_sorted: bool  # neighbour lists ascending (CSR contract)
+
+    @property
+    def is_clean(self) -> bool:
+        """No self-loops or duplicates and the CSR contract holds."""
+        return (
+            self.num_self_loops == 0
+            and self.num_duplicate_edges == 0
+            and self.is_sorted
+        )
+
+    def issues(self) -> list[str]:
+        """Human-readable list of findings (empty when clean)."""
+        found = []
+        if self.num_self_loops:
+            found.append(f"{self.num_self_loops} self-loop(s)")
+        if self.num_duplicate_edges:
+            found.append(
+                f"{self.num_duplicate_edges} duplicate edge(s)"
+            )
+        if not self.is_sorted:
+            found.append("neighbour lists are not sorted")
+        if self.num_isolated_nodes:
+            found.append(
+                f"{self.num_isolated_nodes} isolated node(s)"
+            )
+        return found
+
+
+def validate_graph(graph: CSRGraph) -> ValidationReport:
+    """Inspect a graph and report content findings."""
+    n = graph.num_nodes
+    offsets = graph.offsets
+    adjacency = graph.adjacency
+    sources, targets = graph.edge_array()
+    self_loops = int((sources == targets).sum())
+    duplicates = 0
+    is_sorted = True
+    for u in range(n):
+        row = adjacency[offsets[u]:offsets[u + 1]]
+        if row.shape[0] > 1:
+            deltas = np.diff(row)
+            if np.any(deltas < 0):
+                is_sorted = False
+            duplicates += int((deltas == 0).sum())
+    out_degrees = graph.out_degrees()
+    in_degrees = graph.in_degrees()
+    isolated = int(((out_degrees == 0) & (in_degrees == 0)).sum())
+    return ValidationReport(
+        num_nodes=n,
+        num_edges=graph.num_edges,
+        num_self_loops=self_loops,
+        num_duplicate_edges=duplicates,
+        num_isolated_nodes=isolated,
+        num_sink_nodes=int((out_degrees == 0).sum()),
+        num_source_nodes=int((in_degrees == 0).sum()),
+        is_sorted=is_sorted,
+    )

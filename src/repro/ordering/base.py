@@ -1,0 +1,148 @@
+"""Ordering registry: every ordering method, addressable by name.
+
+An ordering is a callable ``(graph, seed=0, **params) -> perm`` where
+``perm`` is an arrangement (``perm[u]`` = new index of node ``u``; see
+:mod:`repro.graph.permute`).  The registry drives the experiment
+harness, the CLI and the benchmarks; names match the labels the
+replication's figures use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import UnknownOrderingError
+from repro.graph.csr import CSRGraph
+from repro.ordering.bisect import bisection_order
+from repro.ordering.gorder import gorder_order
+from repro.ordering.gorder_lazy import gorder_order_lazy
+from repro.ordering.ldg import ldg_order
+from repro.ordering.lightweight import (
+    dbg_order,
+    hubcluster_order,
+    hubsort_order,
+)
+from repro.ordering.parallel import gorder_partitioned
+from repro.ordering.minla import minla_order, minloga_order
+from repro.ordering.rcm import rcm_order
+from repro.ordering.simple import (
+    chdfs_order,
+    indegsort_order,
+    original_order,
+    random_order,
+)
+from repro.ordering.slashburn import slashburn_order
+
+OrderingFunction = Callable[..., np.ndarray]
+
+
+@dataclass(frozen=True)
+class OrderingSpec:
+    """One registered ordering method."""
+
+    name: str  # registry key, lowercase
+    display_name: str  # label used in the paper's figures
+    compute: OrderingFunction
+    deterministic: bool  # ignores the seed argument
+    headline: bool  # part of the paper's main experiment set
+
+
+#: All orderings, in the display order of the replication's Figure 5.
+REGISTRY: dict[str, OrderingSpec] = {
+    spec.name: spec
+    for spec in [
+        OrderingSpec(
+            "original", "Original", original_order,
+            deterministic=True, headline=True,
+        ),
+        OrderingSpec(
+            "random", "Random", random_order,
+            deterministic=False, headline=True,
+        ),
+        OrderingSpec(
+            "minla", "MinLA", minla_order,
+            deterministic=False, headline=True,
+        ),
+        OrderingSpec(
+            "minloga", "MinLogA", minloga_order,
+            deterministic=False, headline=True,
+        ),
+        OrderingSpec(
+            "rcm", "RCM", rcm_order,
+            deterministic=True, headline=True,
+        ),
+        OrderingSpec(
+            "indegsort", "InDegSort", indegsort_order,
+            deterministic=True, headline=True,
+        ),
+        OrderingSpec(
+            "chdfs", "ChDFS", chdfs_order,
+            deterministic=True, headline=True,
+        ),
+        OrderingSpec(
+            "slashburn", "SlashBurn", slashburn_order,
+            deterministic=True, headline=True,
+        ),
+        OrderingSpec(
+            "ldg", "LDG", ldg_order,
+            deterministic=True, headline=True,
+        ),
+        OrderingSpec(
+            "gorder", "Gorder", gorder_order,
+            deterministic=True, headline=True,
+        ),
+        OrderingSpec(
+            "bisect", "Bisect", bisection_order,
+            deterministic=True, headline=False,
+        ),
+        # Lightweight reorderings from the follow-on literature
+        # (Balaji & Lucia 2018; Faldu et al. 2019) — extensions.
+        OrderingSpec(
+            "hubsort", "HubSort", hubsort_order,
+            deterministic=True, headline=False,
+        ),
+        OrderingSpec(
+            "hubcluster", "HubCluster", hubcluster_order,
+            deterministic=True, headline=False,
+        ),
+        OrderingSpec(
+            "dbg", "DBG", dbg_order,
+            deterministic=True, headline=False,
+        ),
+        # Alternative Gorder backends — extensions for ablations.
+        OrderingSpec(
+            "gorder-lazy", "Gorder(lazy-pq)", gorder_order_lazy,
+            deterministic=True, headline=False,
+        ),
+        OrderingSpec(
+            "gorder-part", "Gorder(partitioned)", gorder_partitioned,
+            deterministic=True, headline=False,
+        ),
+    ]
+}
+
+#: Names of the paper's ten headline orderings, figure order.
+ORDERING_NAMES: tuple[str, ...] = tuple(
+    name for name, spec in REGISTRY.items() if spec.headline
+)
+
+
+def spec(name: str) -> OrderingSpec:
+    """Look up an ordering by registry name (case-insensitive)."""
+    try:
+        return REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(REGISTRY)
+        raise UnknownOrderingError(
+            f"unknown ordering {name!r}; known orderings: {known}"
+        ) from None
+
+
+def compute_ordering(
+    name: str, graph: CSRGraph, seed: int = 0, **params
+) -> np.ndarray:
+    """Compute the arrangement for ``graph`` by ordering name."""
+    return spec(name).compute(graph, seed=seed, **params)

@@ -1,0 +1,50 @@
+"""Reverse Cuthill-McKee ordering.
+
+A breadth-first search over the undirected view that visits neighbours
+in ascending degree and starts each component from a minimum-degree
+node; the visit sequence is then reversed.  Classic bandwidth-reduction
+ordering [Cuthill & McKee 1969] — and, in the replication, the single
+best ordering for the BFS, SP and Diameter benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.permute import permutation_from_sequence
+
+
+def rcm_order(graph: CSRGraph, seed: int = 0) -> np.ndarray:
+    """Compute the RCM arrangement of ``graph`` (undirected view)."""
+    del seed  # deterministic
+    undirected = graph.undirected()
+    n = undirected.num_nodes
+    offsets = undirected.offsets
+    adjacency = undirected.adjacency
+    degrees = np.diff(offsets)
+    visited = np.zeros(n, dtype=bool)
+    sequence = np.empty(n, dtype=np.int64)
+    filled = 0
+    # Roots in ascending degree so each component starts peripheral.
+    roots = np.argsort(degrees, kind="stable")
+    for root in roots:
+        if visited[root]:
+            continue
+        visited[root] = True
+        queue = deque([int(root)])
+        while queue:
+            u = queue.popleft()
+            sequence[filled] = u
+            filled += 1
+            neighbors = adjacency[offsets[u]:offsets[u + 1]]
+            unvisited = neighbors[~visited[neighbors]]
+            if unvisited.shape[0]:
+                by_degree = unvisited[
+                    np.argsort(degrees[unvisited], kind="stable")
+                ]
+                visited[by_degree] = True
+                queue.extend(int(v) for v in by_degree)
+    return permutation_from_sequence(sequence[::-1].copy())

@@ -1,0 +1,87 @@
+"""The cheap orderings: Original, Random, InDegSort and ChDFS.
+
+These are the paper's low-overhead baselines — Table 2 shows DegSort
+and ChDFS computing in under a second even on billion-edge graphs, and
+Figure 5 shows ChDFS nonetheless being competitive with Gorder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.permute import (
+    identity_permutation,
+    permutation_from_sequence,
+)
+
+
+def original_order(graph: CSRGraph, seed: int = 0) -> np.ndarray:
+    """The dataset's own order — the identity arrangement.
+
+    Real datasets are "collected in a way that is not random": their
+    default ids already carry locality, which is why this baseline
+    beats several elaborate orderings in the paper.
+    """
+    del seed  # deterministic
+    return identity_permutation(graph.num_nodes)
+
+
+def random_order(graph: CSRGraph, seed: int = 0) -> np.ndarray:
+    """Uniformly random arrangement (the replication's added baseline).
+
+    Destroys all locality; the experiments use it as the worst case.
+    """
+    rng = np.random.default_rng(seed)
+    return rng.permutation(graph.num_nodes).astype(np.int64)
+
+
+def indegsort_order(graph: CSRGraph, seed: int = 0) -> np.ndarray:
+    """Sort nodes by descending in-degree (the paper's DegSort).
+
+    Stable: ties keep their original relative order, so the result is
+    deterministic.  Groups hubs together at the front — hub data then
+    shares cache lines, which already removes many misses.
+    """
+    del seed  # deterministic
+    in_degrees = graph.in_degrees()
+    # Stable sort on negated degree keeps original order within ties.
+    sequence = np.argsort(-in_degrees, kind="stable")
+    return permutation_from_sequence(sequence)
+
+
+def chdfs_order(graph: CSRGraph, seed: int = 0) -> np.ndarray:
+    """Children-first DFS order.
+
+    A plain depth-first traversal: nodes are numbered in the order DFS
+    first visits them, children explored in ascending original id (the
+    same lexicographic rule the DFS *benchmark algorithm* uses, which
+    is why this ordering accelerates that algorithm so much).  The
+    traversal restarts from the lowest-id unvisited node, so every
+    component is covered.
+    """
+    del seed  # deterministic (starts at node 0, matching the benchmark)
+    n = graph.num_nodes
+    offsets = graph.offsets
+    adjacency = graph.adjacency
+    visited = np.zeros(n, dtype=bool)
+    sequence = np.empty(n, dtype=np.int64)
+    filled = 0
+    for root in range(n):
+        if visited[root]:
+            continue
+        # Iterative DFS; push children reversed so the smallest id pops
+        # first (preorder matches the recursive lexicographic DFS).
+        stack = [root]
+        visited[root] = True
+        while stack:
+            u = stack.pop()
+            sequence[filled] = u
+            filled += 1
+            neighbors = adjacency[offsets[u]:offsets[u + 1]]
+            for i in range(neighbors.shape[0] - 1, -1, -1):
+                v = int(neighbors[i])
+                if not visited[v]:
+                    visited[v] = True
+                    stack.append(v)
+    return permutation_from_sequence(sequence)

@@ -1,0 +1,135 @@
+"""The *unit heap*: Gorder's priority queue.
+
+The greedy GO algorithm (Algorithm 2 of the paper) repeatedly extracts
+the candidate node with the maximum proximity score to the current
+window, under a stream of **unit** updates: every event changes one
+node's key by exactly ±1.  The paper exploits this with a linked
+bucket structure giving O(1) updates; we implement the same idea with
+one ordered-``dict`` bucket per key value and a moving ``max_key``
+pointer.
+
+Amortised costs: ``increase``/``decrease``/``remove`` are O(1);
+``pop_max`` pays for scanning empty buckets downwards, but ``max_key``
+only ever rises through ``increase`` calls, so the total scan work is
+bounded by the total number of increments — O(1) amortised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+
+class UnitHeap:
+    """Max-priority structure over items ``0 .. n-1`` with unit updates.
+
+    All items start present with key 0.  ``pop_max`` removes and
+    returns an item of maximal key; updates addressed at removed items
+    are ignored (exactly what Gorder needs — placed nodes keep
+    receiving score events that must not resurrect them).
+
+    Ties are broken deterministically: the item that reached its
+    current key earliest (FIFO within a bucket).
+    """
+
+    __slots__ = ("_keys", "_present", "_buckets", "_max_key", "_size")
+
+    def __init__(self, num_items: int) -> None:
+        if num_items < 0:
+            raise InvalidParameterError(
+                f"num_items must be non-negative, got {num_items}"
+            )
+        self._keys = np.zeros(num_items, dtype=np.int64)
+        self._present = np.ones(num_items, dtype=bool)
+        self._buckets: dict[int, dict[int, None]] = {
+            0: dict.fromkeys(range(num_items))
+        }
+        self._max_key = 0
+        self._size = num_items
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, item: int) -> bool:
+        return bool(self._present[item])
+
+    def key_of(self, item: int) -> int:
+        """Current key of ``item`` (valid even after removal)."""
+        return int(self._keys[item])
+
+    # ------------------------------------------------------------------
+    def increase(self, item: int) -> None:
+        """Add 1 to ``item``'s key.  No-op if the item was removed."""
+        if not self._present[item]:
+            return
+        key = int(self._keys[item])
+        bucket = self._buckets[key]
+        del bucket[item]
+        key += 1
+        self._keys[item] = key
+        target = self._buckets.get(key)
+        if target is None:
+            target = {}
+            self._buckets[key] = target
+        target[item] = None
+        if key > self._max_key:
+            self._max_key = key
+
+    def decrease(self, item: int) -> None:
+        """Subtract 1 from ``item``'s key.  No-op if removed."""
+        if not self._present[item]:
+            return
+        key = int(self._keys[item])
+        bucket = self._buckets[key]
+        del bucket[item]
+        key -= 1
+        self._keys[item] = key
+        target = self._buckets.get(key)
+        if target is None:
+            target = {}
+            self._buckets[key] = target
+        target[item] = None
+
+    def remove(self, item: int) -> None:
+        """Delete ``item`` from the heap (subsequent updates ignored)."""
+        if not self._present[item]:
+            return
+        self._present[item] = False
+        del self._buckets[int(self._keys[item])][item]
+        self._size -= 1
+
+    def pop_max(self) -> int:
+        """Remove and return an item with the maximal key.
+
+        Raises
+        ------
+        IndexError
+            If the heap is empty.
+        """
+        if self._size == 0:
+            raise IndexError("pop from an empty UnitHeap")
+        buckets = self._buckets
+        key = self._max_key
+        bucket = buckets.get(key)
+        while not bucket:
+            if bucket is not None:
+                del buckets[key]
+            key -= 1
+            bucket = buckets.get(key)
+        self._max_key = key
+        item = next(iter(bucket))
+        del bucket[item]
+        self._present[item] = False
+        self._size -= 1
+        return item
+
+    def peek_max_key(self) -> int:
+        """Maximal key among present items (empty heap raises)."""
+        if self._size == 0:
+            raise IndexError("peek on an empty UnitHeap")
+        key = self._max_key
+        while not self._buckets.get(key):
+            key -= 1
+        return key

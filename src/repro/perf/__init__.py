@@ -1,0 +1,79 @@
+"""Experiment harness: runners, experiment matrix and reporting."""
+
+from repro.perf.experiments import (
+    PROFILES,
+    Profile,
+    algorithm_params,
+    annealing_sweep,
+    cache_stall_split,
+    cache_stats_table,
+    dataset_table,
+    get_profile,
+    ordering_times,
+    rank_orderings,
+    relative_to_gorder,
+    speedup_matrix,
+    window_sweep,
+)
+from repro.perf.runner import (
+    GLOBAL_ORDERING_CACHE,
+    OrderingCache,
+    RunResult,
+    run_cell,
+    time_ordering,
+)
+from repro.perf.workload import (
+    AmortizationRow,
+    Workload,
+    amortization_table,
+)
+from repro.perf.store import (
+    ResultStoreError,
+    compare_runs,
+    load_results,
+    save_results,
+)
+from repro.perf.report import (
+    render_bar,
+    render_cache_stats,
+    render_heatmap,
+    render_rank_histogram,
+    render_speedup_series,
+    render_stall_split,
+    render_table,
+)
+
+__all__ = [
+    "Profile",
+    "PROFILES",
+    "get_profile",
+    "algorithm_params",
+    "speedup_matrix",
+    "relative_to_gorder",
+    "rank_orderings",
+    "cache_stall_split",
+    "ordering_times",
+    "cache_stats_table",
+    "window_sweep",
+    "annealing_sweep",
+    "dataset_table",
+    "run_cell",
+    "time_ordering",
+    "RunResult",
+    "OrderingCache",
+    "GLOBAL_ORDERING_CACHE",
+    "Workload",
+    "AmortizationRow",
+    "amortization_table",
+    "save_results",
+    "load_results",
+    "compare_runs",
+    "ResultStoreError",
+    "render_table",
+    "render_bar",
+    "render_speedup_series",
+    "render_stall_split",
+    "render_cache_stats",
+    "render_rank_histogram",
+    "render_heatmap",
+]

@@ -1,0 +1,171 @@
+"""Run (algorithm x ordering x dataset) cells through the simulator.
+
+One *run* = take a dataset analogue, relabel it with an ordering,
+declare its arrays in a fresh simulated memory and execute the traced
+algorithm.  The result bundles the simulated cycle cost (the paper's
+"runtime"), the cache statistics (the paper's Tables 3/4 columns) and
+the wall-clock time of the ordering computation (its Table 9 / the
+replication's Table 2).
+
+Orderings and relabeled graphs are memoised per (graph, ordering,
+seed) because the big experiments revisit the same cell many times.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms import base as algorithms
+from repro.cache import (
+    CacheHierarchy,
+    CacheStats,
+    CostModel,
+    DEFAULT_COST_MODEL,
+    Memory,
+    RunCost,
+    scaled_hierarchy,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.permute import relabel
+from repro.ordering import base as orderings
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one simulated algorithm run."""
+
+    dataset: str
+    algorithm: str
+    ordering: str
+    cost: RunCost
+    stats: CacheStats
+    #: Wall-clock seconds to compute the ordering (0 when memoised).
+    ordering_seconds: float
+    #: Wall-clock seconds spent simulating (diagnostic only).
+    simulation_seconds: float
+
+    @property
+    def cycles(self) -> float:
+        """Total simulated cycles — the runtime the figures compare."""
+        return self.cost.total_cycles
+
+
+@dataclass
+class OrderingCache:
+    """Memoises permutations and relabeled graphs per graph object.
+
+    Keys include ``id(graph)``; the keyed graph object is pinned in
+    ``_pinned`` so its id cannot be recycled by the allocator while
+    the cache entry lives (a classic stale-memoisation hazard).
+    """
+
+    _perms: dict[tuple[int, str, int], np.ndarray] = field(
+        default_factory=dict
+    )
+    _graphs: dict[tuple[int, str, int], CSRGraph] = field(
+        default_factory=dict
+    )
+    _seconds: dict[tuple[int, str, int], float] = field(
+        default_factory=dict
+    )
+    _pinned: dict[int, CSRGraph] = field(default_factory=dict)
+
+    def permutation(
+        self, graph: CSRGraph, ordering: str, seed: int
+    ) -> tuple[np.ndarray, float]:
+        """The arrangement for (graph, ordering, seed) + compute time."""
+        key = (id(graph), ordering, seed)
+        if key not in self._perms:
+            start = time.perf_counter()
+            perm = orderings.compute_ordering(ordering, graph, seed=seed)
+            self._seconds[key] = time.perf_counter() - start
+            self._perms[key] = perm
+            self._pinned[id(graph)] = graph
+        return self._perms[key], self._seconds[key]
+
+    def relabeled(
+        self, graph: CSRGraph, ordering: str, seed: int
+    ) -> tuple[CSRGraph, np.ndarray, float]:
+        """Relabeled graph, arrangement and ordering compute time."""
+        key = (id(graph), ordering, seed)
+        perm, seconds = self.permutation(graph, ordering, seed)
+        if key not in self._graphs:
+            self._graphs[key] = relabel(graph, perm)
+        return self._graphs[key], perm, seconds
+
+    def clear(self) -> None:
+        self._perms.clear()
+        self._graphs.clear()
+        self._seconds.clear()
+        self._pinned.clear()
+
+
+#: Default shared cache (cleared freely; it is only a memoisation).
+GLOBAL_ORDERING_CACHE = OrderingCache()
+
+
+def run_cell(
+    graph: CSRGraph,
+    algorithm: str,
+    ordering: str,
+    seed: int = 0,
+    params: dict | None = None,
+    hierarchy: CacheHierarchy | None = None,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    cache: OrderingCache | None = None,
+    dataset_name: str | None = None,
+) -> RunResult:
+    """Execute one experiment cell and return its :class:`RunResult`.
+
+    ``params`` are forwarded to the traced algorithm; any parameter
+    named in the algorithm's ``source_params`` is interpreted as
+    *logical* node ids on the original graph and mapped through the
+    ordering's permutation, so every ordering does identical work.
+    """
+    cache = cache or GLOBAL_ORDERING_CACHE
+    algorithm_spec = algorithms.spec(algorithm)
+    relabeled, perm, ordering_seconds = cache.relabeled(
+        graph, ordering, seed
+    )
+    run_params = dict(params or {})
+    for key in algorithm_spec.source_params:
+        if key in run_params:
+            value = run_params[key]
+            if np.isscalar(value):
+                run_params[key] = int(perm[int(value)])
+            else:
+                run_params[key] = [int(perm[int(v)]) for v in value]
+    memory = Memory(
+        hierarchy or scaled_hierarchy(), cost_model=cost_model
+    )
+    start = time.perf_counter()
+    algorithm_spec.traced(relabeled, memory, **run_params)
+    simulation_seconds = time.perf_counter() - start
+    return RunResult(
+        dataset=dataset_name or graph.name,
+        algorithm=algorithm_spec.name,
+        ordering=orderings.spec(ordering).name,
+        cost=memory.cost(),
+        stats=memory.stats(),
+        ordering_seconds=ordering_seconds,
+        simulation_seconds=simulation_seconds,
+    )
+
+
+def time_ordering(
+    graph: CSRGraph, ordering: str, seed: int = 0, repeats: int = 1
+) -> float:
+    """Wall-clock seconds to compute an ordering (no memoisation).
+
+    Returns the minimum over ``repeats`` timings, the standard
+    noise-robust estimator for Table 2.
+    """
+    best = float("inf")
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        orderings.compute_ordering(ordering, graph, seed=seed)
+        best = min(best, time.perf_counter() - start)
+    return best

@@ -1,0 +1,114 @@
+"""Persist and compare experiment results as JSON.
+
+The text renderings in ``benchmarks/results/`` are for humans; this
+store keeps the underlying numbers machine-readable so runs can be
+archived, diffed across code changes, and post-processed (plots,
+regression gates) without re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.cache import CacheStats, RunCost
+from repro.errors import ReproError
+from repro.perf.runner import RunResult
+
+#: Format marker written into every archive.
+SCHEMA_VERSION = 1
+
+
+class ResultStoreError(ReproError):
+    """An archive could not be read or did not match the schema."""
+
+
+def result_to_dict(result: RunResult) -> dict:
+    """Flatten one :class:`RunResult` into JSON-ready primitives."""
+    return {
+        "dataset": result.dataset,
+        "algorithm": result.algorithm,
+        "ordering": result.ordering,
+        "cost": asdict(result.cost),
+        "stats": asdict(result.stats),
+        "ordering_seconds": result.ordering_seconds,
+        "simulation_seconds": result.simulation_seconds,
+    }
+
+
+def result_from_dict(payload: dict) -> RunResult:
+    """Inverse of :func:`result_to_dict`."""
+    try:
+        return RunResult(
+            dataset=payload["dataset"],
+            algorithm=payload["algorithm"],
+            ordering=payload["ordering"],
+            cost=RunCost(**payload["cost"]),
+            stats=CacheStats(**payload["stats"]),
+            ordering_seconds=payload["ordering_seconds"],
+            simulation_seconds=payload["simulation_seconds"],
+        )
+    except (KeyError, TypeError) as exc:
+        raise ResultStoreError(
+            f"malformed result record: {exc}"
+        ) from exc
+
+
+def save_results(
+    results: dict[tuple[str, str, str], RunResult] | list[RunResult],
+    path: str | os.PathLike,
+    metadata: dict | None = None,
+) -> None:
+    """Write a result collection to a JSON archive."""
+    records = (
+        list(results.values())
+        if isinstance(results, dict)
+        else list(results)
+    )
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "metadata": metadata or {},
+        "results": [result_to_dict(result) for result in records],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_results(
+    path: str | os.PathLike,
+) -> dict[tuple[str, str, str], RunResult]:
+    """Read an archive back, keyed by (dataset, algorithm, ordering)."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ResultStoreError(f"cannot read {path}: {exc}") from exc
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ResultStoreError(
+            f"{path}: unsupported schema {payload.get('schema')!r}"
+        )
+    results = {}
+    for record in payload.get("results", []):
+        result = result_from_dict(record)
+        results[(result.dataset, result.algorithm, result.ordering)] = (
+            result
+        )
+    return results
+
+
+def compare_runs(
+    before: dict[tuple[str, str, str], RunResult],
+    after: dict[tuple[str, str, str], RunResult],
+) -> dict[tuple[str, str, str], float]:
+    """Cycle ratios ``after / before`` for cells present in both runs.
+
+    Values above 1 mean the cell got slower.  Cells present in only
+    one run are ignored (they carry no comparison).
+    """
+    ratios = {}
+    for key, old in before.items():
+        new = after.get(key)
+        if new is None or old.cycles == 0:
+            continue
+        ratios[key] = new.cycles / old.cycles
+    return ratios

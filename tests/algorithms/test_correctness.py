@@ -1,0 +1,332 @@
+"""Correctness of the nine benchmark algorithms.
+
+Each algorithm is checked against an independent reference
+(networkx or a hand-computed value) on deterministic graphs and on the
+small generator fixtures.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    INFINITY,
+    breadth_first_search,
+    core_decomposition,
+    depth_first_search,
+    diameter,
+    dominating_set,
+    neighbor_query,
+    pagerank,
+    pick_sources,
+    shortest_paths,
+    strongly_connected_components,
+)
+from repro.errors import InvalidParameterError
+from repro.graph import from_edges, generators
+
+
+def to_networkx(graph):
+    result = nx.DiGraph()
+    result.add_nodes_from(range(graph.num_nodes))
+    result.add_edges_from(graph.edges())
+    return result
+
+
+@pytest.fixture(scope="module")
+def social():
+    return generators.social_graph(130, edges_per_node=5, seed=21)
+
+
+@pytest.fixture(scope="module")
+def web():
+    return generators.web_graph(
+        180, pages_per_host=18, out_degree=5, seed=21
+    )
+
+
+class TestNeighborQuery:
+    def test_known_values(self):
+        graph = from_edges([(0, 1), (0, 2), (1, 2), (2, 0)])
+        # degrees: d0=2, d1=1, d2=1
+        q = neighbor_query(graph)
+        assert q.tolist() == [1 + 1, 1, 2]
+
+    def test_empty_rows(self):
+        graph = from_edges([(0, 1)], num_nodes=3)
+        assert neighbor_query(graph).tolist() == [0, 0, 0]
+
+    def test_sum_identity(self, social):
+        """sum(q) = sum over edges of out_degree(target)."""
+        q = neighbor_query(social)
+        degrees = social.out_degrees()
+        sources, targets = social.edge_array()
+        assert q.sum() == degrees[targets].sum()
+
+
+class TestBFS:
+    def test_distances_match_networkx(self, social):
+        distance = breadth_first_search(social)
+        lengths = nx.single_source_shortest_path_length(
+            to_networkx(social), 0
+        )
+        for node, expected in lengths.items():
+            assert distance[node] <= expected
+
+    def test_path_graph(self):
+        graph = generators.path(5)
+        assert breadth_first_search(graph).tolist() == [0, 1, 2, 3, 4]
+
+    def test_forest_restarts(self, two_components):
+        distance = breadth_first_search(two_components)
+        assert (distance >= 0).all()
+        assert distance[3] == 0  # second component restarts at 3
+
+    def test_every_node_visited(self, web):
+        assert (breadth_first_search(web) >= 0).all()
+
+
+class TestDFS:
+    def test_preorder_path(self):
+        graph = generators.path(4)
+        assert depth_first_search(graph).tolist() == [0, 1, 2, 3]
+
+    def test_preorder_is_permutation(self, social):
+        preorder = depth_first_search(social)
+        assert sorted(preorder.tolist()) == list(
+            range(social.num_nodes)
+        )
+
+    def test_branching(self):
+        graph = from_edges([(0, 1), (0, 2), (1, 3)])
+        # stack discipline: 0, then 1 (smallest child), then 3, then 2
+        assert depth_first_search(graph).tolist() == [0, 1, 3, 2]
+
+
+class TestSCC:
+    def test_matches_networkx(self, social):
+        component = strongly_connected_components(social)
+        expected = list(nx.strongly_connected_components(
+            to_networkx(social)
+        ))
+        assert component.max() + 1 == len(expected)
+        for group in expected:
+            ids = {int(component[u]) for u in group}
+            assert len(ids) == 1
+
+    def test_cycle_is_one_component(self, triangle):
+        component = strongly_connected_components(triangle)
+        assert len(set(component.tolist())) == 1
+
+    def test_dag_all_singletons(self):
+        graph = from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+        component = strongly_connected_components(graph)
+        assert len(set(component.tolist())) == 4
+
+    def test_matches_networkx_on_web(self, web):
+        component = strongly_connected_components(web)
+        assert component.max() + 1 == nx.number_strongly_connected_components(
+            to_networkx(web)
+        )
+
+
+class TestShortestPaths:
+    def test_matches_bfs_distances(self, social):
+        distance = shortest_paths(social, 0)
+        lengths = nx.single_source_shortest_path_length(
+            to_networkx(social), 0
+        )
+        for node in range(social.num_nodes):
+            if node in lengths:
+                assert distance[node] == lengths[node]
+            else:
+                assert distance[node] == INFINITY
+
+    def test_source_distance_zero(self, web):
+        assert shortest_paths(web, 7)[7] == 0
+
+    def test_unreachable_is_infinity(self):
+        graph = from_edges([(0, 1)], num_nodes=3)
+        distance = shortest_paths(graph, 0)
+        assert distance[2] == INFINITY
+
+    def test_source_validation(self, triangle):
+        with pytest.raises(InvalidParameterError):
+            shortest_paths(triangle, -1)
+        with pytest.raises(InvalidParameterError):
+            shortest_paths(triangle, 3)
+
+
+class TestPageRank:
+    def test_matches_networkx(self, social):
+        ranks = pagerank(social, iterations=100)
+        expected = nx.pagerank(
+            to_networkx(social), alpha=0.85, max_iter=200, tol=1e-12
+        )
+        for node in range(social.num_nodes):
+            assert ranks[node] == pytest.approx(
+                expected[node], abs=1e-8
+            )
+
+    def test_sums_to_one(self, web):
+        assert pagerank(web, iterations=50).sum() == pytest.approx(1.0)
+
+    def test_dangling_nodes_handled(self):
+        graph = from_edges([(0, 1)], num_nodes=2)  # node 1 dangles
+        ranks = pagerank(graph, iterations=60)
+        assert ranks.sum() == pytest.approx(1.0)
+        assert ranks[1] > ranks[0]
+
+    def test_symmetric_cycle_uniform(self, triangle):
+        ranks = pagerank(triangle, iterations=60)
+        assert np.allclose(ranks, 1 / 3)
+
+    def test_zero_iterations_is_uniform(self, triangle):
+        assert np.allclose(pagerank(triangle, iterations=0), 1 / 3)
+
+    def test_validation(self, triangle):
+        with pytest.raises(InvalidParameterError):
+            pagerank(triangle, iterations=-1)
+        with pytest.raises(InvalidParameterError):
+            pagerank(triangle, damping=1.5)
+
+    def test_empty_graph(self):
+        graph = from_edges([], num_nodes=0)
+        assert pagerank(graph).shape == (0,)
+
+
+class TestDominatingSet:
+    def _assert_dominates(self, graph, chosen):
+        in_set = np.zeros(graph.num_nodes, dtype=bool)
+        in_set[chosen] = True
+        covered = in_set.copy()
+        for u in chosen:
+            covered[graph.out_neighbors(int(u))] = True
+        assert covered.all()
+
+    def test_dominates_social(self, social):
+        self._assert_dominates(social, dominating_set(social))
+
+    def test_dominates_web(self, web):
+        self._assert_dominates(web, dominating_set(web))
+
+    def test_star_picks_hub_only(self):
+        graph = generators.star(8)
+        chosen = dominating_set(graph)
+        assert chosen.tolist() == [0]
+
+    def test_isolated_nodes_all_chosen(self):
+        graph = from_edges([], num_nodes=4)
+        assert sorted(dominating_set(graph).tolist()) == [0, 1, 2, 3]
+
+    def test_greedy_is_reasonably_small(self, social):
+        chosen = dominating_set(social)
+        assert len(chosen) < social.num_nodes / 2
+
+
+class TestKcore:
+    def test_matches_networkx(self, social):
+        core = core_decomposition(social)
+        undirected = to_networkx(social).to_undirected()
+        undirected.remove_edges_from(nx.selfloop_edges(undirected))
+        expected = nx.core_number(undirected)
+        for node in range(social.num_nodes):
+            assert core[node] == expected[node]
+
+    def test_matches_networkx_on_web(self, web):
+        core = core_decomposition(web)
+        undirected = to_networkx(web).to_undirected()
+        undirected.remove_edges_from(nx.selfloop_edges(undirected))
+        expected = nx.core_number(undirected)
+        for node in range(web.num_nodes):
+            assert core[node] == expected[node]
+
+    def test_clique_core(self):
+        graph = generators.complete(5)
+        assert core_decomposition(graph).tolist() == [4] * 5
+
+    def test_path_core_is_one(self):
+        graph = generators.path(6)
+        assert core_decomposition(graph).tolist() == [1] * 6
+
+
+class TestDiameter:
+    def test_exceeds_any_single_run(self, social):
+        sources = [0, 5, 9]
+        estimate = diameter(social, sources=sources)
+        single = shortest_paths(social, 0)
+        finite = single[single != INFINITY]
+        assert estimate >= int(finite.max())
+
+    def test_path_diameter_from_endpoint(self):
+        graph = generators.path(7)
+        assert diameter(graph, sources=[0]) == 6
+
+    def test_seeded_sources_reproducible(self, web):
+        a = diameter(web, num_sources=3, seed=5)
+        b = diameter(web, num_sources=3, seed=5)
+        assert a == b
+
+    def test_pick_sources_validation(self, triangle):
+        with pytest.raises(InvalidParameterError):
+            pick_sources(triangle, 0)
+        with pytest.raises(InvalidParameterError):
+            pick_sources(from_edges([], num_nodes=0), 1)
+
+    def test_lower_bounds_true_diameter(self, web):
+        """The sampled estimate never exceeds the true directed
+        eccentricity maximum."""
+        estimate = diameter(web, num_sources=4, seed=3)
+        true = 0
+        graph_nx = to_networkx(web)
+        for node in range(web.num_nodes):
+            lengths = nx.single_source_shortest_path_length(
+                graph_nx, node
+            )
+            true = max(true, max(lengths.values()))
+        assert estimate <= true
+
+
+class TestAlgorithmInternals:
+    """Additional behavioural details the paper's descriptions pin."""
+
+    def test_bfs_lexicographic_tie_break(self):
+        # 0 -> {2, 1}: BFS must visit 1 before 2 (ascending ids).
+        graph = from_edges([(0, 2), (0, 1), (1, 3), (2, 4)])
+        distance = breadth_first_search(graph)
+        assert distance[1] == 1 and distance[2] == 1
+        assert distance[3] == 2 and distance[4] == 2
+
+    def test_sp_multiple_relaxations_converge(self):
+        # Two paths to 3: direct (via 1, length 2) and long (via 2,
+        # length 3); SPFA must settle on 2 regardless of queue order.
+        graph = from_edges(
+            [(0, 1), (1, 3), (0, 2), (2, 4), (4, 3)]
+        )
+        assert shortest_paths(graph, 0)[3] == 2
+
+    def test_ds_greedy_picks_best_cover_first(self):
+        # Node 0 covers 4 nodes; node 5 covers 2. Greedy takes 0 first.
+        graph = from_edges(
+            [(0, 1), (0, 2), (0, 3), (5, 6)]
+        )
+        chosen = dominating_set(graph)
+        assert chosen[0] == 0
+
+    def test_kcore_two_level_structure(self):
+        # A 4-clique with a pendant path: clique core 3, path core 1.
+        edges = []
+        for u in range(4):
+            for v in range(4):
+                if u != v:
+                    edges.append((u, v))
+        edges += [(3, 4), (4, 3), (4, 5), (5, 4)]
+        graph = from_edges(edges)
+        core = core_decomposition(graph)
+        assert core[:4].tolist() == [3, 3, 3, 3]
+        assert core[4] == 1 and core[5] == 1
+
+    def test_pagerank_rank_reflects_in_degree(self):
+        graph = generators.star(20)  # hub receives from all leaves
+        ranks = pagerank(graph, iterations=60)
+        assert ranks[0] == ranks.max()

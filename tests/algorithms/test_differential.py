@@ -1,0 +1,136 @@
+"""Property-based differential tests: our algorithms vs networkx.
+
+Hypothesis generates arbitrary small directed graphs; every benchmark
+algorithm with an independent networkx counterpart must agree on all
+of them — including degenerate shapes (self-loop-free multi-edges
+already collapsed, isolated nodes, single nodes, DAGs, cycles).
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import (
+    INFINITY,
+    breadth_first_search,
+    core_decomposition,
+    diameter,
+    dominating_set,
+    neighbor_query,
+    pagerank,
+    shortest_paths,
+    strongly_connected_components,
+)
+
+from tests.conftest import graph_strategy
+
+GRAPHS = graph_strategy(max_nodes=10, max_edges=30)
+
+
+def to_networkx(graph):
+    result = nx.DiGraph()
+    result.add_nodes_from(range(graph.num_nodes))
+    result.add_edges_from(graph.edges())
+    return result
+
+
+class TestDifferential:
+    @settings(max_examples=40, deadline=None)
+    @given(GRAPHS)
+    def test_scc_count(self, graph):
+        ours = strongly_connected_components(graph)
+        theirs = nx.number_strongly_connected_components(
+            to_networkx(graph)
+        )
+        assert int(ours.max()) + 1 == theirs if graph.num_nodes else True
+
+    @settings(max_examples=40, deadline=None)
+    @given(GRAPHS)
+    def test_scc_partition(self, graph):
+        ours = strongly_connected_components(graph)
+        for group in nx.strongly_connected_components(
+            to_networkx(graph)
+        ):
+            assert len({int(ours[u]) for u in group}) == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(GRAPHS)
+    def test_sp_distances(self, graph):
+        if graph.num_nodes == 0:
+            return
+        ours = shortest_paths(graph, 0)
+        lengths = nx.single_source_shortest_path_length(
+            to_networkx(graph), 0
+        )
+        for node in range(graph.num_nodes):
+            expected = lengths.get(node)
+            if expected is None:
+                assert ours[node] == INFINITY
+            else:
+                assert ours[node] == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(GRAPHS)
+    def test_kcore(self, graph):
+        if graph.num_nodes == 0:
+            return
+        undirected = to_networkx(graph).to_undirected()
+        undirected.remove_edges_from(nx.selfloop_edges(undirected))
+        expected = nx.core_number(undirected)
+        ours = core_decomposition(graph)
+        for node in range(graph.num_nodes):
+            assert ours[node] == expected[node]
+
+    @settings(max_examples=25, deadline=None)
+    @given(GRAPHS)
+    def test_pagerank(self, graph):
+        if graph.num_nodes == 0:
+            return
+        ours = pagerank(graph, iterations=120)
+        theirs = nx.pagerank(
+            to_networkx(graph), alpha=0.85, max_iter=300, tol=1e-13
+        )
+        for node in range(graph.num_nodes):
+            assert ours[node] == pytest.approx(
+                theirs[node], abs=1e-6
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(GRAPHS)
+    def test_bfs_visits_everything_once(self, graph):
+        distance = breadth_first_search(graph)
+        assert (distance >= 0).all()
+
+    @settings(max_examples=40, deadline=None)
+    @given(GRAPHS)
+    def test_dominating_set_covers(self, graph):
+        if graph.num_nodes == 0:
+            return
+        chosen = dominating_set(graph)
+        covered = np.zeros(graph.num_nodes, dtype=bool)
+        covered[chosen] = True
+        for u in chosen:
+            covered[graph.out_neighbors(int(u))] = True
+        assert covered.all()
+
+    @settings(max_examples=40, deadline=None)
+    @given(GRAPHS)
+    def test_nq_definition(self, graph):
+        q = neighbor_query(graph)
+        degrees = graph.out_degrees()
+        for u in range(graph.num_nodes):
+            expected = int(
+                degrees[graph.out_neighbors(u)].sum()
+            )
+            assert q[u] == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(GRAPHS)
+    def test_diameter_is_a_real_eccentricity(self, graph):
+        if graph.num_nodes == 0:
+            return
+        estimate = diameter(graph, sources=[0])
+        distance = shortest_paths(graph, 0)
+        finite = distance[distance != INFINITY]
+        assert estimate == int(finite.max())

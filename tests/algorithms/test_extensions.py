@@ -1,0 +1,200 @@
+"""Tests for the extension algorithms: WCC, triangles, label prop."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import (
+    UnionFind,
+    label_propagation,
+    label_propagation_traced,
+    triangle_count,
+    triangle_count_traced,
+    weakly_connected_components,
+    weakly_connected_components_traced,
+)
+from repro.cache import Memory
+from repro.errors import InvalidParameterError
+from repro.graph import from_edges, generators
+
+from tests.conftest import graph_strategy
+
+
+def to_networkx(graph):
+    result = nx.DiGraph()
+    result.add_nodes_from(range(graph.num_nodes))
+    result.add_edges_from(graph.edges())
+    return result
+
+
+@pytest.fixture(scope="module")
+def social():
+    return generators.social_graph(150, edges_per_node=6, seed=61)
+
+
+class TestUnionFind:
+    def test_initial_singletons(self):
+        dsu = UnionFind(4)
+        assert dsu.num_components == 4
+        assert dsu.find(2) == 2
+
+    def test_union_merges(self):
+        dsu = UnionFind(4)
+        assert dsu.union(0, 1)
+        assert not dsu.union(1, 0)
+        assert dsu.find(0) == dsu.find(1)
+        assert dsu.num_components == 3
+
+    def test_components_compacted(self):
+        dsu = UnionFind(5)
+        dsu.union(0, 4)
+        dsu.union(1, 3)
+        labels = dsu.components()
+        assert labels[0] == labels[4]
+        assert labels[1] == labels[3]
+        assert len(set(labels.tolist())) == 3
+        assert labels.max() == 2
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            UnionFind(-1)
+
+    def test_traced_counts_accesses(self):
+        memory = Memory()
+        dsu = UnionFind(64, memory=memory)
+        for i in range(63):
+            dsu.union(i, i + 1)
+        assert memory.total_refs > 63
+
+    @given(graph_strategy())
+    def test_transitive_closure_property(self, graph):
+        dsu = UnionFind(graph.num_nodes)
+        for u, v in graph.edges():
+            dsu.union(u, v)
+        for u, v in graph.edges():
+            assert dsu.find(u) == dsu.find(v)
+
+
+class TestWCC:
+    def test_matches_networkx(self, social):
+        ours = weakly_connected_components(social)
+        expected = nx.number_weakly_connected_components(
+            to_networkx(social)
+        )
+        assert int(ours.max()) + 1 == expected
+
+    def test_two_islands(self, two_components):
+        labels = weakly_connected_components(two_components)
+        assert len(set(labels.tolist())) == 2
+        assert labels[0] == labels[1] == labels[2]
+
+    def test_direction_ignored(self):
+        graph = from_edges([(0, 1), (2, 1)])
+        labels = weakly_connected_components(graph)
+        assert len(set(labels.tolist())) == 1
+
+    def test_traced_matches_pure(self, social):
+        pure = weakly_connected_components(social)
+        traced = weakly_connected_components_traced(social, Memory())
+        assert np.array_equal(pure, traced)
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph_strategy())
+    def test_property_vs_networkx(self, graph):
+        ours = weakly_connected_components(graph)
+        if graph.num_nodes == 0:
+            return
+        expected = nx.number_weakly_connected_components(
+            to_networkx(graph)
+        )
+        assert int(ours.max()) + 1 == expected
+
+
+class TestTriangles:
+    def test_single_triangle(self, triangle):
+        assert triangle_count(triangle) == 1
+
+    def test_complete_graph(self):
+        graph = generators.complete(5)
+        assert triangle_count(graph) == 10  # C(5, 3)
+
+    def test_triangle_free(self):
+        graph = generators.grid(4, 4)
+        assert triangle_count(graph) == 0
+
+    def test_matches_networkx(self, social):
+        undirected = to_networkx(social).to_undirected()
+        undirected.remove_edges_from(nx.selfloop_edges(undirected))
+        expected = sum(nx.triangles(undirected).values()) // 3
+        assert triangle_count(social) == expected
+
+    def test_traced_matches_pure(self, social):
+        assert triangle_count_traced(
+            social, Memory()
+        ) == triangle_count(social)
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph_strategy())
+    def test_property_vs_networkx(self, graph):
+        undirected = to_networkx(graph).to_undirected()
+        undirected.remove_edges_from(nx.selfloop_edges(undirected))
+        expected = sum(nx.triangles(undirected).values()) // 3
+        assert triangle_count(graph) == expected
+
+
+class TestLabelPropagation:
+    def test_two_cliques_two_communities(self):
+        edges = []
+        for block in (0, 5):
+            for u in range(block, block + 5):
+                for v in range(block, block + 5):
+                    if u != v:
+                        edges.append((u, v))
+        edges.append((0, 5))
+        graph = from_edges(edges)
+        labels = label_propagation(graph, iterations=20)
+        assert len({int(labels[u]) for u in range(5)}) == 1
+        assert len({int(labels[u]) for u in range(5, 10)}) == 1
+
+    def test_zero_iterations_all_distinct(self, social):
+        labels = label_propagation(social, iterations=0)
+        assert len(set(labels.tolist())) == social.num_nodes
+
+    def test_validation(self, social):
+        with pytest.raises(InvalidParameterError):
+            label_propagation(social, iterations=-1)
+
+    def test_deterministic(self, social):
+        a = label_propagation(social, iterations=5)
+        b = label_propagation(social, iterations=5)
+        assert np.array_equal(a, b)
+
+    def test_traced_matches_pure(self, social):
+        pure = label_propagation(social, iterations=4)
+        traced = label_propagation_traced(
+            social, Memory(), iterations=4
+        )
+        assert np.array_equal(pure, traced)
+
+    def test_isolated_nodes_keep_labels_distinct(self):
+        graph = from_edges([(0, 1), (1, 0)], num_nodes=4)
+        labels = label_propagation(graph, iterations=5)
+        assert labels[2] != labels[3]
+
+
+class TestRegistry:
+    def test_extensions_registered_not_headline(self):
+        from repro.algorithms import ALGORITHM_NAMES, REGISTRY
+
+        assert len(ALGORITHM_NAMES) == 9  # the paper's nine
+        for name in ("wcc", "tc", "lp"):
+            assert name in REGISTRY
+            assert not REGISTRY[name].headline
+
+    def test_extensions_run_through_runner(self, social):
+        from repro.perf import run_cell
+
+        for name in ("wcc", "tc", "lp"):
+            result = run_cell(social, name, "gorder")
+            assert result.cycles > 0

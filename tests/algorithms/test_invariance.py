@@ -1,0 +1,101 @@
+"""Relabeling invariance: algorithm *results* are properties of the
+graph, not of its memory layout.
+
+For every ordering-relabeled copy of a graph, each algorithm must
+produce the same logical answer (mapped back through the
+permutation).  This is the correctness backbone of the whole
+experiment design: orderings may only change *performance*.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    INFINITY,
+    core_decomposition,
+    diameter,
+    dominating_set,
+    neighbor_query,
+    pagerank,
+    shortest_paths,
+    strongly_connected_components,
+)
+from repro.graph import generators, invert_permutation, relabel
+from repro.ordering import ORDERING_NAMES, compute_ordering
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.social_graph(120, edges_per_node=5, seed=77)
+
+
+@pytest.fixture(scope="module", params=["gorder", "rcm", "random"])
+def permuted(request, graph):
+    perm = compute_ordering(request.param, graph, seed=13)
+    return relabel(graph, perm), perm
+
+
+class TestResultInvariance:
+    def test_neighbor_query(self, graph, permuted):
+        relabeled, perm = permuted
+        original = neighbor_query(graph)
+        transformed = neighbor_query(relabeled)
+        assert np.array_equal(original, transformed[perm])
+
+    def test_pagerank(self, graph, permuted):
+        relabeled, perm = permuted
+        original = pagerank(graph, iterations=40)
+        transformed = pagerank(relabeled, iterations=40)
+        assert np.allclose(original, transformed[perm])
+
+    def test_shortest_paths(self, graph, permuted):
+        relabeled, perm = permuted
+        source = 3
+        original = shortest_paths(graph, source)
+        transformed = shortest_paths(relabeled, int(perm[source]))
+        assert np.array_equal(original, transformed[perm])
+
+    def test_scc_partition(self, graph, permuted):
+        relabeled, perm = permuted
+        original = strongly_connected_components(graph)
+        transformed = strongly_connected_components(relabeled)[perm]
+        # Component ids may differ; the partition must not.
+        mapping: dict[int, int] = {}
+        for a, b in zip(original.tolist(), transformed.tolist()):
+            assert mapping.setdefault(a, b) == b
+        assert len(set(mapping.values())) == len(mapping)
+
+    def test_core_numbers(self, graph, permuted):
+        relabeled, perm = permuted
+        original = core_decomposition(graph)
+        transformed = core_decomposition(relabeled)
+        assert np.array_equal(original, transformed[perm])
+
+    def test_diameter(self, graph, permuted):
+        relabeled, perm = permuted
+        sources = [0, 7, 19]
+        original = diameter(graph, sources=sources)
+        transformed = diameter(
+            relabeled, sources=[int(perm[s]) for s in sources]
+        )
+        assert original == transformed
+
+    def test_dominating_set_still_dominates(self, graph, permuted):
+        relabeled, _ = permuted
+        chosen = dominating_set(relabeled)
+        in_set = np.zeros(relabeled.num_nodes, dtype=bool)
+        in_set[chosen] = True
+        covered = in_set.copy()
+        for u in chosen:
+            covered[relabeled.out_neighbors(int(u))] = True
+        assert covered.all()
+
+
+class TestAllOrderingsPreserveResults:
+    @pytest.mark.parametrize("ordering", ORDERING_NAMES)
+    def test_pagerank_under_every_ordering(self, graph, ordering):
+        perm = compute_ordering(ordering, graph, seed=5)
+        relabeled = relabel(graph, perm)
+        original = pagerank(graph, iterations=25)
+        transformed = pagerank(relabeled, iterations=25)
+        assert np.allclose(original, transformed[perm])

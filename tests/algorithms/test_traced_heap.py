@@ -1,0 +1,61 @@
+"""Property tests for the traced binary heap."""
+
+import heapq
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms import TracedBinaryHeap
+from repro.cache import Memory
+
+
+class TestBasics:
+    def test_push_pop_order(self):
+        heap = TracedBinaryHeap(None)
+        for key in (5, 1, 3):
+            heap.push(key, key * 10)
+        assert heap.pop() == (1, 10)
+        assert heap.pop() == (3, 30)
+        assert heap.pop() == (5, 50)
+
+    def test_pop_empty(self):
+        with pytest.raises(IndexError):
+            TracedBinaryHeap(None).pop()
+
+    def test_len(self):
+        heap = TracedBinaryHeap(None)
+        heap.push(1, 1)
+        heap.push(2, 2)
+        assert len(heap) == 2
+        heap.pop()
+        assert len(heap) == 1
+
+    def test_declared_heap_touches_memory(self):
+        memory = Memory()
+        heap = TracedBinaryHeap.declare(memory, "heap", 64)
+        heap.push(3, 1)
+        heap.push(1, 2)
+        heap.pop()
+        assert memory.total_refs > 0
+
+
+class TestAgainstHeapq:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 100), st.integers(0, 100)),
+            max_size=200,
+        )
+    )
+    def test_same_pop_sequence(self, items):
+        """Interleave pushes and pops; compare against heapq."""
+        ours = TracedBinaryHeap(None)
+        reference: list[tuple[int, int]] = []
+        for index, item in enumerate(items):
+            ours.push(*item)
+            heapq.heappush(reference, item)
+            if index % 3 == 2:
+                assert ours.pop() == heapq.heappop(reference)
+        while reference:
+            assert ours.pop() == heapq.heappop(reference)
+        assert len(ours) == 0

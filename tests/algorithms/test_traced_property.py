@@ -1,0 +1,46 @@
+"""Property: traced twins equal pure implementations on ANY graph.
+
+Hypothesis sweeps arbitrary small graphs through every registered
+algorithm pair.  This is the strongest guard against the two
+implementations drifting apart as either is optimised.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import REGISTRY
+from repro.cache import Memory
+
+from tests.conftest import graph_strategy
+
+GRAPHS = graph_strategy(max_nodes=10, max_edges=30)
+
+
+def params_for(name, graph):
+    if name == "sp":
+        return {"source": 0}
+    if name == "pr":
+        return {"iterations": 3}
+    if name in ("lp",):
+        return {"iterations": 3}
+    if name == "diam":
+        return {"sources": [0]}
+    return {}
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+class TestTracedEqualsPure:
+    @settings(max_examples=25, deadline=None)
+    @given(GRAPHS)
+    def test_equivalence(self, name, graph):
+        if graph.num_nodes == 0:
+            return
+        spec = REGISTRY[name]
+        params = params_for(name, graph)
+        pure = spec.pure(graph, **params)
+        traced = spec.traced(graph, Memory(), **params)
+        if isinstance(pure, np.ndarray):
+            assert np.allclose(pure, traced)
+        else:
+            assert pure == traced

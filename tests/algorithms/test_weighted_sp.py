@@ -1,0 +1,99 @@
+"""Weighted Bellman-Ford tests (the reason the paper picked BF)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import INFINITY, shortest_paths
+from repro.errors import InvalidParameterError
+from repro.graph import from_edges, generators
+
+
+def weighted_networkx(graph, weights):
+    result = nx.DiGraph()
+    result.add_nodes_from(range(graph.num_nodes))
+    position = 0
+    for u in range(graph.num_nodes):
+        for v in graph.out_neighbors(u).tolist():
+            result.add_edge(u, v, weight=int(weights[position]))
+            position += 1
+    return result
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.social_graph(90, edges_per_node=4, seed=44)
+
+
+class TestPositiveWeights:
+    def test_matches_dijkstra(self, graph):
+        rng = np.random.default_rng(3)
+        weights = rng.integers(1, 20, size=graph.num_edges)
+        ours = shortest_paths(graph, 0, weights=weights)
+        lengths = nx.single_source_dijkstra_path_length(
+            weighted_networkx(graph, weights), 0
+        )
+        for node in range(graph.num_nodes):
+            if node in lengths:
+                assert ours[node] == lengths[node]
+            else:
+                assert ours[node] == INFINITY
+
+    def test_unit_weights_match_unweighted(self, graph):
+        unit = np.ones(graph.num_edges, dtype=np.int64)
+        assert np.array_equal(
+            shortest_paths(graph, 5, weights=unit),
+            shortest_paths(graph, 5),
+        )
+
+    def test_zero_weight_edges(self):
+        graph = from_edges([(0, 1), (1, 2)])
+        weights = np.array([0, 5], dtype=np.int64)
+        distance = shortest_paths(graph, 0, weights=weights)
+        assert distance.tolist() == [0, 0, 5]
+
+
+class TestNegativeWeights:
+    def test_negative_edge_shortcut(self):
+        # 0 -> 1 (10), 0 -> 2 (1), 2 -> 1 (-5): best 0->1 is -4.
+        graph = from_edges([(0, 1), (0, 2), (2, 1)])
+        weights = np.array([10, 1, -5], dtype=np.int64)
+        distance = shortest_paths(graph, 0, weights=weights)
+        assert distance[1] == -4
+
+    def test_matches_networkx_bellman_ford(self):
+        graph = from_edges(
+            [(0, 1), (1, 2), (0, 2), (2, 3), (1, 3)]
+        )
+        weights = np.array([4, -2, 5, 3, 10], dtype=np.int64)
+        ours = shortest_paths(graph, 0, weights=weights)
+        lengths = nx.single_source_bellman_ford_path_length(
+            weighted_networkx(graph, weights), 0
+        )
+        for node, value in lengths.items():
+            assert ours[node] == value
+
+    def test_negative_cycle_detected(self):
+        graph = from_edges([(0, 1), (1, 2), (2, 0)])
+        weights = np.array([-1, -1, -1], dtype=np.int64)
+        with pytest.raises(InvalidParameterError, match="negative cycle"):
+            shortest_paths(graph, 0, weights=weights)
+
+    def test_unreachable_negative_cycle_is_fine(self):
+        # The cycle 2 -> 3 -> 2 is negative but unreachable from 0.
+        graph = from_edges([(0, 1), (2, 3), (3, 2)])
+        weights = np.array([1, -4, 1], dtype=np.int64)
+        distance = shortest_paths(graph, 0, weights=weights)
+        assert distance[1] == 1
+        assert distance[2] == INFINITY
+
+
+class TestValidation:
+    def test_wrong_length(self, graph):
+        with pytest.raises(InvalidParameterError, match="per edge"):
+            shortest_paths(graph, 0, weights=np.array([1, 2]))
+
+    def test_float_weights_rejected(self, graph):
+        weights = np.ones(graph.num_edges, dtype=np.float64)
+        with pytest.raises(InvalidParameterError, match="integers"):
+            shortest_paths(graph, 0, weights=weights)

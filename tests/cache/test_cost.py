@@ -1,0 +1,80 @@
+"""Unit tests for the cycle cost model."""
+
+import pytest
+
+from repro.cache import CostModel, RunCost
+from repro.errors import InvalidParameterError
+
+
+class TestCostModel:
+    def test_default_latencies_ordered(self):
+        model = CostModel()
+        assert model.l1_stall <= model.l2_stall
+        assert model.l2_stall <= model.l3_stall
+        assert model.l3_stall <= model.memory_stall
+
+    def test_disordered_latencies_rejected(self):
+        with pytest.raises(InvalidParameterError, match="non-decreasing"):
+            CostModel(l2_stall=50.0, l3_stall=10.0)
+
+    def test_stall_for_level(self):
+        model = CostModel()
+        assert model.stall_for_level(0) == model.memory_stall
+        assert model.stall_for_level(1) == model.l1_stall
+        assert model.stall_for_level(2) == model.l2_stall
+        assert model.stall_for_level(3) == model.l3_stall
+
+    def test_unknown_level(self):
+        with pytest.raises(InvalidParameterError, match="level"):
+            CostModel().stall_for_level(4)
+
+    def test_cost_arithmetic(self):
+        model = CostModel(
+            execute_per_ref=2.0,
+            l1_stall=0.0,
+            l2_stall=10.0,
+            l3_stall=40.0,
+            memory_stall=100.0,
+        )
+        # [memory, L1, L2, L3] = [1, 4, 2, 3]
+        cost = model.cost([1, 4, 2, 3])
+        assert cost.execute_cycles == 10 * 2.0
+        assert cost.stall_cycles == 100 + 0 + 20 + 120
+
+    def test_prefetched_refs_are_free(self):
+        model = CostModel(execute_per_ref=1.0)
+        cost = model.cost([0, 0, 0, 0], prefetched_refs=10)
+        assert cost.execute_cycles == 0.0
+        assert cost.stall_cycles == 0.0
+
+    def test_extra_work(self):
+        cost = CostModel().cost([0, 1, 0, 0], extra_work=50.0)
+        assert cost.execute_cycles == CostModel().execute_per_ref + 50.0
+
+
+class TestRunCost:
+    def test_total_and_fraction(self):
+        cost = RunCost(execute_cycles=30.0, stall_cycles=70.0)
+        assert cost.total_cycles == 100.0
+        assert cost.stall_fraction == 0.7
+
+    def test_zero_cost(self):
+        cost = RunCost()
+        assert cost.total_cycles == 0.0
+        assert cost.stall_fraction == 0.0
+
+    def test_addition(self):
+        total = RunCost(1.0, 2.0) + RunCost(3.0, 4.0)
+        assert total.execute_cycles == 4.0
+        assert total.stall_cycles == 6.0
+
+    def test_speedup(self):
+        fast = RunCost(10.0, 10.0)
+        slow = RunCost(30.0, 30.0)
+        assert fast.speedup_over(slow) == 3.0
+        assert slow.speedup_over(fast) == pytest.approx(1 / 3)
+
+    def test_speedup_of_zero_cost(self):
+        zero = RunCost()
+        assert zero.speedup_over(RunCost(1.0, 0.0)) == float("inf")
+        assert zero.speedup_over(zero) == 1.0

@@ -1,0 +1,117 @@
+"""Unit tests for the multi-level cache hierarchy."""
+
+import pytest
+
+from repro.cache import (
+    CacheHierarchy,
+    CacheLevel,
+    MEMORY_LEVEL,
+    paper_hierarchy,
+    scaled_hierarchy,
+)
+from repro.errors import InvalidParameterError
+
+
+def tiny_hierarchy():
+    return CacheHierarchy(
+        [
+            CacheLevel(2 * 64, 64, 2, "L1"),
+            CacheLevel(4 * 64, 64, 4, "L2"),
+            CacheLevel(8 * 64, 64, 8, "L3"),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_needs_levels(self):
+        with pytest.raises(InvalidParameterError, match="at least one"):
+            CacheHierarchy([])
+
+    def test_line_sizes_must_match(self):
+        with pytest.raises(InvalidParameterError, match="line size"):
+            CacheHierarchy(
+                [CacheLevel(512, 64, 8), CacheLevel(512, 32, 8)]
+            )
+
+    def test_standard_geometries(self):
+        assert paper_hierarchy().num_levels == 3
+        assert scaled_hierarchy().num_levels == 3
+        assert scaled_hierarchy().line_size == 64
+
+
+class TestAccess:
+    def test_cold_miss_goes_to_memory(self):
+        hierarchy = tiny_hierarchy()
+        assert hierarchy.access(0) == MEMORY_LEVEL
+
+    def test_warm_hit_in_l1(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0)
+        assert hierarchy.access(0) == 1
+
+    def test_l1_eviction_falls_to_l2(self):
+        hierarchy = tiny_hierarchy()
+        # L1 is fully associative with 2 ways; 3 lines overflow it.
+        hierarchy.access(0)
+        hierarchy.access(1)
+        hierarchy.access(2)  # evicts 0 from L1; 0 remains in L2
+        assert hierarchy.access(0) == 2
+
+    def test_access_address_maps_to_line(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access_address(0)
+        # Address 63 shares line 0; address 64 does not.
+        assert hierarchy.access_address(63) == 1
+        assert hierarchy.access_address(64) == MEMORY_LEVEL
+
+    def test_fill_propagates_to_all_levels(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0)
+        for level in hierarchy.levels:
+            assert level.contains(0)
+
+
+class TestSnapshot:
+    def test_counts(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0)  # miss everywhere
+        hierarchy.access(0)  # L1 hit
+        stats = hierarchy.snapshot()
+        assert stats.l1_refs == 2
+        assert stats.l1_misses == 1
+        assert stats.l2_refs == 1
+        assert stats.l3_refs == 1
+        assert stats.l3_misses == 1
+        assert stats.cache_miss_rate == 0.5
+
+    def test_single_level_snapshot(self):
+        hierarchy = CacheHierarchy([CacheLevel(512, 64, 8)])
+        hierarchy.access(1)
+        stats = hierarchy.snapshot()
+        assert stats.l1_refs == 1
+        assert stats.l3_refs == 1  # the only level is also the last
+
+    def test_two_level_snapshot_has_no_middle(self):
+        hierarchy = CacheHierarchy(
+            [CacheLevel(128, 64, 2), CacheLevel(512, 64, 8)]
+        )
+        hierarchy.access(5)
+        stats = hierarchy.snapshot()
+        assert stats.l2_refs == 0
+        assert stats.l3_refs == 1
+
+
+class TestMaintenance:
+    def test_flush(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0)
+        hierarchy.flush()
+        assert hierarchy.snapshot().l1_refs == 0
+        assert hierarchy.access(0) == MEMORY_LEVEL
+
+    def test_reset_statistics_keeps_contents(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0)
+        hierarchy.reset_statistics()
+        assert hierarchy.snapshot().l1_refs == 0
+        assert hierarchy.access(0) == 1

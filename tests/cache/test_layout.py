@@ -1,0 +1,149 @@
+"""Unit tests for the memory layout model and traced arrays."""
+
+import pytest
+
+from repro.cache import CacheHierarchy, CacheLevel, Memory
+from repro.errors import InvalidParameterError
+
+
+def small_memory():
+    return Memory(
+        CacheHierarchy(
+            [
+                CacheLevel(2 * 64, 64, 2, "L1"),
+                CacheLevel(4 * 64, 64, 4, "L2"),
+                CacheLevel(8 * 64, 64, 8, "L3"),
+            ]
+        )
+    )
+
+
+class TestArrayDeclaration:
+    def test_line_aligned_bases(self):
+        memory = small_memory()
+        a = memory.array("a", 3, 4)  # 12 bytes -> padded to one line
+        b = memory.array("b", 1, 8)
+        assert a.line_of(0) != b.line_of(0)
+
+    def test_elements_share_lines(self):
+        memory = small_memory()
+        a = memory.array("a", 32, 4)
+        assert a.line_of(0) == a.line_of(15)
+        assert a.line_of(15) != a.line_of(16)
+
+    def test_duplicate_name_rejected(self):
+        memory = small_memory()
+        memory.array("a", 1, 4)
+        with pytest.raises(InvalidParameterError, match="already"):
+            memory.array("a", 1, 4)
+
+    def test_bad_itemsize(self):
+        memory = small_memory()
+        with pytest.raises(InvalidParameterError, match="power of two"):
+            memory.array("a", 1, 3)
+
+    def test_negative_length(self):
+        memory = small_memory()
+        with pytest.raises(InvalidParameterError, match="length"):
+            memory.array("a", -1, 4)
+
+    def test_zero_length_array_still_occupies_a_line(self):
+        memory = small_memory()
+        a = memory.array("a", 0, 4)
+        b = memory.array("b", 1, 4)
+        assert a.line_of(0) != b.line_of(0)
+
+
+class TestTouch:
+    def test_touch_counts_levels(self):
+        memory = small_memory()
+        a = memory.array("a", 16, 4)
+        a.touch(0)  # memory
+        a.touch(0)  # L1
+        assert memory.level_counts[0] == 1
+        assert memory.level_counts[1] == 1
+        assert memory.total_refs == 2
+
+    def test_same_line_is_one_fetch(self):
+        memory = small_memory()
+        a = memory.array("a", 16, 4)
+        a.touch(0)
+        a.touch(15)  # same 64-byte line
+        assert memory.level_counts[1] == 1
+
+    def test_stats_snapshot(self):
+        memory = small_memory()
+        a = memory.array("a", 16, 4)
+        a.touch(0)
+        stats = memory.stats()
+        assert stats.l1_refs == 1
+        assert stats.l3_misses == 1
+
+
+class TestTouchRun:
+    def test_counts_every_element(self):
+        memory = small_memory()
+        a = memory.array("a", 64, 4)
+        a.touch_run(0, 64)
+        assert memory.total_refs == 64
+
+    def test_prefetch_hides_trailing_lines(self):
+        memory = small_memory()
+        a = memory.array("a", 64, 4)  # 4 lines of 16 elements
+        a.touch_run(0, 64)
+        # One demand fetch (first line) + 3 prefetched lines.
+        assert memory.level_counts[0] == 1
+        assert memory.prefetched_refs == 3
+        # Demand refs: 1 fetch + 63 L1 hits.
+        assert memory.level_counts[1] == 63
+
+    def test_partial_first_line(self):
+        memory = small_memory()
+        a = memory.array("a", 64, 4)
+        a.touch_run(8, 16)  # spans line 0 (8 elems) and line 1 (8)
+        assert memory.total_refs == 16
+        assert memory.level_counts[0] == 1
+        assert memory.prefetched_refs == 1
+
+    def test_empty_run_is_noop(self):
+        memory = small_memory()
+        a = memory.array("a", 16, 4)
+        a.touch_run(0, 0)
+        assert memory.total_refs == 0
+
+    def test_run_warms_cache(self):
+        memory = small_memory()
+        a = memory.array("a", 16, 4)
+        a.touch_run(0, 16)
+        a.touch(3)
+        assert memory.level_counts[1] == 16  # 15 from run + this hit
+
+
+class TestCostAccounting:
+    def test_cost_includes_prefetched_in_execute(self):
+        memory = small_memory()
+        a = memory.array("a", 64, 4)
+        a.touch_run(0, 64)
+        cost = memory.cost()
+        model = memory.cost_model
+        assert cost.execute_cycles == 64 * model.execute_per_ref
+        # Stall charged only for the single demand memory access.
+        assert cost.stall_cycles == model.memory_stall
+
+    def test_work_adds_execute_cycles(self):
+        memory = small_memory()
+        memory.work(123.0)
+        assert memory.cost().execute_cycles == 123.0
+
+    def test_reset(self):
+        memory = small_memory()
+        a = memory.array("a", 64, 4)
+        a.touch_run(0, 64)
+        memory.work(5)
+        memory.reset()
+        assert memory.total_refs == 0
+        assert memory.prefetched_refs == 0
+        assert memory.cost().total_cycles == 0
+        # Arrays survive a reset.
+        a.touch(0)
+        assert memory.total_refs == 1

@@ -1,0 +1,137 @@
+"""Unit and property tests for a single cache level."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache import CacheLevel
+from repro.errors import InvalidParameterError
+
+
+def make_level(capacity=512, line=64, ways=2):
+    return CacheLevel(capacity, line, ways, "test")
+
+
+class TestGeometry:
+    def test_derived_sets(self):
+        level = CacheLevel(1024, 64, 8)
+        assert level.num_sets == 2
+        assert level.capacity == 1024
+
+    def test_line_size_must_be_power_of_two(self):
+        with pytest.raises(InvalidParameterError, match="power of two"):
+            CacheLevel(1024, 48, 8)
+
+    def test_associativity_positive(self):
+        with pytest.raises(InvalidParameterError, match="associativity"):
+            CacheLevel(1024, 64, 0)
+
+    def test_capacity_fits_one_set(self):
+        with pytest.raises(InvalidParameterError, match="capacity"):
+            CacheLevel(64, 64, 8)
+
+    def test_sets_power_of_two(self):
+        with pytest.raises(InvalidParameterError, match="power of"):
+            CacheLevel(3 * 64 * 2, 64, 2)
+
+    def test_fully_associative(self):
+        level = CacheLevel(512, 64, 8)
+        assert level.num_sets == 1
+
+
+class TestAccess:
+    def test_first_access_misses(self):
+        level = make_level()
+        assert level.access(0) is False
+        assert level.misses == 1
+        assert level.refs == 1
+
+    def test_second_access_hits(self):
+        level = make_level()
+        level.access(0)
+        assert level.access(0) is True
+        assert level.miss_rate == 0.5
+
+    def test_lru_eviction_within_set(self):
+        # 2-way, line 64: set index = line % num_sets (4 sets).
+        level = make_level(capacity=512, line=64, ways=2)
+        a, b, c = 0, 4, 8  # all map to set 0
+        level.access(a)
+        level.access(b)
+        level.access(c)  # evicts a (LRU)
+        assert not level.contains(a)
+        assert level.contains(b)
+        assert level.contains(c)
+
+    def test_hit_refreshes_lru(self):
+        level = make_level(capacity=512, line=64, ways=2)
+        a, b, c = 0, 4, 8
+        level.access(a)
+        level.access(b)
+        level.access(a)  # a becomes MRU
+        level.access(c)  # evicts b, not a
+        assert level.contains(a)
+        assert not level.contains(b)
+
+    def test_different_sets_do_not_conflict(self):
+        level = make_level(capacity=512, line=64, ways=2)
+        for line in range(4):  # one line per set
+            level.access(line)
+        assert all(level.contains(line) for line in range(4))
+
+    def test_miss_rate_zero_when_unused(self):
+        assert make_level().miss_rate == 0.0
+
+
+class TestMaintenance:
+    def test_reset_statistics_keeps_contents(self):
+        level = make_level()
+        level.access(0)
+        level.reset_statistics()
+        assert level.refs == 0
+        assert level.contains(0)
+        assert level.access(0) is True
+
+    def test_flush_drops_contents(self):
+        level = make_level()
+        level.access(0)
+        level.flush()
+        assert level.refs == 0
+        assert not level.contains(0)
+
+    def test_resident_lines(self):
+        level = make_level()
+        level.access(3)
+        level.access(9)
+        assert level.resident_lines() == {3, 9}
+
+
+class TestLruProperties:
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=300))
+    def test_inclusion_property(self, trace):
+        """A bigger fully-associative LRU cache never misses more."""
+        small = CacheLevel(4 * 64, 64, 4)
+        large = CacheLevel(16 * 64, 64, 16)
+        for line in trace:
+            small.access(line)
+            large.access(line)
+        assert large.misses <= small.misses
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=300))
+    def test_occupancy_bounded(self, trace):
+        level = CacheLevel(8 * 64, 64, 2)
+        for line in trace:
+            level.access(line)
+        assert len(level.resident_lines()) <= 8
+
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=100))
+    def test_working_set_within_capacity_stops_missing(self, trace):
+        """Once 8 distinct lines are resident in a fully-associative
+        8-way cache, no further reference to them can miss."""
+        level = CacheLevel(8 * 64, 64, 8)
+        for line in range(8):
+            level.access(line)
+        misses_after_warmup = level.misses
+        for line in trace:
+            level.access(line)
+        assert level.misses == misses_after_warmup

@@ -1,0 +1,94 @@
+"""Tests for the FIFO and random replacement policies."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache import CacheLevel
+from repro.errors import InvalidParameterError
+
+
+class TestPolicyValidation:
+    def test_unknown_policy(self):
+        with pytest.raises(InvalidParameterError, match="policy"):
+            CacheLevel(512, 64, 8, policy="mru")
+
+    def test_known_policies_construct(self):
+        for policy in CacheLevel.POLICIES:
+            CacheLevel(512, 64, 8, policy=policy)
+
+
+class TestFifo:
+    def test_hit_does_not_promote(self):
+        # Fully associative, 2 ways.
+        level = CacheLevel(2 * 64, 64, 2, policy="fifo")
+        level.access(0)
+        level.access(1)
+        level.access(0)  # hit; under FIFO, 0 stays oldest
+        level.access(2)  # evicts 0 (oldest inserted)
+        assert not level.contains(0)
+        assert level.contains(1)
+
+    def test_lru_differs_on_same_trace(self):
+        trace = [0, 1, 0, 2, 0]
+        fifo = CacheLevel(2 * 64, 64, 2, policy="fifo")
+        lru = CacheLevel(2 * 64, 64, 2, policy="lru")
+        fifo_hits = sum(fifo.access(line) for line in trace)
+        lru_hits = sum(lru.access(line) for line in trace)
+        assert lru_hits > fifo_hits
+
+    @given(st.lists(st.integers(0, 10), min_size=1, max_size=200))
+    def test_occupancy_bounded(self, trace):
+        level = CacheLevel(4 * 64, 64, 4, policy="fifo")
+        for line in trace:
+            level.access(line)
+        assert len(level.resident_lines()) <= 4
+
+
+class TestRandom:
+    def test_deterministic_per_seed(self):
+        trace = list(range(12)) * 4
+        a = CacheLevel(4 * 64, 64, 4, policy="random", seed=7)
+        b = CacheLevel(4 * 64, 64, 4, policy="random", seed=7)
+        assert [a.access(x) for x in trace] == [
+            b.access(x) for x in trace
+        ]
+
+    def test_different_seeds_can_differ(self):
+        trace = list(range(12)) * 6
+        a = CacheLevel(4 * 64, 64, 4, policy="random", seed=1)
+        b = CacheLevel(4 * 64, 64, 4, policy="random", seed=2)
+        assert [a.access(x) for x in trace] != [
+            b.access(x) for x in trace
+        ] or a.misses == b.misses  # allowed to coincide, rarely
+
+    @given(st.lists(st.integers(0, 10), min_size=1, max_size=200))
+    def test_occupancy_bounded(self, trace):
+        level = CacheLevel(4 * 64, 64, 4, policy="random", seed=3)
+        for line in trace:
+            level.access(line)
+        assert len(level.resident_lines()) <= 4
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=100))
+    def test_working_set_fits_never_misses_warm(self, trace):
+        """With 4 lines in a 4-way set, no policy evicts anything."""
+        level = CacheLevel(4 * 64, 64, 4, policy="random", seed=3)
+        for line in range(4):
+            level.access(line)
+        warm_misses = level.misses
+        for line in trace:
+            level.access(line)
+        assert level.misses == warm_misses
+
+
+class TestPoliciesAgree:
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=300))
+    def test_all_policies_agree_on_cold_misses(self, trace):
+        """Cold (first-touch) misses are policy-independent."""
+        distinct = len(set(trace))
+        for policy in CacheLevel.POLICIES:
+            level = CacheLevel(64 * 64, 64, 64, policy=policy)
+            for line in trace:
+                level.access(line)
+            # Cache larger than the footprint: only cold misses.
+            assert level.misses == distinct

@@ -1,0 +1,82 @@
+"""Model-checking the cache simulator against a naive reference.
+
+The reference implements set-associative LRU with explicit lists —
+slow and obviously correct.  Hypothesis drives random traces through
+both and requires identical hit/miss behaviour, per level, including
+the multi-level fall-through.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache import CacheHierarchy, CacheLevel
+
+
+class ReferenceLevel:
+    """Obviously-correct set-associative LRU over Python lists."""
+
+    def __init__(self, num_sets: int, ways: int) -> None:
+        self.num_sets = num_sets
+        self.ways = ways
+        self.sets: list[list[int]] = [[] for _ in range(num_sets)]
+
+    def access(self, line: int) -> bool:
+        bucket = self.sets[line % self.num_sets]
+        if line in bucket:
+            bucket.remove(line)
+            bucket.append(line)  # most recently used at the back
+            return True
+        if len(bucket) >= self.ways:
+            bucket.pop(0)
+        bucket.append(line)
+        return False
+
+
+class ReferenceHierarchy:
+    def __init__(self, geometries: list[tuple[int, int]]) -> None:
+        self.levels = [ReferenceLevel(s, w) for s, w in geometries]
+
+    def access(self, line: int) -> int:
+        for depth, level in enumerate(self.levels, start=1):
+            if level.access(line):
+                return depth
+        return 0
+
+
+def build_pair(geometries):
+    """Matching (simulator, reference) hierarchies."""
+    levels = [
+        CacheLevel(sets * ways * 64, 64, ways, f"L{i + 1}")
+        for i, (sets, ways) in enumerate(geometries)
+    ]
+    return CacheHierarchy(levels), ReferenceHierarchy(geometries)
+
+
+line_traces = st.lists(st.integers(0, 40), min_size=1, max_size=500)
+
+
+class TestAgainstReference:
+    @given(line_traces)
+    def test_single_level(self, trace):
+        simulator, reference = build_pair([(2, 2)])
+        for line in trace:
+            assert simulator.access(line) == reference.access(line)
+
+    @given(line_traces)
+    def test_three_levels(self, trace):
+        simulator, reference = build_pair([(1, 2), (2, 2), (2, 4)])
+        for line in trace:
+            assert simulator.access(line) == reference.access(line)
+
+    @given(line_traces)
+    def test_counter_consistency(self, trace):
+        simulator, reference = build_pair([(2, 2), (2, 4)])
+        served = [0, 0, 0]  # memory, L1, L2
+        for line in trace:
+            level = simulator.access(line)
+            assert level == reference.access(line)
+            served[level] += 1
+        stats = simulator.snapshot()
+        assert stats.l1_refs == len(trace)
+        assert stats.l1_misses == len(trace) - served[1]
+        assert stats.l3_misses == served[0]

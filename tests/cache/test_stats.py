@@ -1,0 +1,67 @@
+"""Unit tests for cache statistics snapshots."""
+
+import pytest
+
+from repro.cache import CacheStats
+
+
+def sample():
+    return CacheStats(
+        l1_refs=1000,
+        l1_misses=200,
+        l2_refs=200,
+        l2_misses=100,
+        l3_refs=100,
+        l3_misses=25,
+    )
+
+
+class TestRates:
+    def test_l1_miss_rate(self):
+        assert sample().l1_miss_rate == 0.2
+
+    def test_l2_and_l3_miss_rates(self):
+        assert sample().l2_miss_rate == 0.5
+        assert sample().l3_miss_rate == 0.25
+
+    def test_l3_ratio(self):
+        assert sample().l3_ratio == 0.1
+
+    def test_cache_miss_rate(self):
+        assert sample().cache_miss_rate == 0.025
+
+    def test_memory_accesses(self):
+        assert sample().memory_accesses == 25
+
+    def test_zero_stats_have_zero_rates(self):
+        zero = CacheStats.zero()
+        assert zero.l1_miss_rate == 0.0
+        assert zero.l2_miss_rate == 0.0
+        assert zero.l3_miss_rate == 0.0
+        assert zero.l3_ratio == 0.0
+        assert zero.cache_miss_rate == 0.0
+
+
+class TestArithmetic:
+    def test_addition(self):
+        total = sample() + sample()
+        assert total.l1_refs == 2000
+        assert total.l3_misses == 50
+        assert total.l1_miss_rate == 0.2  # rates preserved
+
+    def test_subtraction(self):
+        diff = (sample() + sample()) - sample()
+        assert diff == sample()
+
+    def test_zero_is_identity(self):
+        assert sample() + CacheStats.zero() == sample()
+
+
+class TestTableRow:
+    def test_columns(self):
+        row = sample().table_row()
+        assert row["L1-ref"] == 1000
+        assert row["L1-mr"] == pytest.approx(0.2)
+        assert row["L3-ref"] == 100
+        assert row["L3-r"] == pytest.approx(0.1)
+        assert row["Cache-mr"] == pytest.approx(0.025)

@@ -1,0 +1,104 @@
+"""Unit tests for edge-list to CSR construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.errors import GraphFormatError
+from repro.graph import empty_graph, from_arrays, from_edges
+
+from tests.conftest import edge_list_strategy
+
+
+class TestFromEdges:
+    def test_simple(self):
+        graph = from_edges([(0, 1), (1, 2)])
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+
+    def test_num_nodes_inferred_from_max_id(self):
+        graph = from_edges([(0, 9)])
+        assert graph.num_nodes == 10
+
+    def test_explicit_num_nodes_adds_isolated(self):
+        graph = from_edges([(0, 1)], num_nodes=5)
+        assert graph.num_nodes == 5
+        assert graph.out_degree(4) == 0
+
+    def test_explicit_num_nodes_too_small(self):
+        with pytest.raises(GraphFormatError, match="references node"):
+            from_edges([(0, 9)], num_nodes=5)
+
+    def test_duplicates_merged(self):
+        graph = from_edges([(0, 1), (0, 1), (0, 1)])
+        assert graph.num_edges == 1
+
+    def test_self_loops_dropped_by_default(self):
+        graph = from_edges([(0, 0), (0, 1)])
+        assert graph.num_edges == 1
+        assert not graph.has_edge(0, 0)
+
+    def test_self_loops_kept_on_request(self):
+        graph = from_edges([(0, 0), (0, 1)], keep_self_loops=True)
+        assert graph.num_edges == 2
+        assert graph.has_edge(0, 0)
+
+    def test_neighbor_lists_sorted(self):
+        graph = from_edges([(0, 3), (0, 1), (0, 2)])
+        assert graph.out_neighbors(0).tolist() == [1, 2, 3]
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(GraphFormatError, match="negative"):
+            from_edges([(0, -1)])
+
+    def test_empty_edge_list(self):
+        graph = from_edges([])
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+
+    def test_empty_with_num_nodes(self):
+        graph = from_edges([], num_nodes=4)
+        assert graph.num_nodes == 4
+
+    def test_numpy_array_input(self):
+        array = np.array([[0, 1], [1, 2]])
+        graph = from_edges(array)
+        assert graph.num_edges == 2
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(GraphFormatError, match="shape"):
+            from_edges(np.zeros((3, 3), dtype=np.int64))
+
+    def test_float_array_rejected(self):
+        with pytest.raises(GraphFormatError, match="integer"):
+            from_edges(np.zeros((2, 2), dtype=np.float64))
+
+    @given(edge_list_strategy())
+    def test_edges_preserved_up_to_dedup(self, pair):
+        num_nodes, edges = pair
+        graph = from_edges(edges, num_nodes=num_nodes)
+        expected = {(u, v) for u, v in edges if u != v}
+        assert set(graph.edges()) == expected
+
+
+class TestFromArrays:
+    def test_matches_from_edges(self):
+        a = from_arrays(np.array([0, 1]), np.array([1, 2]))
+        b = from_edges([(0, 1), (1, 2)])
+        assert a == b
+
+    def test_shape_mismatch(self):
+        with pytest.raises(GraphFormatError, match="equal"):
+            from_arrays(np.array([0, 1]), np.array([1]))
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(GraphFormatError, match="one-dimensional"):
+            from_arrays(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+class TestEmptyGraph:
+    def test_empty(self):
+        graph = empty_graph(7)
+        assert graph.num_nodes == 7
+        assert graph.num_edges == 0
+        assert graph.out_degrees().tolist() == [0] * 7

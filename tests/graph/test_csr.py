@@ -1,0 +1,158 @@
+"""Unit tests for the CSR graph core."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.errors import GraphFormatError
+from repro.graph import from_edges
+from repro.graph.csr import CSRGraph, NODE_DTYPE, OFFSET_DTYPE
+
+from tests.conftest import graph_strategy
+
+
+class TestConstruction:
+    def test_basic_properties(self, triangle):
+        assert triangle.num_nodes == 3
+        assert triangle.num_edges == 3
+        assert len(triangle) == 3
+
+    def test_empty_graph(self):
+        graph = CSRGraph(
+            0,
+            np.zeros(1, dtype=OFFSET_DTYPE),
+            np.zeros(0, dtype=NODE_DTYPE),
+        )
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+        assert list(graph.edges()) == []
+
+    def test_arrays_read_only(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.offsets[0] = 5
+        with pytest.raises(ValueError):
+            triangle.adjacency[0] = 5
+
+    def test_dtype_normalisation(self):
+        graph = CSRGraph(
+            2,
+            np.array([0, 1, 2], dtype=np.int32),
+            np.array([1, 0], dtype=np.int64),
+        )
+        assert graph.offsets.dtype == OFFSET_DTYPE
+        assert graph.adjacency.dtype == NODE_DTYPE
+
+
+class TestValidation:
+    def test_negative_node_count(self):
+        with pytest.raises(GraphFormatError, match="negative"):
+            CSRGraph(-1, np.zeros(0), np.zeros(0))
+
+    def test_wrong_offsets_length(self):
+        with pytest.raises(GraphFormatError, match="length"):
+            CSRGraph(3, np.array([0, 1]), np.array([1]))
+
+    def test_offsets_must_start_at_zero(self):
+        with pytest.raises(GraphFormatError, match="start at 0"):
+            CSRGraph(1, np.array([1, 1]), np.zeros(1))
+
+    def test_offsets_end_must_match_adjacency(self):
+        with pytest.raises(GraphFormatError, match="end"):
+            CSRGraph(1, np.array([0, 3]), np.array([0]))
+
+    def test_offsets_must_be_monotone(self):
+        with pytest.raises(GraphFormatError, match="non-decreasing"):
+            CSRGraph(2, np.array([0, 2, 1]), np.array([0]))
+
+    def test_neighbor_out_of_range(self):
+        with pytest.raises(GraphFormatError, match="neighbour ids"):
+            CSRGraph(2, np.array([0, 1, 1]), np.array([7]))
+
+    def test_two_dimensional_adjacency_rejected(self):
+        with pytest.raises(GraphFormatError, match="one-dimensional"):
+            CSRGraph(1, np.array([0, 1]), np.array([[0]]))
+
+
+class TestAdjacency:
+    def test_out_neighbors_sorted(self, diamond):
+        assert diamond.out_neighbors(0).tolist() == [1, 2]
+        assert diamond.out_neighbors(3).tolist() == [0]
+
+    def test_out_degree(self, diamond):
+        assert diamond.out_degree(0) == 2
+        assert diamond.out_degree(1) == 1
+        assert diamond.out_degrees().tolist() == [2, 1, 1, 1]
+
+    def test_has_edge(self, diamond):
+        assert diamond.has_edge(0, 1)
+        assert diamond.has_edge(3, 0)
+        assert not diamond.has_edge(1, 0)
+        assert not diamond.has_edge(0, 3)
+
+    def test_edges_iteration(self, triangle):
+        assert list(triangle.edges()) == [(0, 1), (1, 2), (2, 0)]
+
+    def test_edge_array_matches_edges(self, diamond):
+        sources, targets = diamond.edge_array()
+        assert list(zip(sources.tolist(), targets.tolist())) == list(
+            diamond.edges()
+        )
+
+
+class TestInAdjacency:
+    def test_in_neighbors(self, diamond):
+        assert diamond.in_neighbors(3).tolist() == [1, 2]
+        assert diamond.in_neighbors(0).tolist() == [3]
+
+    def test_in_degrees_sum_to_edges(self, small_social):
+        assert small_social.in_degrees().sum() == small_social.num_edges
+
+    def test_in_neighbors_sorted(self, small_social):
+        for u in range(small_social.num_nodes):
+            neighbors = small_social.in_neighbors(u)
+            assert np.all(np.diff(neighbors) >= 0)
+
+    @given(graph_strategy())
+    def test_in_csr_transposes_out_csr(self, graph):
+        for u, v in graph.edges():
+            assert u in graph.in_neighbors(v).tolist()
+
+
+class TestDerivedGraphs:
+    def test_reversed_roundtrip(self, diamond):
+        assert diamond.reversed().reversed() == diamond
+
+    def test_reversed_edge_set(self, triangle):
+        assert set(triangle.reversed().edges()) == {
+            (1, 0), (2, 1), (0, 2)
+        }
+
+    def test_undirected_symmetric(self, diamond):
+        undirected = diamond.undirected()
+        for u, v in undirected.edges():
+            assert undirected.has_edge(v, u)
+
+    def test_undirected_drops_nothing_else(self, triangle):
+        undirected = triangle.undirected()
+        assert undirected.num_edges == 6  # each edge in both directions
+
+    @given(graph_strategy())
+    def test_undirected_contains_original_edges(self, graph):
+        undirected = graph.undirected()
+        for u, v in graph.edges():
+            if u != v:
+                assert undirected.has_edge(u, v)
+                assert undirected.has_edge(v, u)
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        a = from_edges([(0, 1), (1, 0)])
+        b = from_edges([(1, 0), (0, 1)])
+        assert a == b
+
+    def test_unequal_graphs(self, triangle, diamond):
+        assert triangle != diamond
+
+    def test_non_graph_comparison(self, triangle):
+        assert triangle != "not a graph"

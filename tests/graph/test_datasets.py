@@ -1,0 +1,68 @@
+"""Unit tests for the dataset registry."""
+
+import pytest
+
+from repro.errors import UnknownDatasetError
+from repro.graph import datasets
+
+
+class TestRegistry:
+    def test_nine_datasets(self):
+        assert len(datasets.DATASET_NAMES) == 9
+
+    def test_order_matches_replication_table(self):
+        assert datasets.DATASET_NAMES[0] == "epinion"
+        assert datasets.DATASET_NAMES[-1] == "sdarc"
+
+    def test_categories(self):
+        webs = {"wiki", "pldarc", "sdarc"}
+        for name in datasets.DATASET_NAMES:
+            expected = "web" if name in webs else "social"
+            assert datasets.spec(name).category == expected
+
+    def test_unknown_dataset(self):
+        with pytest.raises(UnknownDatasetError, match="nosuch"):
+            datasets.spec("nosuch")
+        with pytest.raises(UnknownDatasetError):
+            datasets.load("nosuch")
+
+    def test_describe(self):
+        text = datasets.spec("pokec").describe()
+        assert "pokec" in text
+        assert "social" in text
+
+    def test_quick_subset_is_registered(self):
+        for name in datasets.QUICK_DATASETS:
+            assert name in datasets.REGISTRY
+
+
+class TestAnalogues:
+    def test_sizes_monotone_in_edges(self):
+        edges = [
+            datasets.load(name).num_edges
+            for name in datasets.DATASET_NAMES
+        ]
+        assert edges == sorted(edges)
+
+    def test_sizes_monotone_in_nodes(self):
+        nodes = [
+            datasets.load(name).num_nodes
+            for name in datasets.DATASET_NAMES
+        ]
+        assert nodes == sorted(nodes)
+
+    def test_load_memoised(self):
+        assert datasets.load("epinion") is datasets.load("epinion")
+
+    def test_epinion_is_smallest_and_quick(self):
+        graph = datasets.load("epinion")
+        assert graph.num_nodes < 1000
+
+    def test_graph_names_match_registry(self):
+        for name in datasets.DATASET_NAMES:
+            assert datasets.load(name).name == name
+
+    def test_paper_sizes_recorded(self):
+        spec = datasets.spec("sdarc")
+        assert spec.paper_nodes == pytest.approx(94.9)
+        assert spec.paper_edges == pytest.approx(1940.0)

@@ -1,0 +1,264 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graph import generators
+
+
+class TestDeterministicGraphs:
+    def test_ring(self):
+        graph = generators.ring(5)
+        assert graph.num_nodes == 5
+        assert graph.num_edges == 5
+        assert graph.has_edge(4, 0)
+
+    def test_ring_single_node(self):
+        graph = generators.ring(1)
+        # The single self-loop is dropped by the builder.
+        assert graph.num_nodes == 1
+        assert graph.num_edges == 0
+
+    def test_path(self):
+        graph = generators.path(4)
+        assert graph.num_edges == 3
+        assert not graph.has_edge(3, 0)
+
+    def test_star(self):
+        graph = generators.star(6)
+        assert graph.num_nodes == 7
+        assert graph.out_degree(0) == 6
+        assert graph.in_degree(0) == 6
+
+    def test_star_no_leaves(self):
+        graph = generators.star(0)
+        assert graph.num_nodes == 1
+        assert graph.num_edges == 0
+
+    def test_complete(self):
+        graph = generators.complete(4)
+        assert graph.num_edges == 12
+        assert not graph.has_edge(2, 2)
+
+    def test_grid(self):
+        graph = generators.grid(3, 4)
+        assert graph.num_nodes == 12
+        # 2 * (rows*(cols-1) + (rows-1)*cols) directed edges
+        assert graph.num_edges == 2 * (3 * 3 + 2 * 4)
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 0)
+        assert graph.has_edge(0, 4)
+
+    def test_binary_tree(self):
+        graph = generators.binary_tree(3)
+        assert graph.num_nodes == 15
+        assert graph.num_edges == 14
+        assert graph.out_degree(0) == 2
+        assert graph.out_degree(14) == 0
+
+    @pytest.mark.parametrize(
+        "factory, args",
+        [
+            (generators.ring, (0,)),
+            (generators.path, (0,)),
+            (generators.star, (-1,)),
+            (generators.complete, (0,)),
+            (generators.grid, (0, 3)),
+            (generators.binary_tree, (-1,)),
+        ],
+    )
+    def test_invalid_parameters(self, factory, args):
+        with pytest.raises(InvalidParameterError):
+            factory(*args)
+
+
+class TestErdosRenyi:
+    def test_size(self):
+        graph = generators.erdos_renyi(100, 500, seed=1)
+        assert graph.num_nodes == 100
+        # Dedup and self-loop removal shave a few edges off.
+        assert 400 <= graph.num_edges <= 500
+
+    def test_deterministic(self):
+        a = generators.erdos_renyi(50, 200, seed=3)
+        b = generators.erdos_renyi(50, 200, seed=3)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generators.erdos_renyi(50, 200, seed=3)
+        b = generators.erdos_renyi(50, 200, seed=4)
+        assert a != b
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            generators.erdos_renyi(0, 10)
+        with pytest.raises(InvalidParameterError):
+            generators.erdos_renyi(10, -1)
+
+
+class TestSocialGraph:
+    def test_size_and_determinism(self):
+        a = generators.social_graph(150, edges_per_node=6, seed=5)
+        b = generators.social_graph(150, edges_per_node=6, seed=5)
+        assert a == b
+        assert a.num_nodes == 150
+        assert a.num_edges > 150 * 4  # roughly edges_per_node * n
+
+    def test_skewed_in_degrees(self):
+        graph = generators.social_graph(400, edges_per_node=8, seed=5)
+        degrees = graph.in_degrees()
+        assert degrees.max() > 4 * degrees.mean()
+
+    def test_original_order_has_locality(self):
+        graph = generators.social_graph(400, edges_per_node=8, seed=5)
+        sources, targets = graph.edge_array()
+        gaps = np.abs(sources - targets)
+        rng = np.random.default_rng(0)
+        shuffled = rng.permutation(graph.num_nodes)
+        random_gaps = np.abs(shuffled[sources] - shuffled[targets])
+        assert np.median(gaps) < np.median(random_gaps)
+
+    def test_reciprocity_increases_mutual_edges(self):
+        low = generators.social_graph(
+            200, edges_per_node=6, reciprocity=0.0, seed=5
+        )
+        high = generators.social_graph(
+            200, edges_per_node=6, reciprocity=0.9, seed=5
+        )
+
+        def mutual(graph):
+            return sum(
+                1 for u, v in graph.edges() if graph.has_edge(v, u)
+            )
+
+        assert mutual(high) > mutual(low)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_nodes": 1},
+            {"num_nodes": 10, "edges_per_node": 0},
+            {"num_nodes": 10, "reciprocity": 1.5},
+            {"num_nodes": 10, "community_bias": -0.1},
+            {"num_nodes": 10, "uniform_mix": 2.0},
+            {"num_nodes": 10, "id_noise": -0.5},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            generators.social_graph(**kwargs)
+
+
+class TestWebGraph:
+    def test_size_and_determinism(self):
+        a = generators.web_graph(300, out_degree=8, seed=5)
+        b = generators.web_graph(300, out_degree=8, seed=5)
+        assert a == b
+        assert a.num_nodes == 300
+
+    def test_host_block_locality(self):
+        graph = generators.web_graph(
+            600, pages_per_host=30, out_degree=10, id_noise=0.0, seed=5
+        )
+        sources, targets = graph.edge_array()
+        same_host = (sources // 30) == (targets // 30)
+        # intra_host default 0.75, so over half of surviving edges
+        # should stay inside the host block.
+        assert same_host.mean() > 0.5
+
+    def test_id_noise_degrades_locality(self):
+        clean = generators.web_graph(600, id_noise=0.0, seed=5)
+        noisy = generators.web_graph(600, id_noise=0.5, seed=5)
+
+        def close_fraction(graph):
+            sources, targets = graph.edge_array()
+            return (np.abs(sources - targets) <= 16).mean()
+
+        assert close_fraction(noisy) < close_fraction(clean)
+
+    def test_skewed_in_degrees(self):
+        graph = generators.web_graph(600, out_degree=10, seed=5)
+        degrees = graph.in_degrees()
+        assert degrees.max() > 4 * degrees.mean()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_nodes": 1},
+            {"num_nodes": 100, "pages_per_host": 1},
+            {"num_nodes": 100, "out_degree": 0},
+            {"num_nodes": 100, "intra_host_fraction": 1.5},
+            {"num_nodes": 100, "intra_host_fraction": 0.9,
+             "nearby_fraction": 0.5},
+            {"num_nodes": 100, "id_noise": 1.5},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            generators.web_graph(**kwargs)
+
+
+class TestRmat:
+    def test_size(self):
+        graph = generators.rmat(8, edge_factor=8, seed=5)
+        assert graph.num_nodes == 256
+        assert graph.num_edges > 256  # heavy dedup but plenty left
+
+    def test_deterministic(self):
+        assert generators.rmat(6, seed=9) == generators.rmat(6, seed=9)
+
+    def test_skew(self):
+        graph = generators.rmat(10, edge_factor=8, seed=5)
+        degrees = graph.out_degrees()
+        assert degrees.max() > 5 * max(degrees.mean(), 1)
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            generators.rmat(0)
+        with pytest.raises(InvalidParameterError):
+            generators.rmat(4, a=0.9, b=0.9, c=0.9)
+
+
+class TestGeneratorRealism:
+    """The realism properties the experiment design leans on."""
+
+    def test_social_has_more_reciprocity_than_web(self):
+        from repro.graph.stats import reciprocity
+
+        social = generators.social_graph(
+            300, edges_per_node=6, reciprocity=0.4, seed=2
+        )
+        web = generators.web_graph(300, out_degree=6, seed=2)
+        assert reciprocity(social) > reciprocity(web) + 0.1
+
+    def test_web_hub_hosts_attract_global_links(self):
+        graph = generators.web_graph(
+            1000, pages_per_host=50, out_degree=10, seed=4
+        )
+        degrees = graph.in_degrees()
+        # Top 5% of pages absorb a disproportionate share of links.
+        top = np.sort(degrees)[::-1][: graph.num_nodes // 20]
+        assert top.sum() > 0.15 * graph.num_edges
+
+    def test_rmat_more_skewed_than_erdos_renyi(self):
+        rmat = generators.rmat(9, edge_factor=8, seed=3)
+        uniform = generators.erdos_renyi(
+            rmat.num_nodes, rmat.num_edges, seed=3
+        )
+        assert (
+            rmat.in_degrees().max() > 2 * uniform.in_degrees().max()
+        )
+
+    def test_id_noise_zero_keeps_social_locality_high(self):
+        clean = generators.social_graph(
+            400, edges_per_node=6, id_noise=0.0, seed=2
+        )
+        noisy = generators.social_graph(
+            400, edges_per_node=6, id_noise=0.6, seed=2
+        )
+        from repro.graph.stats import id_locality
+
+        assert id_locality(clean, radius=64) > id_locality(
+            noisy, radius=64
+        )

@@ -1,0 +1,100 @@
+"""Unit tests for graph I/O (text edge lists and npz archives)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    from_edges,
+    load_npz,
+    read_edge_list,
+    save_npz,
+    write_edge_list,
+)
+
+from tests.conftest import graph_strategy
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path, diamond):
+        path = tmp_path / "graph.txt"
+        write_edge_list(diamond, path)
+        loaded = read_edge_list(path)
+        assert loaded == diamond
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text(
+            "# comment\n% konect style\n// slashes\n\n0 1\n1 2\n"
+        )
+        graph = read_edge_list(path)
+        assert graph.num_edges == 2
+
+    def test_extra_fields_ignored(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1 1234567890\n1 2 99 extra\n")
+        graph = read_edge_list(path)
+        assert set(graph.edges()) == {(0, 1), (1, 2)}
+
+    def test_single_field_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\n42\n")
+        with pytest.raises(GraphFormatError, match="bad.txt:2"):
+            read_edge_list(path)
+
+    def test_non_integer_rejected_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\nfoo bar\n")
+        with pytest.raises(GraphFormatError, match="bad.txt:2"):
+            read_edge_list(path)
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "mygraph.txt"
+        path.write_text("0 1\n")
+        assert read_edge_list(path).name == "mygraph"
+
+    def test_explicit_num_nodes(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        graph = read_edge_list(path, num_nodes=10)
+        assert graph.num_nodes == 10
+
+    def test_tab_separated(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\t1\n1\t2\n")
+        assert read_edge_list(path).num_edges == 2
+
+    @settings(max_examples=20)
+    @given(graph_strategy())
+    def test_roundtrip_property(self, tmp_path_factory, graph):
+        path = tmp_path_factory.mktemp("io") / "g.txt"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path, num_nodes=graph.num_nodes)
+        assert loaded == graph
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path, small_social):
+        path = tmp_path / "graph.npz"
+        save_npz(small_social, path)
+        loaded = load_npz(path)
+        assert loaded == small_social
+        assert loaded.name == small_social.name
+
+    def test_wrong_archive_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, something=np.arange(3))
+        with pytest.raises(GraphFormatError, match="not a repro graph"):
+            load_npz(path)
+
+
+class TestGzip:
+    def test_gz_edge_list(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "graph.txt.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write("# gzipped\n0 1\n1 2\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 2

@@ -1,0 +1,59 @@
+"""Tests for permutation file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError, InvalidPermutationError
+from repro.graph.io import load_permutation, save_permutation
+
+
+class TestRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        perm = np.array([2, 0, 1, 3], dtype=np.int64)
+        path = tmp_path / "perm.txt"
+        save_permutation(perm, path)
+        assert np.array_equal(load_permutation(path), perm)
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "perm.txt"
+        path.write_text("# gorder output\n1\n0\n")
+        assert load_permutation(path).tolist() == [1, 0]
+
+    def test_num_nodes_checked(self, tmp_path):
+        path = tmp_path / "perm.txt"
+        path.write_text("0\n1\n")
+        with pytest.raises(InvalidPermutationError):
+            load_permutation(path, num_nodes=5)
+
+
+class TestErrors:
+    def test_invalid_permutation_rejected_on_save(self, tmp_path):
+        with pytest.raises(InvalidPermutationError):
+            save_permutation(
+                np.array([0, 0], dtype=np.int64), tmp_path / "p.txt"
+            )
+
+    def test_non_integer_line(self, tmp_path):
+        path = tmp_path / "perm.txt"
+        path.write_text("0\nfoo\n")
+        with pytest.raises(GraphFormatError, match="perm.txt:2"):
+            load_permutation(path)
+
+    def test_duplicate_rejected_on_load(self, tmp_path):
+        path = tmp_path / "perm.txt"
+        path.write_text("0\n0\n")
+        with pytest.raises(InvalidPermutationError):
+            load_permutation(path)
+
+    def test_cli_output_loads_back(self, tmp_path):
+        from repro.cli import main
+
+        target = tmp_path / "perm.txt"
+        assert main(
+            [
+                "order", "--dataset", "epinion",
+                "--ordering", "chdfs", "-o", str(target),
+            ]
+        ) == 0
+        perm = load_permutation(target)
+        assert perm.shape[0] == 760

@@ -1,0 +1,136 @@
+"""Unit and property tests for permutations and relabeling."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidPermutationError
+from repro.graph import (
+    compose,
+    from_edges,
+    identity_permutation,
+    invert_permutation,
+    permutation_from_sequence,
+    relabel,
+    validate_permutation,
+)
+
+from tests.conftest import graph_strategy
+
+
+def permutation_strategy(max_n: int = 20):
+    return st.integers(1, max_n).map(
+        lambda n: np.random.default_rng(n).permutation(n).astype(np.int64)
+    )
+
+
+class TestValidate:
+    def test_identity_valid(self):
+        perm = validate_permutation(identity_permutation(5), 5)
+        assert perm.tolist() == [0, 1, 2, 3, 4]
+
+    def test_wrong_length(self):
+        with pytest.raises(InvalidPermutationError, match="length"):
+            validate_permutation(np.array([0, 1]), 3)
+
+    def test_out_of_range(self):
+        with pytest.raises(InvalidPermutationError, match="lie in"):
+            validate_permutation(np.array([0, 5]), 2)
+
+    def test_negative(self):
+        with pytest.raises(InvalidPermutationError, match="lie in"):
+            validate_permutation(np.array([0, -1]), 2)
+
+    def test_duplicate(self):
+        with pytest.raises(InvalidPermutationError, match="never"):
+            validate_permutation(np.array([0, 0, 2]), 3)
+
+    def test_float_rejected(self):
+        with pytest.raises(InvalidPermutationError, match="integer"):
+            validate_permutation(np.array([0.0, 1.0]), 2)
+
+    def test_empty(self):
+        assert validate_permutation(np.zeros(0, dtype=np.int64), 0).size == 0
+
+
+class TestInverse:
+    @given(permutation_strategy())
+    def test_inverse_property(self, perm):
+        inverse = invert_permutation(perm)
+        assert np.array_equal(inverse[perm], np.arange(perm.shape[0]))
+        assert np.array_equal(perm[inverse], np.arange(perm.shape[0]))
+
+    @given(permutation_strategy())
+    def test_double_inverse_is_identity(self, perm):
+        assert np.array_equal(
+            invert_permutation(invert_permutation(perm)), perm
+        )
+
+
+class TestSequenceConversion:
+    def test_sequence_to_arrangement(self):
+        sequence = np.array([2, 0, 1])  # node 2 first, then 0, then 1
+        perm = permutation_from_sequence(sequence)
+        assert perm.tolist() == [1, 2, 0]
+
+    @given(permutation_strategy())
+    def test_roundtrip(self, sequence):
+        perm = permutation_from_sequence(sequence)
+        for position, node in enumerate(sequence):
+            assert perm[node] == position
+
+
+class TestCompose:
+    @given(permutation_strategy())
+    def test_identity_is_neutral(self, perm):
+        identity = identity_permutation(perm.shape[0])
+        assert np.array_equal(compose(perm, identity), perm)
+        assert np.array_equal(compose(identity, perm), perm)
+
+    @given(permutation_strategy())
+    def test_inverse_composes_to_identity(self, perm):
+        identity = identity_permutation(perm.shape[0])
+        assert np.array_equal(
+            compose(invert_permutation(perm), perm), identity
+        )
+
+    def test_length_mismatch(self):
+        with pytest.raises(InvalidPermutationError, match="lengths"):
+            compose(np.array([0, 1]), np.array([0, 1, 2]))
+
+
+class TestRelabel:
+    def test_simple(self, triangle):
+        perm = np.array([2, 0, 1])  # 0->2, 1->0, 2->1
+        relabeled = relabel(triangle, perm)
+        assert set(relabeled.edges()) == {(2, 0), (0, 1), (1, 2)}
+
+    def test_identity_preserves_graph(self, diamond):
+        relabeled = relabel(
+            diamond, identity_permutation(diamond.num_nodes)
+        )
+        assert relabeled == diamond
+
+    def test_invalid_permutation_rejected(self, triangle):
+        with pytest.raises(InvalidPermutationError):
+            relabel(triangle, np.array([0, 0, 1]))
+
+    @given(graph_strategy())
+    def test_relabel_preserves_structure(self, graph):
+        n = graph.num_nodes
+        perm = np.random.default_rng(n).permutation(n).astype(np.int64)
+        relabeled = relabel(graph, perm)
+        assert relabeled.num_edges == graph.num_edges
+        assert sorted(relabeled.out_degrees().tolist()) == sorted(
+            graph.out_degrees().tolist()
+        )
+        for u, v in graph.edges():
+            assert relabeled.has_edge(int(perm[u]), int(perm[v]))
+
+    @given(graph_strategy())
+    def test_relabel_roundtrip(self, graph):
+        n = graph.num_nodes
+        perm = np.random.default_rng(n + 1).permutation(n).astype(np.int64)
+        back = relabel(relabel(graph, perm), invert_permutation(perm))
+        assert back == graph

@@ -1,0 +1,106 @@
+"""Tests for graph structural statistics."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graph import from_edges, generators
+from repro.graph.stats import (
+    effective_diameter,
+    id_locality,
+    reciprocity,
+    summarize,
+)
+
+
+class TestReciprocity:
+    def test_fully_mutual(self):
+        graph = from_edges([(0, 1), (1, 0)])
+        assert reciprocity(graph) == 1.0
+
+    def test_one_way(self):
+        graph = from_edges([(0, 1), (1, 2)])
+        assert reciprocity(graph) == 0.0
+
+    def test_mixed(self):
+        graph = from_edges([(0, 1), (1, 0), (1, 2), (2, 0)])
+        assert reciprocity(graph) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert reciprocity(from_edges([], num_nodes=3)) == 0.0
+
+    def test_social_more_reciprocal_than_web(self):
+        social = generators.social_graph(
+            400, edges_per_node=6, reciprocity=0.5, seed=3
+        )
+        web = generators.web_graph(400, out_degree=6, seed=3)
+        assert reciprocity(social) > reciprocity(web)
+
+
+class TestIdLocality:
+    def test_path_fully_local(self):
+        graph = generators.path(10)
+        assert id_locality(graph) == 1.0
+
+    def test_radius_zero(self):
+        graph = from_edges([(0, 1)])
+        assert id_locality(graph, radius=0) == 0.0
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            id_locality(generators.path(3), radius=-1)
+
+    def test_empty(self):
+        assert id_locality(from_edges([], num_nodes=2)) == 0.0
+
+    def test_web_graph_local(self):
+        graph = generators.web_graph(
+            600, pages_per_host=30, out_degree=8, id_noise=0.0, seed=2
+        )
+        assert id_locality(graph, radius=30) > 0.4
+
+
+class TestEffectiveDiameter:
+    def test_path_percentile(self):
+        graph = generators.path(11)
+        value = effective_diameter(
+            graph, num_sources=30, percentile=100, seed=1
+        )
+        assert 5 <= value <= 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            effective_diameter(from_edges([], num_nodes=0))
+
+    def test_percentile_validation(self):
+        with pytest.raises(InvalidParameterError):
+            effective_diameter(generators.path(3), percentile=0)
+
+    def test_deterministic(self):
+        graph = generators.social_graph(200, edges_per_node=5, seed=4)
+        a = effective_diameter(graph, seed=9)
+        b = effective_diameter(graph, seed=9)
+        assert a == b
+
+    def test_small_world(self):
+        graph = generators.social_graph(500, edges_per_node=8, seed=4)
+        assert effective_diameter(graph, seed=1) < 12
+
+
+class TestSummarize:
+    def test_fields(self):
+        graph = generators.star(5)
+        summary = summarize(graph)
+        assert summary.num_nodes == 6
+        assert summary.num_edges == 10
+        assert summary.max_out_degree == 5
+        assert summary.reciprocity == 1.0
+
+    def test_empty_graph(self):
+        summary = summarize(from_edges([], num_nodes=0))
+        assert summary.average_degree == 0.0
+        assert summary.degree_skew == 0.0
+
+    def test_as_row_shape(self):
+        row = summarize(generators.ring(5)).as_row()
+        assert len(row) == 9
+        assert row[1] == 5

@@ -1,0 +1,61 @@
+"""Tests for induced subgraph extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import InvalidParameterError
+from repro.graph import from_edges, induced_subgraph
+
+from tests.conftest import graph_strategy
+
+
+class TestInducedSubgraph:
+    def test_simple(self):
+        graph = from_edges([(0, 1), (1, 2), (2, 0), (1, 3)])
+        sub, local = induced_subgraph(graph, np.array([0, 1, 2]))
+        assert sub.num_nodes == 3
+        assert set(sub.edges()) == {(0, 1), (1, 2), (2, 0)}
+        assert local[3] == -1
+
+    def test_node_order_defines_local_ids(self):
+        graph = from_edges([(0, 1)])
+        sub, local = induced_subgraph(graph, np.array([1, 0]))
+        # host 1 -> local 0, host 0 -> local 1; edge becomes 1 -> 0.
+        assert set(sub.edges()) == {(1, 0)}
+        assert local[1] == 0
+
+    def test_empty_selection(self):
+        graph = from_edges([(0, 1)])
+        sub, _ = induced_subgraph(graph, np.array([], dtype=np.int64))
+        assert sub.num_nodes == 0
+        assert sub.num_edges == 0
+
+    def test_duplicate_nodes_rejected(self):
+        graph = from_edges([(0, 1)])
+        with pytest.raises(InvalidParameterError, match="distinct"):
+            induced_subgraph(graph, np.array([0, 0]))
+
+    def test_out_of_range_rejected(self):
+        graph = from_edges([(0, 1)])
+        with pytest.raises(InvalidParameterError, match="valid ids"):
+            induced_subgraph(graph, np.array([5]))
+
+    def test_bad_shape_rejected(self):
+        graph = from_edges([(0, 1)])
+        with pytest.raises(InvalidParameterError, match="one-dim"):
+            induced_subgraph(graph, np.array([[0]]))
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph_strategy())
+    def test_edge_set_property(self, graph):
+        if graph.num_nodes < 2:
+            return
+        keep = np.arange(0, graph.num_nodes, 2, dtype=np.int64)
+        sub, local = induced_subgraph(graph, keep)
+        expected = {
+            (int(local[u]), int(local[v]))
+            for u, v in graph.edges()
+            if local[u] >= 0 and local[v] >= 0
+        }
+        assert set(sub.edges()) == expected

@@ -1,0 +1,62 @@
+"""Tests for deep graph validation."""
+
+import numpy as np
+
+from repro.graph import from_edges, generators
+from repro.graph.csr import CSRGraph
+from repro.graph.validation import validate_graph
+
+
+class TestCleanGraphs:
+    def test_builder_output_is_clean(self):
+        report = validate_graph(
+            generators.social_graph(80, edges_per_node=4, seed=1)
+        )
+        assert report.is_clean
+        assert report.issues() == []
+
+    def test_counts(self):
+        graph = from_edges([(0, 1), (1, 2)], num_nodes=4)
+        report = validate_graph(graph)
+        assert report.num_nodes == 4
+        assert report.num_edges == 2
+        assert report.num_isolated_nodes == 1  # node 3
+        assert report.num_sink_nodes == 2  # nodes 2 and 3
+        assert report.num_source_nodes == 2  # nodes 0 and 3
+
+
+class TestDirtyGraphs:
+    def test_self_loops_detected(self):
+        graph = from_edges([(0, 0), (0, 1)], keep_self_loops=True)
+        report = validate_graph(graph)
+        assert report.num_self_loops == 1
+        assert not report.is_clean
+        assert any("self-loop" in issue for issue in report.issues())
+
+    def test_duplicates_detected(self):
+        # Hand-built CSR bypassing the deduplicating builder.
+        graph = CSRGraph(
+            2,
+            np.array([0, 2, 2], dtype=np.int64),
+            np.array([1, 1], dtype=np.int32),
+        )
+        report = validate_graph(graph)
+        assert report.num_duplicate_edges == 1
+        assert not report.is_clean
+
+    def test_unsorted_detected(self):
+        graph = CSRGraph(
+            3,
+            np.array([0, 2, 2, 2], dtype=np.int64),
+            np.array([2, 1], dtype=np.int32),
+        )
+        report = validate_graph(graph)
+        assert not report.is_sorted
+        assert any("sorted" in issue for issue in report.issues())
+
+    def test_isolated_reported_but_not_dirty(self):
+        graph = from_edges([(0, 1)], num_nodes=3)
+        report = validate_graph(graph)
+        assert report.num_isolated_nodes == 1
+        assert report.is_clean  # isolated nodes are legal
+        assert any("isolated" in issue for issue in report.issues())

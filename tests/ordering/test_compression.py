@@ -1,0 +1,95 @@
+"""Tests for the gap-encoding compression estimate (extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.graph import from_edges, generators, identity_permutation
+from repro.ordering import (
+    bits_per_edge,
+    compression_ratio,
+    elias_gamma_bits,
+    gap_encoding_bits,
+    gorder_order,
+    random_order,
+)
+
+from tests.conftest import graph_strategy
+
+
+class TestEliasGamma:
+    def test_known_lengths(self):
+        # gamma(v+1): 0 -> 1 bit, 1 -> 3 bits, 2 -> 3, 3 -> 5 ...
+        assert elias_gamma_bits(np.array([0])) == 1
+        assert elias_gamma_bits(np.array([1])) == 3
+        assert elias_gamma_bits(np.array([2])) == 3
+        assert elias_gamma_bits(np.array([3])) == 5
+        assert elias_gamma_bits(np.array([7])) == 7
+
+    def test_empty(self):
+        assert elias_gamma_bits(np.array([], dtype=np.int64)) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            elias_gamma_bits(np.array([-1]))
+
+    def test_additive(self):
+        values = np.array([0, 1, 5, 9])
+        total = sum(
+            elias_gamma_bits(values[i:i + 1]) for i in range(4)
+        )
+        assert elias_gamma_bits(values) == total
+
+
+class TestGapEncoding:
+    def test_empty_graph(self):
+        graph = from_edges([], num_nodes=4)
+        assert gap_encoding_bits(graph, identity_permutation(4)) == 0
+
+    def test_adjacent_ids_cheap(self):
+        near = from_edges([(0, 1)])
+        far = from_edges([(0, 1000)], num_nodes=1001)
+        near_bits = gap_encoding_bits(near, identity_permutation(2))
+        far_bits = gap_encoding_bits(far, identity_permutation(1001))
+        assert near_bits < far_bits
+
+    def test_gorder_compresses_better_than_random(self):
+        graph = generators.web_graph(
+            1500, pages_per_host=60, out_degree=10, seed=8
+        )
+        gorder_bits = gap_encoding_bits(graph, gorder_order(graph))
+        random_bits = gap_encoding_bits(
+            graph, random_order(graph, seed=1)
+        )
+        assert gorder_bits < random_bits
+
+    def test_compression_ratio_definition(self):
+        graph = generators.web_graph(600, out_degree=8, seed=8)
+        baseline = random_order(graph, seed=1)
+        perm = gorder_order(graph)
+        ratio = compression_ratio(graph, perm, baseline)
+        assert ratio == pytest.approx(
+            gap_encoding_bits(graph, baseline)
+            / gap_encoding_bits(graph, perm)
+        )
+        assert ratio > 1.0
+
+    def test_bits_per_edge(self):
+        graph = generators.ring(32)
+        per_edge = bits_per_edge(graph, identity_permutation(32))
+        # Every edge is a +1 neighbour: zig-zag(1) = 2, gamma = 3 bits,
+        # except the wrap edge (n-1 -> 0).
+        assert 2.0 < per_edge < 6.0
+
+    def test_bits_per_edge_empty(self):
+        graph = from_edges([], num_nodes=3)
+        assert bits_per_edge(graph, identity_permutation(3)) == 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph_strategy())
+    def test_positive_for_any_graph(self, graph):
+        perm = identity_permutation(graph.num_nodes)
+        bits = gap_encoding_bits(graph, perm)
+        assert bits >= 0
+        if graph.num_edges:
+            assert bits > 0

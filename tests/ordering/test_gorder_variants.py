@@ -1,0 +1,139 @@
+"""Tests for the alternative Gorder backends (lazy PQ, partitioned)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graph import from_edges, generators
+from repro.ordering import (
+    gorder_order,
+    gorder_order_lazy,
+    gorder_partitioned,
+    gorder_score,
+    gorder_sequence_lazy,
+    partition_nodes,
+    window_scores,
+)
+from repro.ordering.metrics import pair_score
+
+from tests.conftest import assert_valid_permutation
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.social_graph(120, edges_per_node=5, seed=31)
+
+
+class TestLazyBackend:
+    def test_valid(self, graph):
+        assert_valid_permutation(
+            gorder_order_lazy(graph), graph.num_nodes
+        )
+
+    def test_window_validation(self, graph):
+        with pytest.raises(InvalidParameterError):
+            gorder_order_lazy(graph, window=0)
+        with pytest.raises(InvalidParameterError):
+            gorder_order_lazy(graph, hub_threshold=-2)
+
+    def test_empty_graph(self):
+        assert gorder_order_lazy(from_edges([], num_nodes=0)).size == 0
+
+    def test_greedy_invariant(self):
+        small = generators.social_graph(40, edges_per_node=4, seed=9)
+        window = 3
+        sequence = gorder_sequence_lazy(small, window=window)
+        placed = [int(sequence[0])]
+        remaining = set(range(small.num_nodes)) - {placed[0]}
+        for i in range(1, small.num_nodes):
+            window_nodes = placed[-window:]
+            chosen = int(sequence[i])
+
+            def score(v):
+                return sum(
+                    pair_score(small, u, v) for u in window_nodes
+                )
+
+            assert score(chosen) == max(score(v) for v in remaining)
+            placed.append(chosen)
+            remaining.discard(chosen)
+
+    def test_matches_unit_heap_quality(self, graph):
+        """Same greedy, different tie-breaks: the objective values are
+        close (identical up to tie-break noise)."""
+        fast = gorder_score(graph, gorder_order(graph))
+        lazy = gorder_score(graph, gorder_order_lazy(graph))
+        assert lazy == pytest.approx(fast, rel=0.1)
+
+    def test_step_scores_match_unit_heap(self, graph):
+        from repro.graph import invert_permutation
+
+        window = 5
+        fast_scores = window_scores(
+            graph, invert_permutation(gorder_order(graph)), window
+        )
+        lazy_scores = window_scores(
+            graph, gorder_sequence_lazy(graph, window=window), window
+        )
+        assert int(fast_scores.sum()) == pytest.approx(
+            int(lazy_scores.sum()), rel=0.1
+        )
+
+
+class TestPartitioned:
+    def test_valid(self, graph):
+        assert_valid_permutation(
+            gorder_partitioned(graph, num_parts=4), graph.num_nodes
+        )
+
+    def test_single_part_close_to_plain_gorder(self, graph):
+        single = gorder_partitioned(graph, num_parts=1)
+        plain = gorder_order(graph)
+        # One partition covers everything; only the bisection-derived
+        # node enumeration differs, so the objective is close.
+        assert gorder_score(graph, single) == pytest.approx(
+            gorder_score(graph, plain), rel=0.2
+        )
+
+    def test_more_parts_lower_quality_but_valid(self, graph):
+        coarse = gorder_partitioned(graph, num_parts=2)
+        fine = gorder_partitioned(graph, num_parts=12)
+        assert_valid_permutation(fine, graph.num_nodes)
+        assert gorder_score(graph, fine) <= gorder_score(
+            graph, coarse
+        ) * 1.1
+
+    def test_num_parts_validation(self, graph):
+        with pytest.raises(InvalidParameterError):
+            gorder_partitioned(graph, num_parts=0)
+
+    def test_empty_graph(self):
+        assert gorder_partitioned(
+            from_edges([], num_nodes=0)
+        ).size == 0
+
+    def test_beats_random_on_objective(self, graph):
+        from repro.ordering import random_order
+
+        part = gorder_partitioned(graph, num_parts=4)
+        rand = random_order(graph, seed=2)
+        assert gorder_score(graph, part) > gorder_score(graph, rand)
+
+
+class TestPartitionNodes:
+    def test_covers_all_nodes(self, graph):
+        parts = partition_nodes(graph, 5)
+        combined = np.sort(np.concatenate(parts))
+        assert np.array_equal(combined, np.arange(graph.num_nodes))
+
+    def test_part_count(self, graph):
+        assert len(partition_nodes(graph, 5)) == 5
+
+    def test_more_parts_than_nodes(self):
+        tiny = from_edges([(0, 1)], num_nodes=2)
+        parts = partition_nodes(tiny, 10)
+        assert sum(p.shape[0] for p in parts) == 2
+
+    def test_validation(self, graph):
+        with pytest.raises(InvalidParameterError):
+            partition_nodes(graph, 0)

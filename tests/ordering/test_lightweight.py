@@ -1,0 +1,126 @@
+"""Tests for the lightweight follow-on reorderings."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graph import from_edges, generators
+from repro.ordering import (
+    dbg_order,
+    hubcluster_order,
+    hubsort_order,
+    indegsort_order,
+)
+
+from tests.conftest import assert_valid_permutation
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    return generators.web_graph(
+        500, pages_per_host=25, out_degree=8, seed=13
+    )
+
+
+class TestHubSort:
+    def test_valid(self, skewed):
+        assert_valid_permutation(
+            hubsort_order(skewed), skewed.num_nodes
+        )
+
+    def test_hubs_before_cold(self, skewed):
+        perm = hubsort_order(skewed)
+        degrees = skewed.in_degrees()
+        hubs = degrees > degrees.mean()
+        assert int(perm[hubs].max()) < int(perm[~hubs].min())
+
+    def test_hubs_sorted_by_degree(self, skewed):
+        perm = hubsort_order(skewed)
+        degrees = skewed.in_degrees()
+        hubs = np.flatnonzero(degrees > degrees.mean())
+        hub_by_position = hubs[np.argsort(perm[hubs])]
+        hub_degrees = degrees[hub_by_position]
+        assert np.all(np.diff(hub_degrees) <= 0)
+
+    def test_cold_tail_keeps_original_order(self, skewed):
+        perm = hubsort_order(skewed)
+        degrees = skewed.in_degrees()
+        cold = np.flatnonzero(degrees <= degrees.mean())
+        assert np.all(np.diff(perm[cold]) > 0)
+
+    def test_star_hub_first(self):
+        graph = generators.star(10)
+        assert hubsort_order(graph)[0] == 0
+
+    def test_empty_graph(self):
+        graph = from_edges([], num_nodes=0)
+        assert hubsort_order(graph).shape == (0,)
+
+
+class TestHubCluster:
+    def test_valid(self, skewed):
+        assert_valid_permutation(
+            hubcluster_order(skewed), skewed.num_nodes
+        )
+
+    def test_hubs_keep_relative_order(self, skewed):
+        perm = hubcluster_order(skewed)
+        degrees = skewed.in_degrees()
+        hubs = np.flatnonzero(degrees > degrees.mean())
+        assert np.all(np.diff(perm[hubs]) > 0)
+
+    def test_hubs_before_cold(self, skewed):
+        perm = hubcluster_order(skewed)
+        degrees = skewed.in_degrees()
+        hub_mask = degrees > degrees.mean()
+        assert int(perm[hub_mask].max()) < int(perm[~hub_mask].min())
+
+    def test_all_same_degree_is_identity(self):
+        graph = generators.ring(12)
+        perm = hubcluster_order(graph)
+        # No node exceeds the mean degree, so nothing is a hub and the
+        # order is untouched.
+        assert np.array_equal(perm, np.arange(12))
+
+
+class TestDBG:
+    def test_valid(self, skewed):
+        assert_valid_permutation(dbg_order(skewed), skewed.num_nodes)
+
+    def test_classes_descend(self, skewed):
+        perm = dbg_order(skewed)
+        degrees = skewed.in_degrees()
+        classes = np.minimum(
+            np.floor(np.log2(degrees + 1)).astype(np.int64), 7
+        )
+        class_by_position = np.empty(skewed.num_nodes, dtype=np.int64)
+        class_by_position[perm] = classes
+        assert np.all(np.diff(class_by_position) <= 0)
+
+    def test_within_class_original_order(self, skewed):
+        perm = dbg_order(skewed)
+        degrees = skewed.in_degrees()
+        classes = np.minimum(
+            np.floor(np.log2(degrees + 1)).astype(np.int64), 7
+        )
+        for value in np.unique(classes):
+            members = np.flatnonzero(classes == value)
+            assert np.all(np.diff(perm[members]) > 0)
+
+    def test_coarser_than_indegsort(self, skewed):
+        """DBG preserves more of the original order than a full sort:
+        it never reorders within a class, whereas InDegSort does."""
+        dbg_perm = dbg_order(skewed)
+        full_sort = indegsort_order(skewed)
+        identity = np.arange(skewed.num_nodes)
+        dbg_moved = int(np.abs(dbg_perm - identity).sum())
+        sort_moved = int(np.abs(full_sort - identity).sum())
+        assert dbg_moved <= sort_moved
+
+    def test_num_groups_validation(self, skewed):
+        with pytest.raises(InvalidParameterError):
+            dbg_order(skewed, num_groups=0)
+
+    def test_single_group_is_identity(self, skewed):
+        perm = dbg_order(skewed, num_groups=1)
+        assert np.array_equal(perm, np.arange(skewed.num_nodes))

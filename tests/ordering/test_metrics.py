@@ -1,0 +1,169 @@
+"""Unit and property tests for the arrangement quality metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.graph import from_edges, identity_permutation
+from repro.ordering import (
+    average_gap,
+    bandwidth,
+    gorder_score,
+    gorder_score_bruteforce,
+    minla_energy,
+    minloga_energy,
+    pair_score,
+)
+
+from tests.conftest import graph_strategy
+
+
+class TestPairScore:
+    def test_neighbour_score(self):
+        graph = from_edges([(0, 1), (1, 0), (0, 2)])
+        assert pair_score(graph, 0, 1) == 2  # both directions
+        assert pair_score(graph, 0, 2) == 1  # one direction
+
+    def test_sibling_score(self):
+        # 2 -> 0 and 2 -> 1: common in-neighbour of (0, 1).
+        graph = from_edges([(2, 0), (2, 1)])
+        assert pair_score(graph, 0, 1) == 1
+
+    def test_combined(self):
+        graph = from_edges([(2, 0), (2, 1), (3, 0), (3, 1), (0, 1)])
+        # two common in-neighbours + one edge
+        assert pair_score(graph, 0, 1) == 3
+
+    def test_symmetric(self, small_social):
+        for u, v in [(0, 1), (5, 9), (3, 100)]:
+            assert pair_score(small_social, u, v) == pair_score(
+                small_social, v, u
+            )
+
+    def test_self_pair_rejected(self, triangle):
+        with pytest.raises(InvalidParameterError):
+            pair_score(triangle, 1, 1)
+
+
+class TestGorderScore:
+    def test_window_validation(self, triangle):
+        with pytest.raises(InvalidParameterError):
+            gorder_score(triangle, identity_permutation(3), window=0)
+        with pytest.raises(InvalidParameterError):
+            gorder_score_bruteforce(
+                triangle, identity_permutation(3), window=0
+            )
+
+    def test_known_value(self):
+        # Path 0 -> 1 -> 2 in identity order with window 1:
+        # pairs (1,0) and (2,1), each S = 1 (one edge, no siblings).
+        graph = from_edges([(0, 1), (1, 2)])
+        assert gorder_score(graph, identity_permutation(3), window=1) == 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph_strategy(max_nodes=8, max_edges=20), st.integers(1, 4))
+    def test_fast_matches_bruteforce(self, graph, window):
+        n = graph.num_nodes
+        perm = np.random.default_rng(n).permutation(n).astype(np.int64)
+        assert gorder_score(graph, perm, window) == (
+            gorder_score_bruteforce(graph, perm, window)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph_strategy(max_nodes=8, max_edges=20))
+    def test_score_monotone_in_window(self, graph):
+        perm = identity_permutation(graph.num_nodes)
+        scores = [
+            gorder_score(graph, perm, window)
+            for window in (1, 2, 4, 8)
+        ]
+        assert scores == sorted(scores)
+
+
+class TestEnergies:
+    def test_minla_path(self):
+        graph = from_edges([(0, 1), (1, 2)])
+        assert minla_energy(graph, identity_permutation(3)) == 2
+        assert minla_energy(graph, np.array([0, 2, 1])) == 3
+
+    def test_minloga_zero_for_unit_gaps(self):
+        graph = from_edges([(0, 1), (1, 2)])
+        assert minloga_energy(graph, identity_permutation(3)) == 0.0
+
+    def test_minloga_value(self):
+        graph = from_edges([(0, 2)])
+        expected = np.log(2.0)
+        assert minloga_energy(
+            graph, identity_permutation(3)
+        ) == pytest.approx(expected)
+
+    def test_bandwidth(self):
+        graph = from_edges([(0, 3), (1, 2)])
+        assert bandwidth(graph, identity_permutation(4)) == 3
+
+    def test_bandwidth_empty_graph(self):
+        graph = from_edges([], num_nodes=3)
+        assert bandwidth(graph, identity_permutation(3)) == 0
+
+    def test_average_gap(self):
+        graph = from_edges([(0, 1), (0, 3)])
+        assert average_gap(graph, identity_permutation(4)) == 2.0
+
+    def test_average_gap_empty(self):
+        graph = from_edges([], num_nodes=2)
+        assert average_gap(graph, identity_permutation(2)) == 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph_strategy())
+    def test_energy_invariant_under_reflection(self, graph):
+        """Reversing the arrangement preserves all gap statistics."""
+        n = graph.num_nodes
+        perm = identity_permutation(n)
+        reflected = (n - 1) - perm
+        assert minla_energy(graph, perm) == minla_energy(
+            graph, reflected
+        )
+        assert bandwidth(graph, perm) == bandwidth(graph, reflected)
+
+
+class TestMetricConsistency:
+    """Cross-metric sanity on realistic generator output."""
+
+    def test_gorder_improves_every_locality_proxy_vs_random(self):
+        from repro.graph import generators
+        from repro.ordering import gorder_order, random_order
+
+        graph = generators.web_graph(
+            800, pages_per_host=40, out_degree=8, seed=12
+        )
+        gorder_perm = gorder_order(graph)
+        random_perm = random_order(graph, seed=1)
+        assert gorder_score(graph, gorder_perm) > gorder_score(
+            graph, random_perm
+        )
+        assert average_gap(graph, gorder_perm) < average_gap(
+            graph, random_perm
+        )
+
+    def test_minla_energy_equals_gap_times_edges(self):
+        from repro.graph import generators, identity_permutation
+
+        graph = generators.social_graph(120, edges_per_node=4, seed=9)
+        perm = identity_permutation(graph.num_nodes)
+        assert minla_energy(graph, perm) == pytest.approx(
+            average_gap(graph, perm) * graph.num_edges
+        )
+
+    def test_minloga_never_exceeds_log_of_minla(self):
+        """By Jensen: mean(log gap) <= log(mean gap)."""
+        import math
+
+        from repro.graph import generators, identity_permutation
+
+        graph = generators.social_graph(120, edges_per_node=4, seed=9)
+        perm = identity_permutation(graph.num_nodes)
+        mean_log = minloga_energy(graph, perm) / graph.num_edges
+        log_mean = math.log(average_gap(graph, perm))
+        assert mean_log <= log_mean + 1e-9

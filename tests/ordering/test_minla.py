@@ -1,0 +1,92 @@
+"""Tests for the simulated-annealing MinLA / MinLogA orderings."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graph import generators
+from repro.ordering import (
+    minla_energy,
+    minla_order,
+    minloga_energy,
+    minloga_order,
+)
+
+from tests.conftest import assert_valid_permutation
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.social_graph(150, edges_per_node=5, seed=11)
+
+
+class TestMinla:
+    def test_valid_permutation(self, graph):
+        assert_valid_permutation(
+            minla_order(graph, seed=1), graph.num_nodes
+        )
+
+    def test_improves_over_start(self, graph):
+        """Annealing from the identity must not worsen the energy
+        (local search accepts only improving swaps)."""
+        start = np.arange(graph.num_nodes, dtype=np.int64)
+        result = minla_order(graph, seed=1, standard_energy=0.0)
+        assert minla_energy(graph, result) <= minla_energy(graph, start)
+
+    def test_local_search_beats_huge_temperature(self, graph):
+        """With k enormous every swap is accepted - the arrangement is
+        effectively random and worse than local search (the
+        replication's Figure 3 observation b)."""
+        local = minla_order(graph, seed=1, standard_energy=0.0)
+        hot = minla_order(graph, seed=1, standard_energy=1e9)
+        assert minla_energy(graph, local) < minla_energy(graph, hot)
+
+    def test_more_steps_do_not_hurt(self, graph):
+        short = minla_order(
+            graph, seed=1, steps=graph.num_edges // 8,
+            standard_energy=0.0,
+        )
+        long = minla_order(
+            graph, seed=1, steps=graph.num_edges * 2,
+            standard_energy=0.0,
+        )
+        assert minla_energy(graph, long) <= minla_energy(graph, short)
+
+    def test_zero_steps_is_identity(self, graph):
+        perm = minla_order(graph, seed=1, steps=0)
+        assert np.array_equal(perm, np.arange(graph.num_nodes))
+
+    def test_invalid_parameters(self, graph):
+        with pytest.raises(InvalidParameterError):
+            minla_order(graph, steps=-1)
+        with pytest.raises(InvalidParameterError):
+            minla_order(graph, standard_energy=-1.0)
+
+    def test_trivial_graphs(self):
+        from repro.graph import from_edges
+
+        empty = from_edges([], num_nodes=1)
+        assert minla_order(empty).tolist() == [0]
+        none = from_edges([], num_nodes=0)
+        assert minla_order(none).tolist() == []
+
+
+class TestMinloga:
+    def test_valid_permutation(self, graph):
+        assert_valid_permutation(
+            minloga_order(graph, seed=1), graph.num_nodes
+        )
+
+    def test_improves_log_energy(self, graph):
+        start = np.arange(graph.num_nodes, dtype=np.int64)
+        result = minloga_order(graph, seed=1, standard_energy=0.0)
+        assert minloga_energy(graph, result) <= minloga_energy(
+            graph, start
+        )
+
+    def test_objectives_differ(self, graph):
+        """MinLA and MinLogA optimise different objectives, so their
+        outputs should generally differ."""
+        a = minla_order(graph, seed=1)
+        b = minloga_order(graph, seed=1)
+        assert not np.array_equal(a, b)

@@ -1,0 +1,122 @@
+"""Empirical verification of the paper's approximation theorem."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import InvalidParameterError
+from repro.graph import from_edges, generators
+from repro.ordering import gorder_order, gorder_score
+from repro.ordering.theory import (
+    MAX_EXHAUSTIVE_NODES,
+    expected_score_lower_bound,
+    greedy_approximation_ratio,
+    hardness_witness,
+    optimal_score,
+    theoretical_bound,
+)
+
+from tests.conftest import graph_strategy
+
+
+class TestOptimalScore:
+    def test_empty_graph(self):
+        score, perm = optimal_score(from_edges([], num_nodes=0))
+        assert score == 0
+        assert perm.size == 0
+
+    def test_path_window_one(self):
+        # 0 -> 1 -> 2: identity already realises both unit gaps.
+        graph = from_edges([(0, 1), (1, 2)])
+        score, perm = optimal_score(graph, window=1)
+        assert score == 2
+        assert gorder_score(graph, perm, window=1) == score
+
+    def test_size_cap(self):
+        big = generators.ring(MAX_EXHAUSTIVE_NODES + 1)
+        with pytest.raises(InvalidParameterError, match="limited"):
+            optimal_score(big)
+
+    def test_optimum_is_achievable(self):
+        graph = generators.social_graph(7, edges_per_node=2, seed=4)
+        score, perm = optimal_score(graph, window=2)
+        assert gorder_score(graph, perm, window=2) == score
+
+
+class TestApproximationTheorem:
+    """Theorem 5.2: greedy >= optimal / (2w)."""
+
+    def test_bound_values(self):
+        assert theoretical_bound(1) == 0.5
+        assert theoretical_bound(5) == 0.1
+        with pytest.raises(InvalidParameterError):
+            theoretical_bound(0)
+
+    @pytest.mark.parametrize("window", [1, 2, 3])
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_holds_on_random_graphs(self, window, seed):
+        graph = generators.erdos_renyi(7, 14, seed=seed)
+        ratio = greedy_approximation_ratio(graph, window=window)
+        assert ratio >= theoretical_bound(window)
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph_strategy(max_nodes=7, max_edges=16))
+    def test_holds_property(self, graph):
+        ratio = greedy_approximation_ratio(graph, window=2)
+        assert ratio >= theoretical_bound(2)
+
+    def test_greedy_usually_near_optimal(self):
+        """In practice greedy lands way above the worst-case bound."""
+        ratios = [
+            greedy_approximation_ratio(
+                generators.erdos_renyi(7, 16, seed=s), window=2
+            )
+            for s in range(6)
+        ]
+        # Far above the 1/(2w) = 0.25 guarantee (observed ~0.78).
+        assert sum(ratios) / len(ratios) > 0.6
+
+    def test_witness_shows_suboptimality_exists(self):
+        """The problem is genuinely hard: greedy (or any fixed
+        heuristic) does not always achieve the optimum."""
+        graph = hardness_witness()
+        ratio = greedy_approximation_ratio(graph, window=1)
+        assert theoretical_bound(1) <= ratio <= 1.0
+
+    def test_witness_validation(self):
+        with pytest.raises(InvalidParameterError):
+            hardness_witness(num_nodes=3)
+
+
+class TestExpectedRandomScore:
+    def test_tiny_graph_exact(self):
+        # Two nodes, one edge: any arrangement scores S(0,1) = 1.
+        graph = from_edges([(0, 1)])
+        assert expected_score_lower_bound(
+            graph, window=1
+        ) == pytest.approx(1.0)
+
+    def test_matches_empirical_mean(self):
+        graph = generators.erdos_renyi(8, 20, seed=2)
+        expected = expected_score_lower_bound(graph, window=2)
+        rng = np.random.default_rng(0)
+        samples = [
+            gorder_score(
+                graph,
+                rng.permutation(8).astype(np.int64),
+                window=2,
+            )
+            for _ in range(300)
+        ]
+        assert np.mean(samples) == pytest.approx(expected, rel=0.15)
+
+    def test_greedy_beats_random_expectation(self):
+        graph = generators.social_graph(60, edges_per_node=4, seed=3)
+        greedy = gorder_score(graph, gorder_order(graph, window=3),
+                              window=3)
+        assert greedy > expected_score_lower_bound(graph, window=3)
+
+    def test_single_node(self):
+        assert expected_score_lower_bound(
+            from_edges([], num_nodes=1)
+        ) == 0.0

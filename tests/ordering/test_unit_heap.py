@@ -1,0 +1,165 @@
+"""Unit and model-based property tests for the unit heap."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.ordering import UnitHeap
+
+
+class TestBasics:
+    def test_initial_state(self):
+        heap = UnitHeap(3)
+        assert len(heap) == 3
+        assert all(i in heap for i in range(3))
+        assert heap.key_of(1) == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            UnitHeap(-1)
+
+    def test_empty_heap(self):
+        heap = UnitHeap(0)
+        assert len(heap) == 0
+        with pytest.raises(IndexError):
+            heap.pop_max()
+        with pytest.raises(IndexError):
+            heap.peek_max_key()
+
+    def test_increase_and_pop(self):
+        heap = UnitHeap(3)
+        heap.increase(1)
+        heap.increase(1)
+        heap.increase(2)
+        assert heap.peek_max_key() == 2
+        assert heap.pop_max() == 1
+        assert heap.pop_max() == 2
+        assert heap.pop_max() == 0
+        assert len(heap) == 0
+
+    def test_decrease(self):
+        heap = UnitHeap(2)
+        heap.increase(0)
+        heap.increase(0)
+        heap.decrease(0)
+        heap.increase(1)
+        # Both at key 1; FIFO tie-break: 0 reached key 1 first... but 0
+        # re-entered bucket 1 after the decrease, so 1 may come first.
+        # Only the key value is part of the contract.
+        assert heap.key_of(0) == 1
+        assert heap.key_of(1) == 1
+
+    def test_updates_after_removal_ignored(self):
+        heap = UnitHeap(2)
+        heap.remove(0)
+        heap.increase(0)
+        heap.decrease(0)
+        assert 0 not in heap
+        assert heap.pop_max() == 1
+
+    def test_popped_item_not_resurrected(self):
+        heap = UnitHeap(2)
+        heap.increase(0)
+        assert heap.pop_max() == 0
+        heap.increase(0)
+        assert heap.pop_max() == 1
+
+    def test_remove_is_idempotent(self):
+        heap = UnitHeap(2)
+        heap.remove(1)
+        heap.remove(1)
+        assert len(heap) == 1
+
+    def test_max_key_recovers_after_pops(self):
+        heap = UnitHeap(3)
+        for _ in range(5):
+            heap.increase(0)
+        heap.increase(1)
+        assert heap.pop_max() == 0
+        assert heap.peek_max_key() == 1
+        assert heap.pop_max() == 1
+
+
+@st.composite
+def operation_sequences(draw):
+    size = draw(st.integers(1, 8))
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["inc", "dec", "pop", "remove"]),
+                st.integers(0, size - 1),
+            ),
+            max_size=60,
+        )
+    )
+    return size, ops
+
+
+class TestModelBased:
+    @given(operation_sequences())
+    def test_matches_reference_model(self, case):
+        """Replay random operations against a dict-based reference."""
+        size, ops = case
+        heap = UnitHeap(size)
+        model: dict[int, int] = {i: 0 for i in range(size)}
+        for op, item in ops:
+            if op == "inc":
+                heap.increase(item)
+                if item in model:
+                    model[item] += 1
+            elif op == "dec":
+                heap.decrease(item)
+                if item in model:
+                    model[item] -= 1
+            elif op == "remove":
+                heap.remove(item)
+                model.pop(item, None)
+            elif op == "pop" and model:
+                popped = heap.pop_max()
+                max_key = max(model.values())
+                assert model[popped] == max_key
+                del model[popped]
+            assert len(heap) == len(model)
+            for node, key in model.items():
+                assert heap.key_of(node) == key
+
+
+class TestGorderUsagePattern:
+    def test_window_slide_pattern(self):
+        """Exercise the exact usage Gorder makes: bursts of increases
+        when a node enters the window, matching decreases when it
+        leaves, pops in between — keys must never go negative and the
+        heap must drain completely."""
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        n = 60
+        heap = UnitHeap(n)
+        window: list[list[int]] = []
+        placed = []
+        heap.remove(0)
+        placed.append(0)
+        for step in range(1, n):
+            burst = [
+                int(rng.integers(0, n)) for _ in range(6)
+            ]
+            for item in burst:
+                heap.increase(item)
+            window.append(burst)
+            if len(window) > 5:
+                for item in window.pop(0):
+                    heap.decrease(item)
+            chosen = heap.pop_max()
+            placed.append(chosen)
+        assert sorted(placed) == list(range(n))
+        assert len(heap) == 0
+
+    def test_interleaved_increase_decrease_never_corrupts(self):
+        heap = UnitHeap(10)
+        for _ in range(200):
+            heap.increase(3)
+            heap.increase(3)
+            heap.decrease(3)
+        assert heap.key_of(3) == 200
+        assert heap.pop_max() == 3

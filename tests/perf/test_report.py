@@ -1,0 +1,122 @@
+"""Unit tests for the plain-text report rendering."""
+
+from repro.cache import CacheStats, RunCost
+from repro.perf import (
+    RunResult,
+    render_bar,
+    render_cache_stats,
+    render_rank_histogram,
+    render_speedup_series,
+    render_stall_split,
+    render_table,
+)
+
+
+def make_result(cycles=1000.0, stall=400.0):
+    return RunResult(
+        dataset="d",
+        algorithm="a",
+        ordering="o",
+        cost=RunCost(execute_cycles=cycles - stall, stall_cycles=stall),
+        stats=CacheStats(100, 20, 20, 10, 10, 5),
+        ordering_seconds=0.1,
+        simulation_seconds=0.2,
+    )
+
+
+class TestTable:
+    def test_headers_and_rows(self):
+        text = render_table(["a", "b"], [[1, 2], [30, 40]])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "30" in lines[3]
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_empty_rows(self):
+        text = render_table(["col"], [])
+        assert "col" in text
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[3.14159]])
+        assert "3.14" in text
+
+
+class TestBar:
+    def test_full_bar(self):
+        assert render_bar(2.0, 2.0, width=10) == "#" * 10
+
+    def test_half_bar(self):
+        assert render_bar(1.0, 2.0, width=10) == "#" * 5
+
+    def test_zero_scale(self):
+        assert render_bar(1.0, 0.0) == ""
+
+    def test_clamped(self):
+        assert render_bar(5.0, 2.0, width=10) == "#" * 10
+
+
+class TestSpeedupSeries:
+    def test_contains_orderings_and_values(self):
+        text = render_speedup_series(
+            "PR on sdarc", {"original": 1.5, "gorder": 1.0}
+        )
+        assert "PR on sdarc" in text
+        assert "original" in text
+        assert "1.50" in text
+
+    def test_clipping_marker(self):
+        text = render_speedup_series("t", {"random": 3.7}, limit=2.0)
+        assert "+" in text
+
+
+class TestStallSplit:
+    def test_renders_percentages(self):
+        text = render_stall_split("F1", {"nq": make_result()})
+        assert "nq" in text
+        assert "40.0%" in text  # stall share
+
+
+class TestCacheStats:
+    def test_columns(self):
+        text = render_cache_stats("T3", {"gorder": make_result()})
+        assert "L1-mr" in text
+        assert "20.0 %" in text  # 20/100
+        assert "5.0 %" in text  # cache-mr 5/100
+
+
+class TestRankHistogram:
+    def test_sorted_by_mean_rank(self):
+        histogram = {
+            "worse": [0, 2],
+            "better": [2, 0],
+        }
+        text = render_rank_histogram("F6", histogram)
+        lines = text.splitlines()
+        assert lines[3].split()[0] == "better"
+        assert lines[4].split()[0] == "worse"
+
+
+class TestHeatmap:
+    def test_landscape(self):
+        from repro.perf import render_heatmap
+
+        values = {
+            (1.0, 0.0): 100.0,
+            (1.0, 1.0): 500.0,
+            (2.0, 0.0): 100.0,
+            (2.0, 1.0): 300.0,
+        }
+        text = render_heatmap("F3", values, "steps", "k")
+        assert "F3" in text
+        assert "@" in text  # the hottest cell
+        assert "scale" in text
+
+    def test_flat_values(self):
+        from repro.perf import render_heatmap
+
+        values = {(0.0, 0.0): 7.0, (0.0, 1.0): 7.0}
+        text = render_heatmap("flat", values)
+        assert "flat" in text

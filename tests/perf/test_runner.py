@@ -1,0 +1,153 @@
+"""Unit tests for the experiment runner."""
+
+import pytest
+
+from repro.graph import generators
+from repro.perf import OrderingCache, run_cell, time_ordering
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.social_graph(
+        120, edges_per_node=5, seed=55, name="runner-test"
+    )
+
+
+class TestRunCell:
+    def test_result_fields(self, graph):
+        result = run_cell(graph, "nq", "gorder")
+        assert result.dataset == "runner-test"
+        assert result.algorithm == "nq"
+        assert result.ordering == "gorder"
+        assert result.cycles > 0
+        assert result.stats.l1_refs > 0
+        assert result.simulation_seconds >= 0
+
+    def test_deterministic(self, graph):
+        cache = OrderingCache()
+        a = run_cell(graph, "pr", "rcm", params={"iterations": 2},
+                     cache=cache)
+        b = run_cell(graph, "pr", "rcm", params={"iterations": 2},
+                     cache=cache)
+        assert a.cycles == b.cycles
+        assert a.stats == b.stats
+
+    def test_scalar_source_mapped_through_permutation(self, graph):
+        """SP from logical source s must do the same logical work for
+        every ordering - the distance profile (sorted) is identical."""
+        a = run_cell(graph, "sp", "original", params={"source": 3})
+        b = run_cell(graph, "sp", "random", params={"source": 3},
+                     seed=9)
+        assert a.stats.l1_refs == pytest.approx(
+            b.stats.l1_refs, rel=0.1
+        )
+
+    def test_sequence_sources_mapped(self, graph):
+        result = run_cell(
+            graph, "diam", "gorder", params={"sources": [0, 5]}
+        )
+        assert result.cycles > 0
+
+    def test_dataset_name_override(self, graph):
+        result = run_cell(graph, "nq", "original",
+                          dataset_name="override")
+        assert result.dataset == "override"
+
+    def test_ordering_seconds_memoised(self, graph):
+        cache = OrderingCache()
+        first = run_cell(graph, "nq", "gorder", cache=cache)
+        second = run_cell(graph, "bfs", "gorder", cache=cache)
+        # Same cached ordering time reported for both runs.
+        assert second.ordering_seconds == first.ordering_seconds
+
+
+class TestOrderingCache:
+    def test_memoises_permutation(self, graph):
+        cache = OrderingCache()
+        perm_a, _ = cache.permutation(graph, "gorder", 0)
+        perm_b, _ = cache.permutation(graph, "gorder", 0)
+        assert perm_a is perm_b
+
+    def test_distinct_seeds_distinct_entries(self, graph):
+        cache = OrderingCache()
+        perm_a, _ = cache.permutation(graph, "random", 1)
+        perm_b, _ = cache.permutation(graph, "random", 2)
+        assert not (perm_a is perm_b)
+
+    def test_relabeled_graph_memoised(self, graph):
+        cache = OrderingCache()
+        graph_a, _, _ = cache.relabeled(graph, "rcm", 0)
+        graph_b, _, _ = cache.relabeled(graph, "rcm", 0)
+        assert graph_a is graph_b
+
+    def test_clear(self, graph):
+        cache = OrderingCache()
+        perm_a, _ = cache.permutation(graph, "rcm", 0)
+        cache.clear()
+        perm_b, _ = cache.permutation(graph, "rcm", 0)
+        assert perm_a is not perm_b
+
+
+class TestTimeOrdering:
+    def test_positive(self, graph):
+        assert time_ordering(graph, "indegsort") > 0
+
+    def test_repeats_take_minimum(self, graph):
+        assert time_ordering(graph, "indegsort", repeats=2) > 0
+
+
+class TestCachePinning:
+    def test_cached_graph_ids_cannot_be_recycled(self):
+        """The cache pins keyed graphs so a freed graph's id cannot
+        alias a new one and return a stale permutation."""
+        import gc
+
+        from repro.graph import generators
+
+        cache = OrderingCache()
+        results = {}
+        for round_number in range(8):
+            # Without pinning, these short-lived graphs frequently
+            # reuse each other's ids.
+            transient = generators.erdos_renyi(
+                60, 200, seed=round_number, name=f"g{round_number}"
+            )
+            perm, _ = cache.permutation(transient, "indegsort", 0)
+            results[round_number] = (transient, perm.copy())
+            del transient
+            gc.collect()
+        for round_number, (kept, perm) in results.items():
+            from repro.ordering import indegsort_order
+
+            expected = indegsort_order(kept)
+            assert (perm == expected).all()
+
+
+class TestRunnerConfiguration:
+    def test_custom_hierarchy(self, graph):
+        from repro.cache import CacheHierarchy, CacheLevel
+
+        tiny = CacheHierarchy(
+            [CacheLevel(512, 64, 8, "L1")], name="tiny"
+        )
+        big = CacheHierarchy(
+            [CacheLevel(1 << 20, 64, 8, "L1")], name="big"
+        )
+        slow = run_cell(graph, "nq", "original", hierarchy=tiny)
+        fast = run_cell(graph, "nq", "original", hierarchy=big)
+        # A bigger cache can only reduce simulated cycles.
+        assert fast.cycles <= slow.cycles
+
+    def test_custom_cost_model(self, graph):
+        from repro.cache import CostModel
+
+        free_memory = CostModel(memory_stall=0.0, l2_stall=0.0,
+                                l3_stall=0.0)
+        result = run_cell(
+            graph, "nq", "original", cost_model=free_memory
+        )
+        assert result.cost.stall_cycles == 0.0
+
+    def test_stats_refs_positive(self, graph):
+        result = run_cell(graph, "bfs", "rcm")
+        assert result.stats.l1_refs > graph.num_nodes

@@ -1,0 +1,106 @@
+"""Tests for the JSON result store."""
+
+import json
+
+import pytest
+
+from repro.cache import CacheStats, RunCost
+from repro.perf import RunResult
+from repro.perf.store import (
+    ResultStoreError,
+    compare_runs,
+    load_results,
+    result_from_dict,
+    result_to_dict,
+    save_results,
+)
+
+
+def make_result(dataset="d", algorithm="a", ordering="o", cycles=100.0):
+    return RunResult(
+        dataset=dataset,
+        algorithm=algorithm,
+        ordering=ordering,
+        cost=RunCost(execute_cycles=cycles * 0.3,
+                     stall_cycles=cycles * 0.7),
+        stats=CacheStats(1000, 100, 100, 50, 50, 10),
+        ordering_seconds=0.5,
+        simulation_seconds=1.5,
+    )
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self):
+        result = make_result()
+        assert result_from_dict(result_to_dict(result)) == result
+
+    def test_file_roundtrip(self, tmp_path):
+        results = {
+            ("d", "a", "o"): make_result(),
+            ("d", "a", "p"): make_result(ordering="p", cycles=200.0),
+        }
+        path = tmp_path / "run.json"
+        save_results(results, path, metadata={"profile": "quick"})
+        loaded = load_results(path)
+        assert loaded == results
+
+    def test_list_input(self, tmp_path):
+        path = tmp_path / "run.json"
+        save_results([make_result()], path)
+        assert ("d", "a", "o") in load_results(path)
+
+    def test_metadata_preserved_in_file(self, tmp_path):
+        path = tmp_path / "run.json"
+        save_results([make_result()], path, metadata={"note": "x"})
+        assert json.loads(path.read_text())["metadata"] == {"note": "x"}
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ResultStoreError, match="cannot read"):
+            load_results(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ResultStoreError, match="cannot read"):
+            load_results(path)
+
+    def test_wrong_schema(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"schema": 99, "results": []}))
+        with pytest.raises(ResultStoreError, match="schema"):
+            load_results(path)
+
+    def test_malformed_record(self):
+        with pytest.raises(ResultStoreError, match="malformed"):
+            result_from_dict({"dataset": "d"})
+
+
+class TestCompare:
+    def test_ratios(self):
+        before = {("d", "a", "o"): make_result(cycles=100.0)}
+        after = {("d", "a", "o"): make_result(cycles=150.0)}
+        ratios = compare_runs(before, after)
+        assert ratios[("d", "a", "o")] == pytest.approx(1.5)
+
+    def test_missing_cells_skipped(self):
+        before = {("d", "a", "o"): make_result()}
+        assert compare_runs(before, {}) == {}
+
+    def test_real_matrix_roundtrip(self, tmp_path):
+        """End to end over an actual tiny experiment matrix."""
+        from repro.perf import Profile, speedup_matrix
+
+        profile = Profile(
+            name="tiny",
+            datasets=("epinion",),
+            orderings=("original", "gorder"),
+            algorithms=("nq",),
+        )
+        matrix = speedup_matrix(profile)
+        path = tmp_path / "matrix.json"
+        save_results(matrix, path)
+        loaded = load_results(path)
+        ratios = compare_runs(matrix, loaded)
+        assert all(r == pytest.approx(1.0) for r in ratios.values())

@@ -1,0 +1,43 @@
+"""CLI experiment subcommands on a narrowed dataset set.
+
+The heavy subcommands (speedup/ranking/stall/ordering-time) honour
+``REPRO_DATASETS``; pinning it to epinion keeps these end-to-end tests
+fast while covering the code paths for real.
+"""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def narrow_profile(monkeypatch):
+    monkeypatch.setenv("REPRO_PROFILE", "quick")
+    monkeypatch.setenv("REPRO_DATASETS", "epinion")
+
+
+class TestExperimentCommands:
+    def test_ordering_time(self, capsys):
+        assert main(["ordering-time"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 2" in output
+        assert "gorder" in output
+
+    def test_stall(self, capsys):
+        assert main(["stall", "--dataset", "epinion"]) == 0
+        output = capsys.readouterr().out
+        assert "original order" in output
+        assert "gorder order" in output
+        assert "stall%" in output
+
+    def test_speedup(self, capsys):
+        assert main(["speedup"]) == 0
+        output = capsys.readouterr().out
+        assert "relative to Gorder" in output
+        assert "random" in output
+
+    def test_ranking(self, capsys):
+        assert main(["ranking"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 6" in output
+        assert "#1" in output

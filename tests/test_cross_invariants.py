@@ -1,0 +1,126 @@
+"""Cross-module identities and conservation laws.
+
+Each test here ties two independently implemented pieces together:
+if either drifts, the identity breaks.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CacheHierarchy, CacheLevel, Memory
+from repro.graph import invert_permutation
+from repro.ordering import (
+    gorder_order,
+    gorder_score,
+    gorder_sequence,
+    window_scores,
+)
+
+from tests.conftest import graph_strategy
+
+
+class TestScoreIdentities:
+    @settings(max_examples=20, deadline=None)
+    @given(graph_strategy(max_nodes=9, max_edges=24))
+    def test_window_scores_sum_to_objective(self, graph):
+        """Sum of per-step window scores == F of the arrangement."""
+        window = 3
+        sequence = gorder_sequence(graph, window=window)
+        perm = gorder_order(graph, window=window)
+        assert int(
+            window_scores(graph, sequence, window=window).sum()
+        ) == gorder_score(graph, perm, window=window)
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph_strategy(max_nodes=9, max_edges=24))
+    def test_sequence_and_order_agree(self, graph):
+        sequence = gorder_sequence(graph)
+        perm = gorder_order(graph)
+        assert np.array_equal(invert_permutation(perm), sequence)
+
+
+class TestHierarchyConservation:
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=300))
+    def test_reference_flow_conservation(self, trace):
+        """Refs at level k+1 == misses at level k, for every level."""
+        hierarchy = CacheHierarchy(
+            [
+                CacheLevel(2 * 64, 64, 2, "L1"),
+                CacheLevel(4 * 64, 64, 4, "L2"),
+                CacheLevel(8 * 64, 64, 8, "L3"),
+            ]
+        )
+        for line in trace:
+            hierarchy.access(line)
+        levels = hierarchy.levels
+        assert levels[1].refs == levels[0].misses
+        assert levels[2].refs == levels[1].misses
+        stats = hierarchy.snapshot()
+        assert stats.l1_refs == len(trace)
+        assert stats.l3_misses <= stats.l1_misses
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=300))
+    def test_miss_rates_monotone_down_the_stack(self, trace):
+        """Deeper levels see fewer references than shallower ones."""
+        hierarchy = CacheHierarchy(
+            [
+                CacheLevel(2 * 64, 64, 2, "L1"),
+                CacheLevel(8 * 64, 64, 8, "L2"),
+            ]
+        )
+        for line in trace:
+            hierarchy.access(line)
+        stats = hierarchy.snapshot()
+        assert stats.l3_refs <= stats.l1_refs
+
+
+class TestMemoryLayout:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 200),  # length
+                st.sampled_from([1, 2, 4, 8]),  # itemsize
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_arrays_never_share_lines(self, shapes):
+        memory = Memory()
+        arrays = [
+            memory.array(f"a{i}", length, itemsize)
+            for i, (length, itemsize) in enumerate(shapes)
+        ]
+        spans = []
+        for array, (length, itemsize) in zip(arrays, shapes):
+            first = array.line_of(0)
+            last = array.line_of(max(length - 1, 0))
+            spans.append((first, last))
+        for i in range(len(spans)):
+            for j in range(i + 1, len(spans)):
+                lo_i, hi_i = spans[i]
+                lo_j, hi_j = spans[j]
+                assert hi_i < lo_j or hi_j < lo_i
+
+    def test_total_refs_equals_level_counts(self):
+        memory = Memory()
+        array = memory.array("a", 100, 4)
+        for index in range(0, 100, 3):
+            array.touch(index)
+        assert memory.total_refs == sum(memory.level_counts)
+
+
+class TestStatsVsCost:
+    def test_stall_only_from_non_l1_levels(self):
+        """A trace that always hits L1 after warmup stalls only on the
+        warmup misses."""
+        memory = Memory()
+        array = memory.array("a", 8, 4)  # one cache line
+        for _ in range(100):
+            array.touch(0)
+        cost = memory.cost()
+        model = memory.cost_model
+        assert cost.stall_cycles == model.memory_stall  # 1 cold miss
+        assert cost.execute_cycles == 100 * model.execute_per_ref

@@ -1,0 +1,113 @@
+"""Adversarial and boundary inputs across the public API."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    breadth_first_search,
+    core_decomposition,
+    dominating_set,
+    pagerank,
+    strongly_connected_components,
+)
+from repro.cache import CacheHierarchy, CacheLevel, Memory
+from repro.graph import from_edges, generators, relabel
+from repro.ordering import (
+    REGISTRY,
+    compute_ordering,
+    gorder_order,
+    gorder_score,
+)
+
+from tests.conftest import assert_valid_permutation
+
+
+class TestWindowExtremes:
+    def test_window_larger_than_graph(self):
+        graph = from_edges([(0, 1), (1, 2), (2, 0)])
+        perm = gorder_order(graph, window=100)
+        assert_valid_permutation(perm, 3)
+
+    def test_window_equal_to_n(self):
+        graph = generators.ring(6)
+        perm = gorder_order(graph, window=6)
+        assert_valid_permutation(perm, 6)
+
+    def test_score_with_giant_window_counts_all_pairs(self):
+        graph = from_edges([(0, 1), (1, 2)])
+        full = gorder_score(graph, np.array([0, 1, 2]), window=10)
+        # All 3 pairs in window; pairs (0,1) and (1,2) score 1 each.
+        assert full == 2
+
+
+class TestDegenerateGraphs:
+    def test_two_node_graph_all_orderings(self):
+        graph = from_edges([(0, 1)])
+        for name in REGISTRY:
+            assert_valid_permutation(
+                compute_ordering(name, graph, seed=1), 2
+            )
+
+    def test_self_loop_only_graph(self):
+        graph = from_edges([(0, 0)], keep_self_loops=True)
+        assert breadth_first_search(graph).tolist() == [0]
+        assert strongly_connected_components(graph).tolist() == [0]
+        assert pagerank(graph, iterations=5).sum() == pytest.approx(1)
+
+    def test_star_with_huge_hub(self):
+        graph = generators.star(500)
+        assert dominating_set(graph).tolist() == [0]
+        core = core_decomposition(graph)
+        assert core.max() == 1
+
+    def test_complete_graph_orderings(self):
+        graph = generators.complete(12)
+        for name in ("gorder", "rcm", "slashburn", "ldg"):
+            assert_valid_permutation(
+                compute_ordering(name, graph, seed=1), 12
+            )
+
+    def test_long_path_stack_safety(self):
+        """Deep recursion shapes must not hit the recursion limit
+        (all traversals are iterative)."""
+        graph = generators.path(30000)
+        preorder = compute_ordering("chdfs", graph)
+        assert_valid_permutation(preorder, 30000)
+        components = strongly_connected_components(graph)
+        assert components.shape == (30000,)
+
+
+class TestLargeIds:
+    def test_sparse_high_ids(self):
+        graph = from_edges([(0, 99999)])
+        assert graph.num_nodes == 100000
+        assert graph.num_edges == 1
+
+    def test_relabel_huge_sparse(self):
+        graph = from_edges([(0, 9999)], num_nodes=10000)
+        rng = np.random.default_rng(1)
+        perm = rng.permutation(10000).astype(np.int64)
+        relabeled = relabel(graph, perm)
+        assert relabeled.has_edge(int(perm[0]), int(perm[9999]))
+
+
+class TestCacheExtremes:
+    def test_single_line_cache(self):
+        hierarchy = CacheHierarchy([CacheLevel(64, 64, 1, "L1")])
+        memory = Memory(hierarchy)
+        array = memory.array("a", 32, 4)
+        array.touch(0)
+        array.touch(31)  # different line: evicts, then misses back
+        array.touch(0)
+        assert memory.level_counts[0] == 3  # everything misses
+
+    def test_zero_cost_run(self):
+        memory = Memory()
+        assert memory.cost().total_cycles == 0
+        assert memory.stats().l1_refs == 0
+
+    def test_enormous_array_indexing(self):
+        memory = Memory()
+        array = memory.array("big", 10**9, 8)
+        array.touch(10**9 - 1)  # must not overflow or wrap
+        assert memory.total_refs == 1

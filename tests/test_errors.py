@@ -1,0 +1,51 @@
+"""The exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    GraphFormatError,
+    InvalidParameterError,
+    InvalidPermutationError,
+    ReproError,
+    UnknownAlgorithmError,
+    UnknownDatasetError,
+    UnknownOrderingError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            GraphFormatError,
+            InvalidPermutationError,
+            InvalidParameterError,
+            UnknownOrderingError,
+            UnknownDatasetError,
+            UnknownAlgorithmError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+
+    def test_repro_error_is_an_exception(self):
+        assert issubclass(ReproError, Exception)
+        assert not issubclass(ReproError, (TypeError, ValueError))
+
+    def test_catch_all_boundary(self):
+        """Library misuse is catchable with one except clause."""
+        from repro.graph import datasets
+        from repro.ordering import compute_ordering
+
+        caught = 0
+        for trigger in (
+            lambda: datasets.load("nope"),
+            lambda: compute_ordering(
+                "nope", datasets.load("epinion")
+            ),
+        ):
+            try:
+                trigger()
+            except ReproError:
+                caught += 1
+        assert caught == 2
