@@ -3,7 +3,7 @@
 Wei, Yu, Lu & Lin (SIGMOD 2016), cross-checked against the ReScience
 replication by Lécuyer, Danisch & Tabourier (2021).
 
-The package has five layers:
+The package has six layers:
 
 * :mod:`repro.graph` — CSR graphs, builders, I/O, synthetic dataset
   analogues of the paper's benchmarks.
@@ -16,6 +16,8 @@ The package has five layers:
   in a pure and a cache-traced variant.
 * :mod:`repro.perf` — the experiment harness reproducing every table
   and figure.
+* :mod:`repro.obs` — telemetry: structured events, spans, counters
+  and run manifests (off by default, see ``docs/telemetry.md``).
 
 Quickstart::
 
@@ -25,7 +27,7 @@ Quickstart::
     ranks = pagerank(ordered)
 """
 
-from repro import algorithms, cache, graph, ordering, perf
+from repro import algorithms, cache, graph, obs, ordering, perf
 from repro.algorithms import (
     breadth_first_search,
     core_decomposition,
@@ -77,6 +79,7 @@ __all__ = [
     "ordering",
     "algorithms",
     "perf",
+    "obs",
     "datasets",
     "CSRGraph",
     "from_edges",

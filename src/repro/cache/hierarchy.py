@@ -18,6 +18,7 @@ Two standard geometries are provided:
 
 from __future__ import annotations
 
+from repro import obs
 from repro.cache.level import CacheLevel
 from repro.cache.stats import CacheStats
 from repro.errors import InvalidParameterError
@@ -94,6 +95,21 @@ class CacheHierarchy:
             last.refs,
             last.misses,
         )
+
+    def publish_telemetry(self, prefix: str = "cache") -> None:
+        """Add this hierarchy's per-level refs/misses to the telemetry
+        counters (``cache.l1.refs``, ``cache.l1.misses``, ...).
+
+        Counters accumulate across calls, so publishing after every
+        simulated run totals the traffic of the whole process.  No-op
+        while telemetry is disabled.
+        """
+        if not obs.enabled():
+            return
+        for level in self.levels:
+            name = level.name.lower()
+            obs.inc(f"{prefix}.{name}.refs", int(level.refs))
+            obs.inc(f"{prefix}.{name}.misses", int(level.misses))
 
     def reset_statistics(self) -> None:
         """Zero all counters, keeping cache contents (for warm runs)."""

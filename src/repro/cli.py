@@ -13,6 +13,12 @@ Subcommands map onto the paper's artifacts and common library tasks::
     repro-gorder ordering-time --profile quick  # Table 2
     repro-gorder window --dataset flickr  # Figure 4 sweep
     repro-gorder annealing                # Figure 3 sweep
+    repro-gorder telemetry trace.jsonl    # summarise a telemetry trace
+
+Every subcommand accepts the telemetry flags ``--log-level LEVEL``
+(text events on stderr; ``-v`` is an alias for ``--log-level info``)
+and ``--log-json PATH`` (machine-readable JSONL trace; see
+``docs/telemetry.md``).
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ import argparse
 import sys
 
 
-from repro import perf
+from repro import obs, perf
 from repro.algorithms import ALGORITHM_NAMES
 from repro.errors import ReproError
 from repro.graph import datasets, read_edge_list
@@ -91,7 +97,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_speedup(args: argparse.Namespace) -> int:
     profile = perf.get_profile(args.profile)
-    matrix = perf.speedup_matrix(profile, progress=args.verbose)
+    matrix = perf.speedup_matrix(profile)
     relative = perf.relative_to_gorder(matrix)
     for algorithm in profile.algorithms:
         for dataset in profile.datasets:
@@ -291,16 +297,93 @@ def _cmd_annealing(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    summary = obs.summarize_trace(args.trace)
+    print(f"trace       : {summary.path}")
+    print(f"events      : {summary.num_events}")
+    if summary.manifest:
+        manifest = summary.manifest
+        sha = manifest.get("git_sha") or "unknown"
+        print(
+            f"produced by : repro {manifest.get('repro_version', '?')} "
+            f"@ {str(sha)[:12]}, python {manifest.get('python', '?')}, "
+            f"numpy {manifest.get('numpy', '?')}"
+        )
+        if manifest.get("profile") or manifest.get("seed") is not None:
+            print(
+                f"run         : profile={manifest.get('profile')} "
+                f"seed={manifest.get('seed')}"
+            )
+    if summary.unclosed:
+        print(f"warning     : {summary.unclosed} span(s) never closed")
+    if summary.spans:
+        rows = [
+            [
+                span.name,
+                span.count,
+                f"{span.total_seconds:.4f}",
+                f"{1e3 * span.mean_seconds:.2f}",
+                f"{1e3 * span.max_seconds:.2f}",
+            ]
+            for span in summary.spans[: args.top]
+        ]
+        print()
+        print(
+            report.render_table(
+                ["span", "count", "total(s)", "mean(ms)", "max(ms)"],
+                rows,
+                title=f"Top spans by total time (of {len(summary.spans)})",
+            )
+        )
+    if summary.counters:
+        print()
+        print(
+            report.render_table(
+                ["counter", "total"],
+                [
+                    [name, value]
+                    for name, value in sorted(summary.counters.items())
+                ],
+                title="Counter totals",
+            )
+        )
+    if not summary.spans and not summary.counters:
+        print("no spans or counters in this trace")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-gorder",
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
+    # Telemetry flags are accepted by every subcommand (argparse only
+    # resolves flags placed after the subcommand via parents=).
+    telemetry_flags = argparse.ArgumentParser(add_help=False)
+    group = telemetry_flags.add_argument_group("telemetry")
+    group.add_argument(
+        "--log-level",
+        choices=sorted(obs.LEVELS),
+        default=None,
+        help="emit telemetry events to stderr at this level",
+    )
+    group.add_argument(
+        "--log-json",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL telemetry trace to PATH",
+    )
+    group.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="alias for --log-level info",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add(name, func, **kwargs):
-        p = sub.add_parser(name, **kwargs)
+        p = sub.add_parser(name, parents=[telemetry_flags], **kwargs)
         p.set_defaults(func=func)
         return p
 
@@ -330,7 +413,6 @@ def build_parser() -> argparse.ArgumentParser:
     ]:
         p = add(name, func, help=help_text)
         p.add_argument("--profile", default=None)
-        p.add_argument("-v", "--verbose", action="store_true")
 
     p = add("stall", _cmd_stall, help="Figure 1: execute vs stall")
     p.add_argument("--dataset", default="sdarc")
@@ -373,17 +455,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ordering", default="gorder",
                    choices=ORDERING_NAMES)
 
+    p = add("telemetry", _cmd_telemetry,
+            help="summarise a --log-json JSONL trace")
+    p.add_argument("trace", help="path to a JSONL trace file")
+    p.add_argument("--top", type=int, default=15,
+                   help="show this many spans (default 15)")
+
     return parser
+
+
+def _configure_telemetry(args: argparse.Namespace) -> bool:
+    """Enable telemetry when any log flag was given.  True if enabled."""
+    level = getattr(args, "log_level", None)
+    if level is None and getattr(args, "verbose", False):
+        level = "info"
+    jsonl_path = getattr(args, "log_json", None)
+    if level is None and jsonl_path is None:
+        return False
+    obs.configure(
+        level=level or "info",
+        jsonl_path=jsonl_path,
+        text_stream=sys.stderr if level is not None else None,
+    )
+    obs.emit_manifest(
+        profile=getattr(args, "profile", None),
+        seed=getattr(args, "seed", None),
+        command=args.command,
+    )
+    return True
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configured = False
     try:
+        configured = _configure_telemetry(args)
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if configured:
+            obs.emit_counters()
+            obs.shutdown()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,209 @@
+"""repro.obs — telemetry: events, spans, counters, run manifests.
+
+The observability layer of the reproduction.  Every ordering kernel,
+cache simulation and experiment sweep reports *what it did and how
+long it took* through this package, as machine-readable JSON-lines
+events plus an in-process registry of counters and span timings.
+
+Telemetry is **off by default** and costs one boolean check per call
+site when off (hot loops hoist even that, see
+:func:`repro.ordering.gorder.gorder_sequence`).  Switch it on with
+:func:`configure`::
+
+    from repro import obs
+
+    obs.configure(level="info", jsonl_path="trace.jsonl")
+    with obs.span("my.phase", n=1000):
+        obs.inc("my.counter", 3)
+    obs.emit_counters()
+    obs.shutdown()
+
+or from the CLI with ``repro-gorder <cmd> --log-level info`` /
+``--log-json trace.jsonl``; summarise a trace afterwards with
+``repro-gorder telemetry trace.jsonl``.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO
+
+from repro.obs.core import (
+    LEVELS,
+    LOGGER_NAME,
+    NOOP_SPAN,
+    Span,
+    SpanStats,
+    TELEMETRY,
+    Telemetry,
+    TelemetryError,
+)
+from repro.obs.manifest import git_sha, run_manifest
+from repro.obs.sinks import (
+    CaptureHandler,
+    JsonlHandler,
+    TextFormatter,
+    text_handler,
+)
+from repro.obs.summary import (
+    SpanSummary,
+    TraceSummary,
+    iter_trace,
+    summarize_trace,
+)
+
+__all__ = [
+    "configure",
+    "shutdown",
+    "reset",
+    "enabled",
+    "span",
+    "event",
+    "progress",
+    "inc",
+    "counters",
+    "span_stats",
+    "emit_counters",
+    "emit_manifest",
+    "captured",
+    "run_manifest",
+    "git_sha",
+    "summarize_trace",
+    "iter_trace",
+    "Telemetry",
+    "TelemetryError",
+    "TELEMETRY",
+    "Span",
+    "SpanStats",
+    "SpanSummary",
+    "TraceSummary",
+    "CaptureHandler",
+    "JsonlHandler",
+    "TextFormatter",
+    "NOOP_SPAN",
+    "LEVELS",
+    "LOGGER_NAME",
+]
+
+_capture: CaptureHandler | None = None
+
+
+def configure(
+    level: str = "info",
+    jsonl_path: str | None = None,
+    text_stream: IO[str] | None = None,
+    capture: bool = False,
+) -> Telemetry:
+    """Enable telemetry and attach the requested sinks.
+
+    Parameters
+    ----------
+    level:
+        Minimum level for the *text* sink (``debug``/``info``/
+        ``warning``/``error``).  The JSONL and capture sinks always
+        record everything.
+    jsonl_path:
+        Write one JSON object per event to this file (truncates).
+    text_stream:
+        Render human-readable lines to this stream (commonly
+        ``sys.stderr``).
+    capture:
+        Keep payload dicts in memory, readable via :func:`captured`
+        — intended for tests.
+
+    With no sink requested the registry alone is enabled: spans and
+    counters aggregate in-process with nothing emitted.
+    """
+    global _capture
+    try:
+        numeric = LEVELS[level]
+    except KeyError:
+        known = ", ".join(LEVELS)
+        raise TelemetryError(
+            f"unknown log level {level!r}; known levels: {known}"
+        ) from None
+    if jsonl_path is not None:
+        try:
+            TELEMETRY.add_handler(JsonlHandler(jsonl_path))
+        except OSError as exc:
+            raise TelemetryError(
+                f"cannot open {jsonl_path} for telemetry: {exc}"
+            ) from exc
+    if text_stream is not None:
+        TELEMETRY.add_handler(text_handler(text_stream, numeric))
+    if capture:
+        _capture = CaptureHandler()
+        TELEMETRY.add_handler(_capture)
+    TELEMETRY.enable()
+    return TELEMETRY
+
+
+def configure_stderr(level: str = "info") -> Telemetry:
+    """Shorthand: text sink on ``sys.stderr`` at ``level``."""
+    return configure(level=level, text_stream=sys.stderr)
+
+
+def shutdown() -> None:
+    """Close all sinks and disable telemetry (idempotent)."""
+    global _capture
+    TELEMETRY.shutdown()
+    _capture = None
+
+
+def reset() -> None:
+    """Shutdown and clear all counters/span aggregates (tests)."""
+    global _capture
+    TELEMETRY.reset()
+    _capture = None
+
+
+def enabled() -> bool:
+    """Is telemetry recording right now?  (The hot-path guard.)"""
+    return TELEMETRY.enabled
+
+
+def span(name: str, **attrs):
+    """A timed, attributed section: ``with obs.span("x", n=5): ...``."""
+    return TELEMETRY.span(name, **attrs)
+
+
+def event(name: str, level: str = "info", **attrs) -> None:
+    """Emit one structured event."""
+    TELEMETRY.event(name, level=level, **attrs)
+
+
+def progress(name: str, **attrs) -> None:
+    """Emit a progress event (the replacement for ad-hoc prints)."""
+    TELEMETRY.progress(name, **attrs)
+
+
+def inc(name: str, amount: int = 1) -> None:
+    """Add ``amount`` to counter ``name`` (no-op while disabled)."""
+    TELEMETRY.inc(name, amount)
+
+
+def counters() -> dict[str, int]:
+    """Snapshot of all counter totals."""
+    return TELEMETRY.counters()
+
+
+def span_stats() -> dict[str, SpanStats]:
+    """Snapshot of per-span aggregates."""
+    return TELEMETRY.span_stats()
+
+
+def emit_counters() -> None:
+    """Emit cumulative counter totals as one ``counters`` event."""
+    TELEMETRY.emit_counters()
+
+
+def emit_manifest(manifest: dict | None = None, **extra) -> None:
+    """Emit a run manifest event (built fresh unless provided)."""
+    if not TELEMETRY.enabled:
+        return
+    TELEMETRY.emit_manifest(manifest or run_manifest(**extra))
+
+
+def captured() -> list[dict]:
+    """Events collected by the capture sink (empty without one)."""
+    return list(_capture.events) if _capture is not None else []

@@ -1,0 +1,287 @@
+"""Telemetry core: the registry, spans, counters and event emission.
+
+One process holds one :class:`Telemetry` registry (module singleton,
+reached through the :mod:`repro.obs` package functions).  The registry
+is **disabled by default** and every entry point begins with a plain
+attribute test, so instrumented code pays one boolean check — or, for
+hot loops, nothing at all when the caller hoists the check out of the
+loop (the pattern used by the Gorder kernels).
+
+Events travel through a dedicated stdlib :mod:`logging` logger
+(``repro.obs``), one :class:`logging.LogRecord` per event with the
+structured payload attached as ``record.telemetry``.  Sinks are plain
+logging handlers (see :mod:`repro.obs.sinks`), so level filtering,
+thread safety and handler fan-out are all inherited from the standard
+library rather than reimplemented.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+#: The logger every telemetry event is emitted through.
+LOGGER_NAME = "repro.obs"
+
+#: Accepted ``--log-level`` names mapped onto stdlib levels.
+LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+class TelemetryError(ReproError):
+    """Telemetry could not be configured or a trace could not be read."""
+
+
+@dataclass
+class SpanStats:
+    """In-process aggregate of one span name."""
+
+    count: int = 0
+    total_seconds: float = 0.0
+    max_seconds: float = 0.0
+
+
+class Span:
+    """One timed, attributed section of work (context manager).
+
+    Spans nest: entering a span makes it the parent of any span opened
+    on the same thread before it exits.  Both the start and the end
+    are emitted as events (``span_start`` / ``span_end``); the end
+    event carries the duration and whether the body raised.
+    """
+
+    __slots__ = (
+        "name", "attrs", "span_id", "parent_id", "_telemetry", "_start",
+        "duration",
+    )
+
+    def __init__(self, telemetry: "Telemetry", name: str, attrs: dict):
+        self.name = name
+        self.attrs = attrs
+        self._telemetry = telemetry
+        self.span_id: int | None = None
+        self.parent_id: int | None = None
+        self.duration: float | None = None
+
+    def set(self, **attrs) -> "Span":
+        """Attach further attributes (appear on the ``span_end`` event)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        telemetry = self._telemetry
+        stack = telemetry._span_stack()
+        self.parent_id = stack[-1].span_id if stack else None
+        self.span_id = next(telemetry._span_ids)
+        stack.append(self)
+        telemetry._emit(
+            "span_start",
+            self.name,
+            attrs=self.attrs or None,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+        )
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self._start
+        telemetry = self._telemetry
+        stack = telemetry._span_stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        telemetry._record_span(self.name, self.duration)
+        telemetry._emit(
+            "span_end",
+            self.name,
+            attrs=self.attrs or None,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            dur_s=self.duration,
+            ok=exc_type is None,
+        )
+        return False
+
+
+class _NoopSpan:
+    """Returned by :func:`span` while telemetry is disabled."""
+
+    __slots__ = ()
+    duration = None
+    span_id = None
+    parent_id = None
+
+    def set(self, **attrs) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: Singleton no-op span — ``span(...)`` allocates nothing when disabled.
+NOOP_SPAN = _NoopSpan()
+
+
+class Telemetry:
+    """Thread-safe in-process registry of counters, spans and sinks."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._span_ids = itertools.count(1)
+        self._counters: dict[str, int] = {}
+        self._span_stats: dict[str, SpanStats] = {}
+        self._handlers: list[logging.Handler] = []
+        self._logger = logging.getLogger(LOGGER_NAME)
+        self._logger.propagate = False
+
+    # -- configuration -------------------------------------------------
+    def add_handler(self, handler: logging.Handler) -> None:
+        """Attach a sink and enable the registry."""
+        self._logger.addHandler(handler)
+        self._handlers.append(handler)
+        self._logger.setLevel(logging.DEBUG)
+        self.enabled = True
+
+    def enable(self) -> None:
+        """Enable recording without any sink (in-process registry only)."""
+        self.enabled = True
+
+    def shutdown(self) -> None:
+        """Detach and close every sink and disable the registry.
+
+        Counters and span aggregates survive (read them afterwards;
+        :meth:`reset` clears them).  Idempotent.
+        """
+        self.enabled = False
+        for handler in self._handlers:
+            self._logger.removeHandler(handler)
+            handler.close()
+        self._handlers.clear()
+
+    def reset(self) -> None:
+        """Shut down and forget all recorded state (tests use this)."""
+        self.shutdown()
+        with self._lock:
+            self._counters.clear()
+            self._span_stats.clear()
+        self._local = threading.local()
+        self._span_ids = itertools.count(1)
+
+    # -- recording -----------------------------------------------------
+    def _span_stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record_span(self, name: str, seconds: float) -> None:
+        with self._lock:
+            stats = self._span_stats.get(name)
+            if stats is None:
+                stats = self._span_stats[name] = SpanStats()
+            stats.count += 1
+            stats.total_seconds += seconds
+            stats.max_seconds = max(stats.max_seconds, seconds)
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (no-op while disabled)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counters(self) -> dict[str, int]:
+        """Snapshot of all counter totals."""
+        with self._lock:
+            return dict(self._counters)
+
+    def span_stats(self) -> dict[str, SpanStats]:
+        """Snapshot of per-span-name aggregates."""
+        with self._lock:
+            return {
+                name: SpanStats(s.count, s.total_seconds, s.max_seconds)
+                for name, s in self._span_stats.items()
+            }
+
+    # -- emission ------------------------------------------------------
+    def _emit(
+        self,
+        kind: str,
+        name: str,
+        level: int = logging.INFO,
+        attrs: dict | None = None,
+        **fields,
+    ) -> None:
+        if not self.enabled:
+            return
+        payload = {
+            "ts": time.time(),
+            "kind": kind,
+            "name": name,
+            "level": logging.getLevelName(level).lower(),
+        }
+        if attrs:
+            payload["attrs"] = attrs
+        for key, value in fields.items():
+            if value is not None:
+                payload[key] = value
+        self._logger.log(
+            level, "%s %s", kind, name, extra={"telemetry": payload}
+        )
+
+    def event(self, name: str, level: str = "info", **attrs) -> None:
+        """Emit one structured event."""
+        if not self.enabled:
+            return
+        try:
+            numeric = LEVELS[level]
+        except KeyError:
+            known = ", ".join(LEVELS)
+            raise TelemetryError(
+                f"unknown log level {level!r}; known levels: {known}"
+            ) from None
+        self._emit("event", name, level=numeric, attrs=attrs or None)
+
+    def progress(self, name: str, **attrs) -> None:
+        """Emit a progress event (replaces ad-hoc ``print`` reporting)."""
+        if not self.enabled:
+            return
+        self._emit("progress", name, attrs=attrs or None)
+
+    def span(self, name: str, **attrs):
+        """A new :class:`Span`, or the shared no-op while disabled."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return Span(self, name, attrs)
+
+    def emit_counters(self) -> None:
+        """Emit the cumulative counter totals as one ``counters`` event."""
+        if not self.enabled:
+            return
+        totals = self.counters()
+        if totals:
+            self._emit("counters", "counters", counters=totals)
+
+    def emit_manifest(self, manifest: dict) -> None:
+        """Emit a run manifest as one ``manifest`` event."""
+        if not self.enabled:
+            return
+        self._emit("manifest", "manifest", manifest=manifest)
+
+
+#: The process-wide registry used by all module-level helpers.
+TELEMETRY = Telemetry()

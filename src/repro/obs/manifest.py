@@ -1,0 +1,61 @@
+"""Run manifests: the environment fingerprint of one measurement.
+
+The paper's numbers only mean something relative to the machine and
+code revision that produced them, so every archive and trace carries
+a manifest: git SHA, interpreter and numpy versions, platform, the
+chosen profile/seed and the wall-clock moment the run started.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+
+def git_sha() -> str | None:
+    """The repository HEAD revision, or ``None`` outside a checkout."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = completed.stdout.strip()
+    return sha if completed.returncode == 0 and sha else None
+
+
+def run_manifest(
+    profile: str | None = None,
+    seed: int | None = None,
+    **extra,
+) -> dict:
+    """Environment + run-identity fields, JSON-ready.
+
+    ``extra`` keyword fields (e.g. ``command=``, ``argv=``) are merged
+    in verbatim, letting call sites stamp their own identity.
+    """
+    from repro import __version__
+
+    manifest = {
+        "created_unix": time.time(),
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "repro_version": __version__,
+        "git_sha": git_sha(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "profile": profile,
+        "seed": seed,
+    }
+    manifest.update(extra)
+    return manifest

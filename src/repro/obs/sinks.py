@@ -1,0 +1,82 @@
+"""Telemetry sinks: logging handlers for text, JSONL and capture.
+
+Every sink is a standard :class:`logging.Handler`; the structured
+payload built by :class:`repro.obs.core.Telemetry` rides on each
+record as ``record.telemetry``.  Records without a payload (anything
+a third party logs through the same logger) degrade gracefully.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import IO
+
+
+def _payload(record: logging.LogRecord) -> dict:
+    payload = getattr(record, "telemetry", None)
+    if payload is None:
+        payload = {
+            "ts": record.created,
+            "kind": "log",
+            "name": record.name,
+            "level": record.levelname.lower(),
+            "msg": record.getMessage(),
+        }
+    return payload
+
+
+class TextFormatter(logging.Formatter):
+    """One human-readable line per event, for terminals."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = _payload(record)
+        parts = [
+            self.formatTime(record, "%H:%M:%S"),
+            f"{payload['kind']:<10}",
+            payload["name"],
+        ]
+        if "dur_s" in payload:
+            parts.append(f"dur={1e3 * payload['dur_s']:.2f}ms")
+        for key, value in (payload.get("attrs") or {}).items():
+            parts.append(f"{key}={value}")
+        if payload.get("counters"):
+            parts.extend(
+                f"{key}={value}"
+                for key, value in sorted(payload["counters"].items())
+            )
+        if "msg" in payload:
+            parts.append(payload["msg"])
+        return " ".join(str(part) for part in parts)
+
+
+def text_handler(stream: IO[str], level: int) -> logging.Handler:
+    """A stderr-style sink rendering events as text lines."""
+    handler = logging.StreamHandler(stream)
+    handler.setLevel(level)
+    handler.setFormatter(TextFormatter())
+    return handler
+
+
+class JsonlHandler(logging.FileHandler):
+    """A sink appending one compact JSON object per event to a file."""
+
+    def __init__(self, path: str) -> None:
+        super().__init__(path, mode="w", encoding="utf-8")
+        self.setLevel(logging.DEBUG)
+
+    def format(self, record: logging.LogRecord) -> str:
+        return json.dumps(
+            _payload(record), default=str, separators=(",", ":")
+        )
+
+
+class CaptureHandler(logging.Handler):
+    """An in-memory sink collecting payload dicts (tests, summaries)."""
+
+    def __init__(self) -> None:
+        super().__init__(level=logging.DEBUG)
+        self.events: list[dict] = []
+
+    def emit(self, record: logging.LogRecord) -> None:
+        self.events.append(_payload(record))

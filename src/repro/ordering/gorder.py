@@ -34,11 +34,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.errors import InvalidParameterError
 from repro.graph.csr import CSRGraph
 from repro.graph.permute import permutation_from_sequence
 from repro.ordering.metrics import pair_score
-from repro.ordering.unit_heap import UnitHeap
+from repro.ordering.unit_heap import MeteredUnitHeap, UnitHeap
 
 #: The paper's default window size (chosen in its Figure 8 experiment).
 DEFAULT_WINDOW = 5
@@ -70,7 +71,10 @@ def gorder_sequence(
         np.iinfo(np.int64).max if hub_threshold is None else hub_threshold
     )
 
-    heap = UnitHeap(n)
+    # Telemetry: hoisted to one check per call.  The metered heap
+    # subclass keeps the disabled path identical to the bare kernel.
+    counting = obs.enabled()
+    heap = MeteredUnitHeap(n) if counting else UnitHeap(n)
     sequence = np.empty(n, dtype=np.int64)
 
     def apply(u: int, entering: bool) -> None:
@@ -90,15 +94,22 @@ def gorder_sequence(
 
     # Seed with the highest in-degree node (deterministic hub start).
     start = int(np.argmax(graph.in_degrees())) if n > 1 else 0
-    heap.remove(start)
-    sequence[0] = start
-    apply(start, entering=True)
-    for i in range(1, n):
-        if i > window:
-            apply(int(sequence[i - 1 - window]), entering=False)
-        chosen = heap.pop_max()
-        sequence[i] = chosen
-        apply(chosen, entering=True)
+    with obs.span(
+        "gorder.greedy", n=n, m=graph.num_edges, window=window,
+        backend="unit_heap",
+    ):
+        heap.remove(start)
+        sequence[0] = start
+        apply(start, entering=True)
+        for i in range(1, n):
+            if i > window:
+                apply(int(sequence[i - 1 - window]), entering=False)
+            chosen = heap.pop_max()
+            sequence[i] = chosen
+            apply(chosen, entering=True)
+    if counting:
+        obs.inc("gorder.heap_pops", heap.pops)
+        obs.inc("gorder.priority_updates", heap.priority_updates)
     return sequence
 
 

@@ -15,6 +15,7 @@ import heapq
 
 import numpy as np
 
+from repro import obs
 from repro.errors import InvalidParameterError
 from repro.graph.csr import CSRGraph
 from repro.graph.permute import permutation_from_sequence
@@ -54,10 +55,18 @@ def gorder_sequence_lazy(
     heap: list[tuple[int, int]] = [(0, node) for node in range(n)]
     heapq.heapify(heap)
 
+    # Telemetry: hoisted guard; counters stay local ints in the loop.
+    counting = obs.enabled()
+    pushes = 0
+    lazy_discards = 0
+
     def update(node: int, delta: int) -> None:
+        nonlocal pushes
         if placed[node]:
             return
         keys[node] += delta
+        if counting:
+            pushes += 1
         heapq.heappush(heap, (-int(keys[node]), node))
 
     def apply(u: int, delta: int) -> None:
@@ -74,24 +83,35 @@ def gorder_sequence_lazy(
                     update(v, delta)
 
     def pop_max() -> int:
+        nonlocal lazy_discards
         while True:
             negated, node = heapq.heappop(heap)
             if placed[node] or -negated != int(keys[node]):
+                if counting:
+                    lazy_discards += 1
                 continue  # stale or already placed: discard lazily
             placed[node] = True
             return node
 
     sequence = np.empty(n, dtype=np.int64)
     start = int(np.argmax(graph.in_degrees())) if n > 1 else 0
-    placed[start] = True
-    sequence[0] = start
-    apply(start, +1)
-    for i in range(1, n):
-        if i > window:
-            apply(int(sequence[i - 1 - window]), -1)
-        chosen = pop_max()
-        sequence[i] = chosen
-        apply(chosen, +1)
+    with obs.span(
+        "gorder.greedy", n=n, m=graph.num_edges, window=window,
+        backend="lazy_heap",
+    ):
+        placed[start] = True
+        sequence[0] = start
+        apply(start, +1)
+        for i in range(1, n):
+            if i > window:
+                apply(int(sequence[i - 1 - window]), -1)
+            chosen = pop_max()
+            sequence[i] = chosen
+            apply(chosen, +1)
+    if counting:
+        obs.inc("gorder_lazy.heap_pops", n - 1)
+        obs.inc("gorder_lazy.heap_pushes", pushes)
+        obs.inc("gorder_lazy.lazy_discards", lazy_discards)
     return sequence
 
 

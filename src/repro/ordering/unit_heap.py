@@ -133,3 +133,43 @@ class UnitHeap:
         while not self._buckets.get(key):
             key -= 1
         return key
+
+
+class MeteredUnitHeap(UnitHeap):
+    """A :class:`UnitHeap` that counts its own operations.
+
+    The telemetry backend for Gorder: when tracing is on the greedy
+    loop swaps this in for the plain heap and publishes the totals as
+    counters afterwards.  Keeping the plain class untouched keeps the
+    telemetry-disabled path at exactly its original cost.
+    """
+
+    __slots__ = ("increases", "decreases", "pops", "removes")
+
+    def __init__(self, num_items: int) -> None:
+        super().__init__(num_items)
+        self.increases = 0
+        self.decreases = 0
+        self.pops = 0
+        self.removes = 0
+
+    def increase(self, item: int) -> None:
+        self.increases += 1
+        super().increase(item)
+
+    def decrease(self, item: int) -> None:
+        self.decreases += 1
+        super().decrease(item)
+
+    def remove(self, item: int) -> None:
+        self.removes += 1
+        super().remove(item)
+
+    def pop_max(self) -> int:
+        self.pops += 1
+        return super().pop_max()
+
+    @property
+    def priority_updates(self) -> int:
+        """Total key-change events (the paper's unit updates)."""
+        return self.increases + self.decreases

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.algorithms import ALGORITHM_NAMES, pick_sources
 from repro.algorithms import base as algorithms_base
 from repro.cache import CacheHierarchy, Memory, scaled_hierarchy
@@ -139,30 +140,44 @@ def algorithm_params(
 def speedup_matrix(
     profile: Profile,
     cache: OrderingCache | None = None,
-    progress: bool = False,
 ) -> dict[tuple[str, str, str], RunResult]:
     """All (dataset, algorithm, ordering) cells of the profile.
 
     Keys are ``(dataset, algorithm, ordering)``; the replication's
     Figure 5 divides each cell's cycles by the Gorder cell of the same
-    series.
+    series.  Progress is reported per cell through :mod:`repro.obs`
+    (enable with ``--log-level info`` / ``-v`` on the CLI).
     """
     cache = cache or GLOBAL_ORDERING_CACHE
     results: dict[tuple[str, str, str], RunResult] = {}
-    for dataset_name in profile.datasets:
-        graph = datasets.load(dataset_name)
-        for algorithm in profile.algorithms:
-            params = algorithm_params(algorithm, graph, profile)
-            for ordering in profile.orderings:
-                result = _representative_run(
-                    graph, algorithm, ordering, params, profile,
-                    cache, dataset_name,
-                )
-                results[(dataset_name, algorithm, ordering)] = result
-                if progress:
-                    print(
-                        f"  {dataset_name}/{algorithm}/{ordering}: "
-                        f"{result.cycles / 1e6:.1f}M cycles"
+    total = (
+        len(profile.datasets)
+        * len(profile.algorithms)
+        * len(profile.orderings)
+    )
+    done = 0
+    with obs.span(
+        "experiment.speedup_matrix", profile=profile.name, cells=total
+    ):
+        for dataset_name in profile.datasets:
+            graph = datasets.load(dataset_name)
+            for algorithm in profile.algorithms:
+                params = algorithm_params(algorithm, graph, profile)
+                for ordering in profile.orderings:
+                    result = _representative_run(
+                        graph, algorithm, ordering, params, profile,
+                        cache, dataset_name,
+                    )
+                    results[(dataset_name, algorithm, ordering)] = result
+                    done += 1
+                    obs.progress(
+                        "speedup.cell",
+                        dataset=dataset_name,
+                        algorithm=algorithm,
+                        ordering=ordering,
+                        mcycles=round(result.cycles / 1e6, 1),
+                        cell=done,
+                        cells=total,
                     )
     return results
 
@@ -268,12 +283,19 @@ def ordering_times(
 ) -> dict[tuple[str, str], float]:
     """Replication Table 2: seconds to compute each ordering."""
     times: dict[tuple[str, str], float] = {}
-    for dataset_name in profile.datasets:
-        graph = datasets.load(dataset_name)
-        for ordering in profile.orderings:
-            times[(ordering, dataset_name)] = time_ordering(
-                graph, ordering, seed=profile.seed, repeats=repeats
-            )
+    with obs.span("experiment.ordering_times", profile=profile.name):
+        for dataset_name in profile.datasets:
+            graph = datasets.load(dataset_name)
+            for ordering in profile.orderings:
+                times[(ordering, dataset_name)] = time_ordering(
+                    graph, ordering, seed=profile.seed, repeats=repeats
+                )
+                obs.progress(
+                    "ordering_time.cell",
+                    dataset=dataset_name,
+                    ordering=ordering,
+                    seconds=round(times[(ordering, dataset_name)], 4),
+                )
     return times
 
 
@@ -314,11 +336,23 @@ def window_sweep(
     pagerank_spec = algorithms_base.spec("pr")
     results: dict[int, RunResult] = {}
     for window in windows:
-        start = time.perf_counter()
-        perm = gorder_order(graph, window=window)
-        ordering_seconds = time.perf_counter() - start
+        with obs.span(
+            "ordering.compute", ordering="gorder", window=window,
+            dataset=dataset_name, n=graph.num_nodes,
+        ):
+            start = time.perf_counter()
+            perm = gorder_order(graph, window=window)
+            ordering_seconds = time.perf_counter() - start
         memory = Memory(profile.hierarchy())
-        pagerank_spec.traced(relabel(graph, perm), memory, **params)
+        with obs.span(
+            "run.simulate", dataset=dataset_name, algorithm="pr",
+            ordering=f"gorder(w={window})",
+        ):
+            pagerank_spec.traced(relabel(graph, perm), memory, **params)
+        obs.progress(
+            "window.cell", window=window,
+            mcycles=round(memory.cost().total_cycles / 1e6, 1),
+        )
         results[window] = RunResult(
             dataset=dataset_name,
             algorithm="pr",

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.algorithms import base as algorithms
 from repro.cache import (
     CacheHierarchy,
@@ -79,11 +80,23 @@ class OrderingCache:
         """The arrangement for (graph, ordering, seed) + compute time."""
         key = (id(graph), ordering, seed)
         if key not in self._perms:
-            start = time.perf_counter()
-            perm = orderings.compute_ordering(ordering, graph, seed=seed)
-            self._seconds[key] = time.perf_counter() - start
+            obs.inc("runner.ordering_memo_misses")
+            with obs.span(
+                "ordering.compute",
+                ordering=ordering,
+                dataset=graph.name,
+                n=graph.num_nodes,
+                seed=seed,
+            ):
+                start = time.perf_counter()
+                perm = orderings.compute_ordering(
+                    ordering, graph, seed=seed
+                )
+                self._seconds[key] = time.perf_counter() - start
             self._perms[key] = perm
             self._pinned[id(graph)] = graph
+        else:
+            obs.inc("runner.ordering_memo_hits")
         return self._perms[key], self._seconds[key]
 
     def relabeled(
@@ -138,12 +151,19 @@ def run_cell(
                 run_params[key] = int(perm[int(value)])
             else:
                 run_params[key] = [int(perm[int(v)]) for v in value]
-    memory = Memory(
-        hierarchy or scaled_hierarchy(), cost_model=cost_model
-    )
-    start = time.perf_counter()
-    algorithm_spec.traced(relabeled, memory, **run_params)
-    simulation_seconds = time.perf_counter() - start
+    hierarchy = hierarchy or scaled_hierarchy()
+    memory = Memory(hierarchy, cost_model=cost_model)
+    with obs.span(
+        "run.simulate",
+        dataset=dataset_name or graph.name,
+        algorithm=algorithm_spec.name,
+        ordering=orderings.spec(ordering).name,
+        seed=seed,
+    ):
+        start = time.perf_counter()
+        algorithm_spec.traced(relabeled, memory, **run_params)
+        simulation_seconds = time.perf_counter() - start
+    hierarchy.publish_telemetry()
     return RunResult(
         dataset=dataset_name or graph.name,
         algorithm=algorithm_spec.name,
@@ -165,7 +185,14 @@ def time_ordering(
     """
     best = float("inf")
     for _ in range(max(repeats, 1)):
-        start = time.perf_counter()
-        orderings.compute_ordering(ordering, graph, seed=seed)
-        best = min(best, time.perf_counter() - start)
+        with obs.span(
+            "ordering.compute",
+            ordering=ordering,
+            dataset=graph.name,
+            n=graph.num_nodes,
+            seed=seed,
+        ):
+            start = time.perf_counter()
+            orderings.compute_ordering(ordering, graph, seed=seed)
+            best = min(best, time.perf_counter() - start)
     return best

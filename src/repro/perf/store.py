@@ -4,25 +4,49 @@ The text renderings in ``benchmarks/results/`` are for humans; this
 store keeps the underlying numbers machine-readable so runs can be
 archived, diffed across code changes, and post-processed (plots,
 regression gates) without re-simulating.
+
+Schema history
+--------------
+* **v1** — ``{schema, metadata, results}``.
+* **v2** — adds a ``manifest`` object (git SHA, Python/numpy
+  versions, platform, profile, seed, wall-clock; see
+  :func:`repro.obs.run_manifest`) stamping every archive with the
+  environment that produced it.  v1 archives remain readable — they
+  simply load with ``manifest=None``.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from dataclasses import asdict
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro.cache import CacheStats, RunCost
 from repro.errors import ReproError
+from repro.obs.manifest import run_manifest
 from repro.perf.runner import RunResult
 
 #: Format marker written into every archive.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Versions :func:`read_archive` can still load.
+SUPPORTED_SCHEMAS = (1, 2)
 
 
 class ResultStoreError(ReproError):
     """An archive could not be read or did not match the schema."""
+
+
+@dataclass
+class ResultArchive:
+    """One loaded archive: results plus its provenance."""
+
+    schema: int
+    results: dict[tuple[str, str, str], RunResult]
+    #: Environment fingerprint (``None`` for v1 archives).
+    manifest: dict | None = None
+    metadata: dict = field(default_factory=dict)
 
 
 def result_to_dict(result: RunResult) -> dict:
@@ -60,8 +84,14 @@ def save_results(
     results: dict[tuple[str, str, str], RunResult] | list[RunResult],
     path: str | os.PathLike,
     metadata: dict | None = None,
+    manifest: dict | None = None,
 ) -> None:
-    """Write a result collection to a JSON archive."""
+    """Write a result collection to a JSON archive (schema v2).
+
+    A fresh :func:`repro.obs.run_manifest` is stamped in unless an
+    explicit ``manifest`` is given (pass one to carry profile/seed
+    fields).
+    """
     records = (
         list(results.values())
         if isinstance(results, dict)
@@ -69,23 +99,26 @@ def save_results(
     )
     payload = {
         "schema": SCHEMA_VERSION,
+        "manifest": manifest if manifest is not None else run_manifest(),
         "metadata": metadata or {},
         "results": [result_to_dict(result) for result in records],
     }
     Path(path).write_text(json.dumps(payload, indent=1))
 
 
-def load_results(
-    path: str | os.PathLike,
-) -> dict[tuple[str, str, str], RunResult]:
-    """Read an archive back, keyed by (dataset, algorithm, ordering)."""
+def read_archive(path: str | os.PathLike) -> ResultArchive:
+    """Read an archive of any supported schema version."""
     try:
         payload = json.loads(Path(path).read_text())
     except (OSError, json.JSONDecodeError) as exc:
         raise ResultStoreError(f"cannot read {path}: {exc}") from exc
-    if payload.get("schema") != SCHEMA_VERSION:
+    schema = payload.get("schema")
+    if schema not in SUPPORTED_SCHEMAS:
+        supported = ", ".join(str(v) for v in SUPPORTED_SCHEMAS)
         raise ResultStoreError(
-            f"{path}: unsupported schema {payload.get('schema')!r}"
+            f"{path}: unsupported schema {schema!r} "
+            f"(this build reads versions {supported}); "
+            "re-save the archive with a matching repro version"
         )
     results = {}
     for record in payload.get("results", []):
@@ -93,7 +126,19 @@ def load_results(
         results[(result.dataset, result.algorithm, result.ordering)] = (
             result
         )
-    return results
+    return ResultArchive(
+        schema=schema,
+        results=results,
+        manifest=payload.get("manifest"),
+        metadata=payload.get("metadata") or {},
+    )
+
+
+def load_results(
+    path: str | os.PathLike,
+) -> dict[tuple[str, str, str], RunResult]:
+    """Read an archive back, keyed by (dataset, algorithm, ordering)."""
+    return read_archive(path).results
 
 
 def compare_runs(

@@ -1,0 +1,12 @@
+"""Telemetry tests share one process-wide registry: reset around each."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    obs.reset()
+    yield
+    obs.reset()

@@ -1,0 +1,243 @@
+"""Core telemetry behaviour: spans, counters, events, disabled path."""
+
+import json
+import logging
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.core import LOGGER_NAME
+
+
+class TestDisabled:
+    def test_disabled_by_default(self):
+        assert not obs.enabled()
+
+    def test_disabled_span_is_noop_singleton(self):
+        assert obs.span("a") is obs.span("b")
+        assert obs.span("a") is obs.NOOP_SPAN
+
+    def test_disabled_records_nothing(self):
+        with obs.span("x", n=1):
+            obs.inc("c", 5)
+            obs.event("e", k="v")
+            obs.progress("p")
+        obs.emit_counters()
+        assert obs.counters() == {}
+        assert obs.span_stats() == {}
+
+    def test_disabled_emits_no_events(self):
+        """Regression: nothing may reach the logger while disabled."""
+        records = []
+
+        class Probe(logging.Handler):
+            def emit(self, record):
+                records.append(record)
+
+        logger = logging.getLogger(LOGGER_NAME)
+        probe = Probe(level=logging.DEBUG)
+        logger.addHandler(probe)
+        logger.setLevel(logging.DEBUG)
+        try:
+            with obs.span("x"):
+                obs.event("e")
+                obs.inc("c")
+                obs.progress("p")
+            obs.emit_counters()
+            obs.emit_manifest()
+        finally:
+            logger.removeHandler(probe)
+        assert records == []
+
+    def test_noop_span_supports_set(self):
+        assert obs.span("a").set(k=1) is obs.NOOP_SPAN
+
+
+class TestSpans:
+    def test_nesting_parent_ids(self):
+        obs.configure(capture=True)
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        events = obs.captured()
+        starts = {e["name"]: e for e in events if e["kind"] == "span_start"}
+        assert starts["inner"]["parent_id"] == starts["outer"]["span_id"]
+        assert "parent_id" not in starts["outer"]
+
+    def test_span_timing(self):
+        obs.configure(capture=True)
+        with obs.span("sleepy"):
+            time.sleep(0.02)
+        stats = obs.span_stats()["sleepy"]
+        assert stats.count == 1
+        assert stats.total_seconds >= 0.02
+        end = [
+            e for e in obs.captured()
+            if e["kind"] == "span_end" and e["name"] == "sleepy"
+        ][0]
+        assert end["dur_s"] == pytest.approx(stats.total_seconds)
+        assert end["ok"] is True
+
+    def test_span_aggregates_accumulate(self):
+        obs.configure()
+        for _ in range(3):
+            with obs.span("loop"):
+                pass
+        stats = obs.span_stats()["loop"]
+        assert stats.count == 3
+        assert stats.max_seconds <= stats.total_seconds
+
+    def test_span_records_failure(self):
+        obs.configure(capture=True)
+        with pytest.raises(ValueError):
+            with obs.span("doomed"):
+                raise ValueError("boom")
+        end = [
+            e for e in obs.captured() if e["kind"] == "span_end"
+        ][0]
+        assert end["ok"] is False
+
+    def test_span_set_attaches_attributes(self):
+        obs.configure(capture=True)
+        with obs.span("s") as span:
+            span.set(rows=7)
+        end = [e for e in obs.captured() if e["kind"] == "span_end"][0]
+        assert end["attrs"]["rows"] == 7
+
+    def test_sibling_spans_share_parent(self):
+        obs.configure(capture=True)
+        with obs.span("parent"):
+            with obs.span("a"):
+                pass
+            with obs.span("b"):
+                pass
+        starts = {e["name"]: e for e in obs.captured()
+                  if e["kind"] == "span_start"}
+        assert starts["a"]["parent_id"] == starts["parent"]["span_id"]
+        assert starts["b"]["parent_id"] == starts["parent"]["span_id"]
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        obs.configure()
+        obs.inc("x")
+        obs.inc("x", 5)
+        obs.inc("y", 2)
+        assert obs.counters() == {"x": 6, "y": 2}
+
+    def test_thread_safety(self):
+        obs.configure()
+
+        def work():
+            for _ in range(1000):
+                obs.inc("shared")
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert obs.counters()["shared"] == 8000
+
+    def test_emit_counters_event(self):
+        obs.configure(capture=True)
+        obs.inc("k", 3)
+        obs.emit_counters()
+        counter_events = [
+            e for e in obs.captured() if e["kind"] == "counters"
+        ]
+        assert counter_events[-1]["counters"] == {"k": 3}
+
+    def test_emit_counters_empty_is_silent(self):
+        obs.configure(capture=True)
+        obs.emit_counters()
+        assert [e for e in obs.captured() if e["kind"] == "counters"] == []
+
+
+class TestEvents:
+    def test_event_payload(self):
+        obs.configure(capture=True)
+        obs.event("thing.happened", level="debug", value=3)
+        event = obs.captured()[0]
+        assert event["kind"] == "event"
+        assert event["name"] == "thing.happened"
+        assert event["level"] == "debug"
+        assert event["attrs"] == {"value": 3}
+        assert event["ts"] > 0
+
+    def test_unknown_level_rejected(self):
+        obs.configure()
+        with pytest.raises(obs.TelemetryError, match="unknown log level"):
+            obs.event("e", level="loud")
+
+    def test_configure_unknown_level_rejected(self):
+        with pytest.raises(obs.TelemetryError, match="unknown log level"):
+            obs.configure(level="shout")
+
+
+class TestLifecycle:
+    def test_shutdown_is_idempotent(self):
+        obs.configure(capture=True)
+        obs.shutdown()
+        obs.shutdown()
+        assert not obs.enabled()
+
+    def test_reset_clears_state(self):
+        obs.configure()
+        obs.inc("x")
+        with obs.span("s"):
+            pass
+        obs.reset()
+        assert obs.counters() == {}
+        assert obs.span_stats() == {}
+
+    def test_counters_survive_shutdown(self):
+        obs.configure()
+        obs.inc("x")
+        obs.shutdown()
+        assert obs.counters() == {"x": 1}
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs.configure(jsonl_path=str(path))
+        obs.emit_manifest(command="test")
+        with obs.span("work", n=2):
+            obs.inc("widgets", 2)
+        obs.event("note", detail="hi")
+        obs.emit_counters()
+        obs.shutdown()
+
+        lines = path.read_text().splitlines()
+        payloads = [json.loads(line) for line in lines]
+        kinds = [p["kind"] for p in payloads]
+        assert kinds == [
+            "manifest", "span_start", "span_end", "event", "counters",
+        ]
+        assert payloads[-1]["counters"] == {"widgets": 2}
+        assert payloads[0]["manifest"]["command"] == "test"
+        # And the summariser reads its own format back.
+        summary = obs.summarize_trace(path)
+        assert summary.counters == {"widgets": 2}
+        assert summary.spans[0].name == "work"
+        assert summary.unclosed == 0
+
+    def test_unwritable_path_raises(self, tmp_path):
+        with pytest.raises(obs.TelemetryError, match="cannot open"):
+            obs.configure(jsonl_path=str(tmp_path / "no" / "dir.jsonl"))
+
+    def test_text_stream_lines(self, tmp_path):
+        import io
+
+        stream = io.StringIO()
+        obs.configure(level="info", text_stream=stream)
+        obs.event("hello.world", k="v")
+        obs.event("quiet", level="debug")  # below the sink level
+        obs.shutdown()
+        text = stream.getvalue()
+        assert "hello.world" in text
+        assert "k=v" in text
+        assert "quiet" not in text

@@ -1,0 +1,146 @@
+"""Run manifests and the v2 result-store schema."""
+
+import json
+import sys
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cache import CacheStats, RunCost
+from repro.perf import RunResult
+from repro.perf.store import (
+    SCHEMA_VERSION,
+    ResultStoreError,
+    load_results,
+    read_archive,
+    save_results,
+)
+
+
+def make_result(ordering="o", cycles=100.0):
+    return RunResult(
+        dataset="d",
+        algorithm="a",
+        ordering=ordering,
+        cost=RunCost(execute_cycles=cycles * 0.3,
+                     stall_cycles=cycles * 0.7),
+        stats=CacheStats(1000, 100, 100, 50, 50, 10),
+        ordering_seconds=0.5,
+        simulation_seconds=1.5,
+    )
+
+
+class TestManifest:
+    def test_environment_fields(self):
+        manifest = obs.run_manifest(profile="quick", seed=7)
+        assert manifest["python"] == sys.version.split()[0]
+        assert manifest["numpy"] == np.__version__
+        assert manifest["platform"]
+        assert manifest["machine"]
+        assert manifest["profile"] == "quick"
+        assert manifest["seed"] == 7
+        assert manifest["created_unix"] > 0
+        assert "repro_version" in manifest
+
+    def test_extra_fields_merge(self):
+        manifest = obs.run_manifest(command="run", argv=["a", "b"])
+        assert manifest["command"] == "run"
+        assert manifest["argv"] == ["a", "b"]
+
+    def test_json_serialisable(self):
+        json.dumps(obs.run_manifest())
+
+    def test_git_sha_shape(self):
+        sha = obs.git_sha()
+        assert sha is None or (
+            len(sha) == 40 and all(c in "0123456789abcdef" for c in sha)
+        )
+
+
+class TestSchemaV2:
+    def test_save_stamps_schema_and_manifest(self, tmp_path):
+        path = tmp_path / "run.json"
+        save_results([make_result()], path)
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == SCHEMA_VERSION == 2
+        assert payload["manifest"]["python"] == sys.version.split()[0]
+
+    def test_explicit_manifest_wins(self, tmp_path):
+        path = tmp_path / "run.json"
+        save_results(
+            [make_result()], path,
+            manifest=obs.run_manifest(profile="full", seed=9),
+        )
+        archive = read_archive(path)
+        assert archive.manifest["profile"] == "full"
+        assert archive.manifest["seed"] == 9
+
+    def test_round_trip_with_metadata(self, tmp_path):
+        path = tmp_path / "run.json"
+        results = {
+            ("d", "a", "o"): make_result(),
+            ("d", "a", "p"): make_result(ordering="p", cycles=200.0),
+        }
+        save_results(results, path, metadata={"note": "x"})
+        archive = read_archive(path)
+        assert archive.results == results
+        assert archive.metadata == {"note": "x"}
+        assert archive.schema == 2
+
+    def test_load_results_still_returns_plain_dict(self, tmp_path):
+        path = tmp_path / "run.json"
+        save_results([make_result()], path)
+        assert ("d", "a", "o") in load_results(path)
+
+
+class TestBackwardCompatibility:
+    def v1_payload(self):
+        return {
+            "schema": 1,
+            "metadata": {"profile": "quick"},
+            "results": [
+                {
+                    "dataset": "d",
+                    "algorithm": "a",
+                    "ordering": "o",
+                    "cost": {
+                        "execute_cycles": 30.0,
+                        "stall_cycles": 70.0,
+                    },
+                    "stats": {
+                        "l1_refs": 1000, "l1_misses": 100,
+                        "l2_refs": 100, "l2_misses": 50,
+                        "l3_refs": 50, "l3_misses": 10,
+                    },
+                    "ordering_seconds": 0.5,
+                    "simulation_seconds": 1.5,
+                }
+            ],
+        }
+
+    def test_v1_archive_loads(self, tmp_path):
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(self.v1_payload()))
+        archive = read_archive(path)
+        assert archive.schema == 1
+        assert archive.manifest is None
+        assert archive.metadata == {"profile": "quick"}
+        assert ("d", "a", "o") in archive.results
+
+    def test_unknown_schema_is_a_clear_error(self, tmp_path):
+        path = tmp_path / "future.json"
+        payload = self.v1_payload()
+        payload["schema"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(
+            ResultStoreError, match="unsupported schema 99"
+        ) as excinfo:
+            read_archive(path)
+        assert "versions 1, 2" in str(excinfo.value)
+
+    def test_missing_schema_is_an_error(self, tmp_path):
+        path = tmp_path / "none.json"
+        path.write_text(json.dumps({"results": []}))
+        with pytest.raises(ResultStoreError, match="unsupported schema"):
+            load_results(path)

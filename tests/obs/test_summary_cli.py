@@ -1,0 +1,184 @@
+"""Trace summarisation and the CLI telemetry integration."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.obs.summary import summarize_trace
+
+
+def write_trace(path, payloads):
+    path.write_text(
+        "\n".join(json.dumps(payload) for payload in payloads) + "\n"
+    )
+
+
+class TestSummarizeTrace:
+    def test_aggregates_spans_by_name(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(path, [
+            {"kind": "span_start", "name": "a", "span_id": 1},
+            {"kind": "span_end", "name": "a", "span_id": 1,
+             "dur_s": 0.25},
+            {"kind": "span_start", "name": "a", "span_id": 2},
+            {"kind": "span_end", "name": "a", "span_id": 2,
+             "dur_s": 0.75},
+            {"kind": "span_start", "name": "b", "span_id": 3},
+            {"kind": "span_end", "name": "b", "span_id": 3,
+             "dur_s": 2.0},
+        ])
+        summary = summarize_trace(path)
+        assert summary.num_events == 6
+        assert [s.name for s in summary.spans] == ["b", "a"]
+        a = summary.spans[1]
+        assert a.count == 2
+        assert a.total_seconds == pytest.approx(1.0)
+        assert a.mean_seconds == pytest.approx(0.5)
+        assert a.max_seconds == pytest.approx(0.75)
+
+    def test_last_counters_event_wins(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(path, [
+            {"kind": "counters", "name": "counters",
+             "counters": {"x": 1}},
+            {"kind": "counters", "name": "counters",
+             "counters": {"x": 5, "y": 2}},
+        ])
+        assert summarize_trace(path).counters == {"x": 5, "y": 2}
+
+    def test_manifest_and_unclosed_spans(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(path, [
+            {"kind": "manifest", "name": "manifest",
+             "manifest": {"git_sha": "abc"}},
+            {"kind": "span_start", "name": "crashed", "span_id": 1},
+        ])
+        summary = summarize_trace(path)
+        assert summary.manifest == {"git_sha": "abc"}
+        assert summary.unclosed == 1
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "event", "name": "e"}\n\n\n')
+        assert summarize_trace(path).num_events == 1
+
+    def test_invalid_json_names_the_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "event", "name": "e"}\n{oops\n')
+        with pytest.raises(obs.TelemetryError, match=r":2: not valid"):
+            summarize_trace(path)
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(obs.TelemetryError, match="expected a JSON"):
+            summarize_trace(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(obs.TelemetryError, match="cannot read"):
+            summarize_trace(tmp_path / "nope.jsonl")
+
+
+class TestCliTelemetry:
+    def test_run_writes_trace_with_required_content(self, tmp_path):
+        """The acceptance flow: run --log-json then telemetry."""
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "run", "--dataset", "epinion", "--algorithm", "pr",
+            "--ordering", "gorder", "--log-json", str(trace),
+        ]) == 0
+        payloads = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        kinds = {p["kind"] for p in payloads}
+        assert {"manifest", "span_start", "span_end",
+                "counters"} <= kinds
+        span_names = {
+            p["name"] for p in payloads if p["kind"] == "span_end"
+        }
+        assert "ordering.compute" in span_names
+        assert "run.simulate" in span_names
+        counters = [
+            p for p in payloads if p["kind"] == "counters"
+        ][-1]["counters"]
+        assert counters["cache.l1.refs"] > 0
+        assert counters["cache.l1.misses"] > 0
+        assert counters["gorder.heap_pops"] > 0
+
+    def test_telemetry_subcommand_renders_summary(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "run", "--dataset", "epinion", "--algorithm", "nq",
+            "--ordering", "gorder", "--log-json", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["telemetry", str(trace)]) == 0
+        output = capsys.readouterr().out
+        assert "Top spans by total time" in output
+        assert "run.simulate" in output
+        assert "Counter totals" in output
+        assert "cache.l1.refs" in output
+
+    def test_telemetry_subcommand_on_missing_file(self, capsys):
+        assert main(["telemetry", "/nonexistent/trace.jsonl"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_unwritable_log_json_path_fails_cleanly(self, capsys):
+        assert main([
+            "run", "--dataset", "epinion", "--algorithm", "nq",
+            "--log-json", "/nonexistent_dir/trace.jsonl",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "error: cannot open" in err
+
+    def test_verbose_alias_emits_text_to_stderr(self, capsys):
+        assert main([
+            "run", "--dataset", "epinion", "--algorithm", "nq", "-v",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "span_end" in err
+        assert "run.simulate" in err
+
+    def test_log_level_flag(self, capsys):
+        assert main([
+            "run", "--dataset", "epinion", "--algorithm", "nq",
+            "--log-level", "warning",
+        ]) == 0
+        # info-level spans are filtered out at warning.
+        assert "span_end" not in capsys.readouterr().err
+
+    def test_no_flags_means_disabled(self, capsys, tmp_path):
+        assert main([
+            "run", "--dataset", "epinion", "--algorithm", "nq",
+        ]) == 0
+        assert not obs.enabled()
+        assert obs.counters() == {}
+
+    def test_speedup_matrix_reports_progress_events(self):
+        """The old ``if progress: print`` path is now telemetry."""
+        from repro.perf import Profile, speedup_matrix
+        from repro.perf.runner import OrderingCache
+
+        obs.configure(capture=True)
+        profile = Profile(
+            name="tiny",
+            datasets=("epinion",),
+            orderings=("original", "gorder"),
+            algorithms=("nq",),
+        )
+        speedup_matrix(profile, cache=OrderingCache())
+        cells = [
+            e for e in obs.captured() if e["name"] == "speedup.cell"
+        ]
+        assert len(cells) == 2
+        assert cells[0]["kind"] == "progress"
+        assert cells[-1]["attrs"]["cell"] == 2
+        assert cells[-1]["attrs"]["cells"] == 2
+        sweeps = [
+            e for e in obs.captured()
+            if e["kind"] == "span_end"
+            and e["name"] == "experiment.speedup_matrix"
+        ]
+        assert len(sweeps) == 1
