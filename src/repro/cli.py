@@ -14,11 +14,20 @@ Subcommands map onto the paper's artifacts and common library tasks::
     repro-gorder window --dataset flickr  # Figure 4 sweep
     repro-gorder annealing                # Figure 3 sweep
     repro-gorder telemetry trace.jsonl    # summarise a telemetry trace
+    repro-gorder sweep run --profile quick --checkpoint ck.jsonl
+    repro-gorder sweep status ck.jsonl    # inspect a checkpoint
 
 Every subcommand accepts the telemetry flags ``--log-level LEVEL``
 (text events on stderr; ``-v`` is an alias for ``--log-level info``)
 and ``--log-json PATH`` (machine-readable JSONL trace; see
 ``docs/telemetry.md``).
+
+The matrix commands (``speedup``, ``ranking``, ``sweep run``) run
+through the fault-tolerant sweep engine and accept ``--checkpoint``/
+``--resume`` plus the per-cell budget flags ``--cell-timeout``,
+``--retries``, ``--backoff``, ``--isolate`` and ``--strict`` (see
+``docs/robustness.md``).  Ctrl-C exits with code 130 after the
+checkpoint is flushed; resume with ``--resume``.
 """
 
 from __future__ import annotations
@@ -95,14 +104,43 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_speedup(args: argparse.Namespace) -> int:
-    profile = perf.get_profile(args.profile)
-    matrix = perf.speedup_matrix(profile)
+def _engine_from_args(args: argparse.Namespace) -> "perf.SweepEngine":
+    """Build a fault-tolerant engine from the sweep budget flags."""
+    guards = perf.SweepGuards(
+        cell_timeout=getattr(args, "cell_timeout", None),
+        retries=getattr(args, "retries", 0),
+        backoff_seconds=getattr(args, "backoff", 0.0),
+        isolate=getattr(args, "isolate", False),
+        strict=getattr(args, "strict", False),
+    )
+    specs = tuple(
+        perf.parse_fault_spec(text)
+        for text in (getattr(args, "inject", None) or ())
+    )
+    return perf.SweepEngine(guards=guards, plan=perf.FaultPlan(specs))
+
+
+def _run_sweep_outcome(
+    args: argparse.Namespace, profile
+) -> "perf.SweepOutcome":
+    engine = _engine_from_args(args)
+    return engine.run(
+        profile,
+        checkpoint=getattr(args, "checkpoint", None),
+        resume=getattr(args, "resume", False),
+    )
+
+
+def _print_speedup_panels(profile, outcome) -> None:
+    matrix = outcome.matrix()
+    failed = outcome.failed_cells()
     relative = perf.relative_to_gorder(matrix)
     for algorithm in profile.algorithms:
         for dataset in profile.datasets:
             series = {
-                ordering: relative[(dataset, algorithm, ordering)]
+                ordering: relative.get(
+                    (dataset, algorithm, ordering)
+                )
                 for ordering in profile.orderings
             }
             print(
@@ -113,13 +151,28 @@ def _cmd_speedup(args: argparse.Namespace) -> int:
                 )
             )
             print()
+    if failed:
+        print(
+            report.render_failures(
+                f"{len(failed)} cell(s) failed (rendered as gaps "
+                "above)",
+                list(failed.values()),
+            )
+        )
+        print()
+
+
+def _cmd_speedup(args: argparse.Namespace) -> int:
+    profile = perf.get_profile(args.profile)
+    outcome = _run_sweep_outcome(args, profile)
+    _print_speedup_panels(profile, outcome)
     return 0
 
 
 def _cmd_ranking(args: argparse.Namespace) -> int:
     profile = perf.get_profile(args.profile)
-    matrix = perf.speedup_matrix(profile)
-    histogram = perf.rank_orderings(matrix)
+    outcome = _run_sweep_outcome(args, profile)
+    histogram = perf.rank_orderings(outcome.matrix())
     print(
         report.render_rank_histogram(
             "Figure 6: ordering rank histogram "
@@ -127,6 +180,67 @@ def _cmd_ranking(args: argparse.Namespace) -> int:
             histogram,
         )
     )
+    failed = outcome.failed_cells()
+    if failed:
+        print()
+        print(
+            report.render_failures(
+                f"{len(failed)} cell(s) missing from the ranking",
+                list(failed.values()),
+            )
+        )
+    return 0
+
+
+def _cmd_sweep_run(args: argparse.Namespace) -> int:
+    profile = perf.get_profile(args.profile)
+    outcome = _run_sweep_outcome(args, profile)
+    ok = len(outcome.results)
+    failed = len(outcome.failures)
+    print(
+        f"sweep       : profile={profile.name} "
+        f"cells={ok + failed} ok={ok} failed={failed} "
+        f"resumed={outcome.resumed_cells}"
+    )
+    if args.checkpoint:
+        print(f"checkpoint  : {args.checkpoint}")
+    if args.save:
+        perf.save_results(
+            outcome.matrix(),
+            args.save,
+            metadata={"profile": profile.name},
+            manifest=obs.run_manifest(
+                profile=profile.name, seed=profile.seed,
+                command="sweep run",
+            ),
+            failures=list(outcome.failures.values()),
+        )
+        print(f"archive     : {args.save}")
+        print(f"digest      : {perf.archive_digest(args.save)}")
+    if outcome.failures:
+        print()
+        print(
+            report.render_failures(
+                "Failed cells", list(outcome.failures.values())
+            )
+        )
+    return 0
+
+
+def _cmd_sweep_status(args: argparse.Namespace) -> int:
+    status = perf.checkpoint_status(args.checkpoint)
+    print(f"checkpoint  : {status.path}")
+    print(f"profile     : {status.profile}")
+    print(f"fingerprint : {status.fingerprint}")
+    print(
+        f"cells       : {status.ok} ok, {status.failed} failed, "
+        f"{status.pending} pending (of {status.total_cells})"
+    )
+    if status.failures:
+        print()
+        print(
+            report.render_failures("Failed cells", status.failures)
+        )
     return 0
 
 
@@ -380,6 +494,60 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="alias for --log-level info",
     )
+    # Sweep-engine flags shared by the matrix commands.
+    sweep_flags = argparse.ArgumentParser(add_help=False)
+    group = sweep_flags.add_argument_group("fault tolerance")
+    group.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="journal completed cells to PATH (JSONL)",
+    )
+    group.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay completed cells from --checkpoint",
+    )
+    group.add_argument(
+        "--cell-timeout",
+        type=float,
+        metavar="SEC",
+        default=None,
+        help="wall-clock budget per cell attempt",
+    )
+    group.add_argument(
+        "--retries",
+        type=int,
+        metavar="N",
+        default=0,
+        help="re-attempts for a failed/timed-out cell",
+    )
+    group.add_argument(
+        "--backoff",
+        type=float,
+        metavar="SEC",
+        default=0.0,
+        help="base backoff between retries (doubles per attempt)",
+    )
+    group.add_argument(
+        "--isolate",
+        action="store_true",
+        help="run each cell in a spawned subprocess",
+    )
+    group.add_argument(
+        "--strict",
+        action="store_true",
+        help="abort on the first failed cell (fail-fast)",
+    )
+    group.add_argument(
+        "--inject",
+        action="append",
+        metavar="SPEC",
+        default=None,
+        help="inject a deterministic fault (testing; see "
+             "docs/robustness.md)",
+    )
+
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add(name, func, **kwargs):
@@ -409,10 +577,35 @@ def build_parser() -> argparse.ArgumentParser:
     for name, func, help_text in [
         ("speedup", _cmd_speedup, "Figure 5: relative runtimes"),
         ("ranking", _cmd_ranking, "Figure 6: rank histogram"),
-        ("ordering-time", _cmd_ordering_time, "Table 2: ordering time"),
     ]:
-        p = add(name, func, help=help_text)
+        p = sub.add_parser(
+            name, parents=[telemetry_flags, sweep_flags],
+            help=help_text,
+        )
+        p.set_defaults(func=func)
         p.add_argument("--profile", default=None)
+
+    p = add("ordering-time", _cmd_ordering_time,
+            help="Table 2: ordering time")
+    p.add_argument("--profile", default=None)
+
+    p = add("sweep", _cmd_sweep_run,
+            help="fault-tolerant matrix sweep (run/status)")
+    sweep_sub = p.add_subparsers(dest="sweep_command", required=True)
+    p = sweep_sub.add_parser(
+        "run", parents=[telemetry_flags, sweep_flags],
+        help="run the speedup matrix through the sweep engine",
+    )
+    p.set_defaults(func=_cmd_sweep_run)
+    p.add_argument("--profile", default=None)
+    p.add_argument("--save", metavar="PATH", default=None,
+                   help="write the archive (schema v3) to PATH")
+    p = sweep_sub.add_parser(
+        "status", parents=[telemetry_flags],
+        help="summarise a sweep checkpoint journal",
+    )
+    p.set_defaults(func=_cmd_sweep_status)
+    p.add_argument("checkpoint", help="path to a checkpoint journal")
 
     p = add("stall", _cmd_stall, help="Figure 1: execute vs stall")
     p.add_argument("--dataset", default="sdarc")
@@ -486,6 +679,8 @@ def _configure_telemetry(args: argparse.Namespace) -> bool:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.perf import SweepKill
+
     parser = build_parser()
     args = parser.parse_args(argv)
     configured = False
@@ -495,6 +690,22 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        # Completed cells were flushed to the checkpoint per cell; no
+        # traceback, conventional 128+SIGINT exit code.
+        checkpoint = getattr(args, "checkpoint", None)
+        hint = (
+            f" — resume with --resume --checkpoint {checkpoint}"
+            if checkpoint
+            else ""
+        )
+        print(f"interrupted; completed cells are saved{hint}",
+              file=sys.stderr)
+        return 130
+    except SweepKill as exc:
+        # Injected hard kill (fault-injection harness / CI smoke).
+        print(f"sweep killed: {exc}", file=sys.stderr)
+        return 137
     finally:
         if configured:
             obs.emit_counters()

@@ -132,18 +132,43 @@ def load_permutation(
 
 
 def save_npz(graph: CSRGraph, path: str | os.PathLike) -> None:
-    """Save the CSR arrays to a compressed ``.npz`` file."""
-    np.savez_compressed(
-        Path(path),
-        num_nodes=np.int64(graph.num_nodes),
-        offsets=graph.offsets,
-        adjacency=graph.adjacency,
-        name=np.str_(graph.name),
-    )
+    """Save the CSR arrays to a compressed ``.npz`` file.
+
+    The write is atomic (temp file in the same directory, then
+    ``os.replace``): a kill mid-write never leaves a truncated cache
+    file for the next run to trip over.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        # Mirror numpy's implicit suffix so the final name is known
+        # before the atomic rename.
+        path = path.with_name(path.name + ".npz")
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(
+                handle,
+                num_nodes=np.int64(graph.num_nodes),
+                offsets=graph.offsets,
+                adjacency=graph.adjacency,
+                name=np.str_(graph.name),
+            )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
 
 
 def load_npz(path: str | os.PathLike) -> CSRGraph:
-    """Load a graph previously written by :func:`save_npz`."""
+    """Load a graph previously written by :func:`save_npz`.
+
+    A missing, truncated or otherwise corrupt file raises a clean
+    :class:`GraphFormatError` naming the path.
+    """
+    import zipfile
+
     path = Path(path)
     try:
         with np.load(path, allow_pickle=False) as data:
@@ -156,4 +181,8 @@ def load_npz(path: str | os.PathLike) -> CSRGraph:
     except KeyError as exc:
         raise GraphFormatError(
             f"{path} is not a repro graph archive (missing {exc})"
+        ) from exc
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError) as exc:
+        raise GraphFormatError(
+            f"cannot read graph archive {path}: {exc}"
         ) from exc

@@ -140,6 +140,7 @@ def algorithm_params(
 def speedup_matrix(
     profile: Profile,
     cache: OrderingCache | None = None,
+    engine=None,
 ) -> dict[tuple[str, str, str], RunResult]:
     """All (dataset, algorithm, ordering) cells of the profile.
 
@@ -147,7 +148,14 @@ def speedup_matrix(
     Figure 5 divides each cell's cycles by the Gorder cell of the same
     series.  Progress is reported per cell through :mod:`repro.obs`
     (enable with ``--log-level info`` / ``-v`` on the CLI).
+
+    Passing a :class:`repro.perf.engine.SweepEngine` routes the run
+    through the fault-tolerant engine (per-cell guards, graceful
+    degradation) and returns its aggregated, possibly partial matrix;
+    for checkpoint/resume use :meth:`SweepEngine.run` directly.
     """
+    if engine is not None:
+        return engine.run(profile).matrix()
     cache = cache or GLOBAL_ORDERING_CACHE
     results: dict[tuple[str, str, str], RunResult] = {}
     total = (
@@ -217,10 +225,17 @@ def _representative_run(
 def relative_to_gorder(
     matrix: dict[tuple[str, str, str], RunResult],
 ) -> dict[tuple[str, str, str], float]:
-    """Each cell's cycles divided by its series' Gorder cycles."""
+    """Each cell's cycles divided by its series' Gorder cycles.
+
+    Tolerates partial matrices (a degraded fault-tolerant sweep):
+    cells whose series lacks a Gorder reference are omitted rather
+    than raising, so the remaining series still render.
+    """
     relative: dict[tuple[str, str, str], float] = {}
     for (dataset, algorithm, ordering), result in matrix.items():
-        reference = matrix[(dataset, algorithm, "gorder")]
+        reference = matrix.get((dataset, algorithm, "gorder"))
+        if reference is None or reference.cycles == 0:
+            continue
         relative[(dataset, algorithm, ordering)] = (
             result.cycles / reference.cycles
         )

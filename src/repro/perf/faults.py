@@ -1,0 +1,220 @@
+"""Deterministic fault injection for the sweep engine.
+
+The fault-tolerant engine (:mod:`repro.perf.engine`) makes strong
+promises — a killed sweep resumes losslessly, a crashing cell cannot
+abort the run — which are only worth having if they are testable.
+This module injects failures *deterministically*: a
+:class:`FaultPlan` names exact cells of the experiment matrix and
+what should go wrong there, so a test (or the CI smoke job) can
+reproduce an OOM at cell 7 or a kill at cell 3 on every run.
+
+Three fault kinds are supported:
+
+* ``error`` — the cell raises :class:`InjectedFault` (or any
+  exception type given via ``error_type``) for its first ``times``
+  attempts.  ``times=-1`` means every attempt, a permanently broken
+  cell.
+* ``delay`` — the cell sleeps ``delay_seconds`` before running, for
+  exercising the ``cell_timeout`` budget.
+* ``kill`` — the whole sweep dies (a :class:`SweepKill`, derived from
+  ``BaseException`` so the engine's failure isolation cannot catch
+  it) immediately *after* the matching cell is checkpointed — the
+  moment a real ``kill -9`` would be most costly.
+
+Error and delay faults trigger inside the cell body, so they fire in
+the worker thread or subprocess when isolation is on; kill faults
+trigger in the sweep process itself.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+
+from repro.errors import InvalidParameterError, ReproError
+
+#: Fault kinds a :class:`FaultSpec` may name.
+FAULT_KINDS = ("error", "delay", "kill")
+
+
+class InjectedFault(ReproError):
+    """The deliberate failure raised by ``error`` fault specs."""
+
+
+class SweepKill(BaseException):
+    """A simulated hard kill of the sweep process.
+
+    Derives from ``BaseException`` (like ``KeyboardInterrupt``) so
+    the engine's per-cell ``except Exception`` isolation can never
+    swallow it — exactly like a real SIGKILL.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection: which cell, what goes wrong, how often.
+
+    ``seed=None`` matches every seed of the named cell.  ``times``
+    bounds how many *attempts* trigger: an ``error`` spec with
+    ``times=2`` fails attempts 0 and 1 and lets attempt 2 succeed —
+    the flaky-cell shape ``--retries`` exists for.  ``times=-1``
+    triggers forever.
+    """
+
+    dataset: str
+    algorithm: str
+    ordering: str
+    kind: str = "error"
+    seed: int | None = None
+    times: int = -1
+    delay_seconds: float = 0.0
+    message: str = "injected fault"
+    #: Exception class raised by ``error`` faults ("InjectedFault",
+    #: "MemoryError", ...); resolved from builtins or this module.
+    error_type: str = "InjectedFault"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            known = ", ".join(FAULT_KINDS)
+            raise InvalidParameterError(
+                f"unknown fault kind {self.kind!r}; known kinds: {known}"
+            )
+
+    def matches(
+        self, dataset: str, algorithm: str, ordering: str, seed: int
+    ) -> bool:
+        return (
+            self.dataset == dataset
+            and self.algorithm == algorithm
+            and self.ordering == ordering
+            and (self.seed is None or self.seed == seed)
+        )
+
+    def triggers(self, attempt: int) -> bool:
+        return self.times < 0 or attempt < self.times
+
+    def exception(self) -> BaseException:
+        exc_type = _resolve_error_type(self.error_type)
+        return exc_type(self.message)
+
+
+def _resolve_error_type(name: str) -> type[BaseException]:
+    if name == "InjectedFault":
+        return InjectedFault
+    import builtins
+
+    candidate = getattr(builtins, name, None)
+    if isinstance(candidate, type) and issubclass(
+        candidate, BaseException
+    ):
+        return candidate
+    raise InvalidParameterError(
+        f"unknown fault error type {name!r} "
+        "(use InjectedFault or a builtin exception name)"
+    )
+
+
+class FaultPlan:
+    """An ordered set of :class:`FaultSpec` injections.
+
+    Stateless by design: whether a fault fires depends only on the
+    cell key and the attempt number, never on accumulated counters —
+    so a plan behaves identically in the sweep process, a worker
+    thread and a spawned subprocess, and identically again after a
+    kill/resume cycle.
+    """
+
+    def __init__(self, specs: tuple[FaultSpec, ...] = ()) -> None:
+        self.specs = tuple(specs)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def _matching(
+        self, dataset: str, algorithm: str, ordering: str, seed: int
+    ) -> list[FaultSpec]:
+        return [
+            spec
+            for spec in self.specs
+            if spec.matches(dataset, algorithm, ordering, seed)
+        ]
+
+    def apply_in_cell(
+        self,
+        dataset: str,
+        algorithm: str,
+        ordering: str,
+        seed: int,
+        attempt: int,
+    ) -> None:
+        """Fire delay/error faults for one cell attempt (in order)."""
+        for spec in self._matching(dataset, algorithm, ordering, seed):
+            if not spec.triggers(attempt):
+                continue
+            if spec.kind == "delay":
+                time.sleep(spec.delay_seconds)
+            elif spec.kind == "error":
+                raise spec.exception()
+
+    def kill_after_cell(
+        self, dataset: str, algorithm: str, ordering: str, seed: int
+    ) -> None:
+        """Fire a kill fault after the cell was checkpointed."""
+        for spec in self._matching(dataset, algorithm, ordering, seed):
+            if spec.kind == "kill" and spec.triggers(0):
+                raise SweepKill(
+                    f"injected kill after cell "
+                    f"({dataset}, {algorithm}, {ordering}, seed={seed})"
+                )
+
+    # -- transport (for subprocess isolation) --------------------------
+    def to_payload(self) -> list[dict]:
+        return [asdict(spec) for spec in self.specs]
+
+    @classmethod
+    def from_payload(cls, payload: list[dict]) -> "FaultPlan":
+        return cls(tuple(FaultSpec(**fields) for fields in payload))
+
+
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Parse a CLI ``--inject`` argument into a :class:`FaultSpec`.
+
+    Format: comma-separated ``key=value`` pairs, e.g.::
+
+        dataset=epinion,algorithm=nq,ordering=gorder,kind=error,times=2
+        dataset=epinion,algorithm=nq,ordering=rcm,kind=kill
+        dataset=epinion,algorithm=nq,ordering=bfs,kind=delay,delay=5
+
+    ``dataset``, ``algorithm`` and ``ordering`` are required.
+    """
+    fields: dict[str, object] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise InvalidParameterError(
+                f"bad fault spec fragment {part!r} (expected key=value)"
+            )
+        key, _, value = part.partition("=")
+        key = key.strip()
+        value = value.strip()
+        if key in ("times", "seed"):
+            fields[key] = int(value)
+        elif key in ("delay", "delay_seconds"):
+            fields["delay_seconds"] = float(value)
+        elif key in (
+            "dataset", "algorithm", "ordering", "kind", "message",
+            "error_type",
+        ):
+            fields[key] = value
+        else:
+            raise InvalidParameterError(
+                f"unknown fault spec key {key!r}"
+            )
+    for required in ("dataset", "algorithm", "ordering"):
+        if required not in fields:
+            raise InvalidParameterError(
+                f"fault spec {text!r} is missing {required}="
+            )
+    return FaultSpec(**fields)  # type: ignore[arg-type]

@@ -7,9 +7,12 @@ is presentation only — no measurement logic.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.perf.runner import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.perf.store import CellFailure
 
 
 def render_table(
@@ -49,16 +52,46 @@ def render_bar(value: float, scale: float, width: int = 40) -> str:
 
 def render_speedup_series(
     title: str,
-    relatives: Mapping[str, float],
+    relatives: Mapping[str, float | None],
     limit: float = 2.0,
 ) -> str:
-    """One Figure 5 panel: orderings as bars relative to Gorder (=1)."""
+    """One Figure 5 panel: orderings as bars relative to Gorder (=1).
+
+    A ``None`` value marks a cell the fault-tolerant sweep could not
+    produce; it renders as an explicit gap rather than being dropped.
+    """
     lines = [title]
     for ordering, value in relatives.items():
+        if value is None:
+            lines.append(f"  {ordering:>10s}   -   |(failed)")
+            continue
         bar = render_bar(min(value, limit), limit)
         clipped = "+" if value > limit else ""
         lines.append(f"  {ordering:>10s} {value:5.2f} |{bar}{clipped}")
     return "\n".join(lines)
+
+
+def render_failures(
+    title: str, failures: Sequence["CellFailure"]
+) -> str:
+    """A table of structured cell failures (graceful-degradation view)."""
+    headers = [
+        "dataset", "algorithm", "ordering", "seed", "error",
+        "attempts", "elapsed(s)",
+    ]
+    rows = [
+        [
+            failure.dataset,
+            failure.algorithm,
+            failure.ordering,
+            failure.seed,
+            "timeout" if failure.timed_out else failure.error_type,
+            failure.attempts,
+            f"{failure.elapsed_seconds:.2f}",
+        ]
+        for failure in failures
+    ]
+    return render_table(headers, rows, title=title)
 
 
 def render_stall_split(

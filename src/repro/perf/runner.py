@@ -9,12 +9,16 @@ replication's Table 2).
 
 Orderings and relabeled graphs are memoised per (graph, ordering,
 seed) because the big experiments revisit the same cell many times.
+The memo is a bounded LRU (entry and byte caps) so unattended
+full-profile sweeps cannot grow memory without limit.
 """
 
 from __future__ import annotations
 
+import os
 import time
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -55,31 +59,115 @@ class RunResult:
 
 
 @dataclass
+class _CacheEntry:
+    """One memoised (graph, ordering, seed) triple."""
+
+    perm: np.ndarray
+    seconds: float
+    graph: CSRGraph | None = None
+
+    @property
+    def nbytes(self) -> int:
+        total = int(self.perm.nbytes)
+        if self.graph is not None:
+            total += int(self.graph.offsets.nbytes)
+            total += int(self.graph.adjacency.nbytes)
+        return total
+
+
+def _env_int(name: str) -> int | None:
+    value = os.environ.get(name)
+    return int(value) if value else None
+
+
 class OrderingCache:
     """Memoises permutations and relabeled graphs per graph object.
 
     Keys include ``id(graph)``; the keyed graph object is pinned in
     ``_pinned`` so its id cannot be recycled by the allocator while
-    the cache entry lives (a classic stale-memoisation hazard).
+    any cache entry for it lives (a classic stale-memoisation hazard).
+
+    The cache is a bounded LRU: ``max_entries`` caps the number of
+    memoised (graph, ordering, seed) triples and ``max_bytes`` caps
+    the approximate array bytes held, so a full-profile sweep cannot
+    grow memory without limit.  Evictions only cost a recompute and
+    are counted on the ``runner.ordering_cache_evictions`` telemetry
+    counter.  Either cap may be ``None`` (unbounded).
     """
 
-    _perms: dict[tuple[int, str, int], np.ndarray] = field(
-        default_factory=dict
-    )
-    _graphs: dict[tuple[int, str, int], CSRGraph] = field(
-        default_factory=dict
-    )
-    _seconds: dict[tuple[int, str, int], float] = field(
-        default_factory=dict
-    )
-    _pinned: dict[int, CSRGraph] = field(default_factory=dict)
+    def __init__(
+        self,
+        max_entries: int | None = 128,
+        max_bytes: int | None = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 or None")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1 or None")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._entries: OrderedDict[
+            tuple[int, str, int], _CacheEntry
+        ] = OrderedDict()
+        self._pinned: dict[int, CSRGraph] = {}
+        self._pin_counts: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def nbytes(self) -> int:
+        """Approximate bytes held by memoised arrays."""
+        return sum(entry.nbytes for entry in self._entries.values())
+
+    def _pin(self, graph: CSRGraph) -> None:
+        graph_id = id(graph)
+        self._pinned[graph_id] = graph
+        self._pin_counts[graph_id] = (
+            self._pin_counts.get(graph_id, 0) + 1
+        )
+
+    def _unpin(self, graph_id: int) -> None:
+        remaining = self._pin_counts.get(graph_id, 0) - 1
+        if remaining <= 0:
+            self._pin_counts.pop(graph_id, None)
+            self._pinned.pop(graph_id, None)
+        else:
+            self._pin_counts[graph_id] = remaining
+
+    def _evict_over_caps(self) -> None:
+        def over() -> bool:
+            if (
+                self.max_entries is not None
+                and len(self._entries) > self.max_entries
+            ):
+                return True
+            return (
+                self.max_bytes is not None
+                and self.nbytes() > self.max_bytes
+            )
+
+        # Keep at least the newest entry so the current lookup's
+        # result is always returned memoised.
+        while len(self._entries) > 1 and over():
+            key, _ = self._entries.popitem(last=False)
+            self._unpin(key[0])
+            obs.inc("runner.ordering_cache_evictions")
+
+    def _lookup(
+        self, key: tuple[int, str, int]
+    ) -> _CacheEntry | None:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
 
     def permutation(
         self, graph: CSRGraph, ordering: str, seed: int
     ) -> tuple[np.ndarray, float]:
         """The arrangement for (graph, ordering, seed) + compute time."""
         key = (id(graph), ordering, seed)
-        if key not in self._perms:
+        entry = self._lookup(key)
+        if entry is None:
             obs.inc("runner.ordering_memo_misses")
             with obs.span(
                 "ordering.compute",
@@ -92,12 +180,14 @@ class OrderingCache:
                 perm = orderings.compute_ordering(
                     ordering, graph, seed=seed
                 )
-                self._seconds[key] = time.perf_counter() - start
-            self._perms[key] = perm
-            self._pinned[id(graph)] = graph
+                seconds = time.perf_counter() - start
+            entry = _CacheEntry(perm=perm, seconds=seconds)
+            self._entries[key] = entry
+            self._pin(graph)
+            self._evict_over_caps()
         else:
             obs.inc("runner.ordering_memo_hits")
-        return self._perms[key], self._seconds[key]
+        return entry.perm, entry.seconds
 
     def relabeled(
         self, graph: CSRGraph, ordering: str, seed: int
@@ -105,19 +195,25 @@ class OrderingCache:
         """Relabeled graph, arrangement and ordering compute time."""
         key = (id(graph), ordering, seed)
         perm, seconds = self.permutation(graph, ordering, seed)
-        if key not in self._graphs:
-            self._graphs[key] = relabel(graph, perm)
-        return self._graphs[key], perm, seconds
+        entry = self._entries[key]
+        if entry.graph is None:
+            entry.graph = relabel(graph, perm)
+            self._evict_over_caps()
+        return entry.graph, perm, seconds
 
     def clear(self) -> None:
-        self._perms.clear()
-        self._graphs.clear()
-        self._seconds.clear()
+        self._entries.clear()
         self._pinned.clear()
+        self._pin_counts.clear()
 
 
 #: Default shared cache (cleared freely; it is only a memoisation).
-GLOBAL_ORDERING_CACHE = OrderingCache()
+#: Bound it via ``REPRO_ORDERING_CACHE_ENTRIES`` /
+#: ``REPRO_ORDERING_CACHE_BYTES`` (defaults: 128 entries, no byte cap).
+GLOBAL_ORDERING_CACHE = OrderingCache(
+    max_entries=_env_int("REPRO_ORDERING_CACHE_ENTRIES") or 128,
+    max_bytes=_env_int("REPRO_ORDERING_CACHE_BYTES"),
+)
 
 
 def run_cell(

@@ -11,12 +11,22 @@ Schema history
 * **v2** — adds a ``manifest`` object (git SHA, Python/numpy
   versions, platform, profile, seed, wall-clock; see
   :func:`repro.obs.run_manifest`) stamping every archive with the
-  environment that produced it.  v1 archives remain readable — they
-  simply load with ``manifest=None``.
+  environment that produced it.
+* **v3** — per-cell status: every result record carries
+  ``status: "ok"`` and a ``failures`` list records cells that never
+  produced a result (``status: "failed"``, exception type, traceback
+  tail, attempts, elapsed) — the sweep engine's graceful-degradation
+  records.  v1/v2 archives remain readable; they load with
+  ``manifest=None`` and/or ``failures=[]``.
+
+All archive writes are atomic (temp file in the same directory, then
+``os.replace``), so a kill mid-write can never leave a truncated
+archive behind.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from dataclasses import asdict, dataclass, field
@@ -28,14 +38,51 @@ from repro.obs.manifest import run_manifest
 from repro.perf.runner import RunResult
 
 #: Format marker written into every archive.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Versions :func:`read_archive` can still load.
-SUPPORTED_SCHEMAS = (1, 2)
+SUPPORTED_SCHEMAS = (1, 2, 3)
+
+#: Manifest fields that vary run-to-run without changing the results.
+VOLATILE_MANIFEST_FIELDS = ("created", "created_unix")
 
 
 class ResultStoreError(ReproError):
     """An archive could not be read or did not match the schema."""
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """A cell that produced no result: what went wrong, structurally.
+
+    Recorded by the sweep engine instead of aborting the run; rendered
+    as explicit gaps in reports.  ``seed`` identifies the exact run
+    for non-deterministic orderings.
+    """
+
+    dataset: str
+    algorithm: str
+    ordering: str
+    seed: int
+    error_type: str
+    message: str
+    traceback_tail: str = ""
+    attempts: int = 1
+    elapsed_seconds: float = 0.0
+    timed_out: bool = False
+
+    @property
+    def key(self) -> tuple[str, str, str, int]:
+        return (self.dataset, self.algorithm, self.ordering, self.seed)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        cause = "timeout" if self.timed_out else self.error_type
+        return (
+            f"({self.dataset}, {self.algorithm}, {self.ordering}, "
+            f"seed={self.seed}): {cause}: {self.message} "
+            f"[{self.attempts} attempt(s), {self.elapsed_seconds:.2f}s]"
+        )
 
 
 @dataclass
@@ -47,11 +94,14 @@ class ResultArchive:
     #: Environment fingerprint (``None`` for v1 archives).
     manifest: dict | None = None
     metadata: dict = field(default_factory=dict)
+    #: Cells that failed (empty for v1/v2 archives).
+    failures: list[CellFailure] = field(default_factory=list)
 
 
 def result_to_dict(result: RunResult) -> dict:
     """Flatten one :class:`RunResult` into JSON-ready primitives."""
     return {
+        "status": "ok",
         "dataset": result.dataset,
         "algorithm": result.algorithm,
         "ordering": result.ordering,
@@ -80,17 +130,61 @@ def result_from_dict(payload: dict) -> RunResult:
         ) from exc
 
 
+def failure_to_dict(failure: CellFailure) -> dict:
+    """Flatten one :class:`CellFailure` into JSON-ready primitives."""
+    payload = asdict(failure)
+    payload["status"] = "failed"
+    return payload
+
+
+def failure_from_dict(payload: dict) -> CellFailure:
+    """Inverse of :func:`failure_to_dict`."""
+    fields = {
+        key: value
+        for key, value in payload.items()
+        if key != "status"
+    }
+    try:
+        return CellFailure(**fields)
+    except TypeError as exc:
+        raise ResultStoreError(
+            f"malformed failure record: {exc}"
+        ) from exc
+
+
+def atomic_write_text(path: str | os.PathLike, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp + ``os.replace``).
+
+    The temp file lives in the target directory so the replace stays
+    on one filesystem; a kill mid-write leaves at worst a stray
+    ``*.tmp`` file, never a truncated target.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
 def save_results(
     results: dict[tuple[str, str, str], RunResult] | list[RunResult],
     path: str | os.PathLike,
     metadata: dict | None = None,
     manifest: dict | None = None,
+    failures: list[CellFailure] | None = None,
 ) -> None:
-    """Write a result collection to a JSON archive (schema v2).
+    """Write a result collection to a JSON archive (schema v3).
 
     A fresh :func:`repro.obs.run_manifest` is stamped in unless an
     explicit ``manifest`` is given (pass one to carry profile/seed
-    fields).
+    fields).  ``failures`` records cells that produced no result.
+    The write is atomic.
     """
     records = (
         list(results.values())
@@ -102,16 +196,27 @@ def save_results(
         "manifest": manifest if manifest is not None else run_manifest(),
         "metadata": metadata or {},
         "results": [result_to_dict(result) for result in records],
+        "failures": [
+            failure_to_dict(failure) for failure in (failures or [])
+        ],
     }
-    Path(path).write_text(json.dumps(payload, indent=1))
+    atomic_write_text(path, json.dumps(payload, indent=1))
 
 
 def read_archive(path: str | os.PathLike) -> ResultArchive:
-    """Read an archive of any supported schema version."""
+    """Read an archive of any supported schema version.
+
+    A missing, truncated or otherwise corrupt file raises a clean
+    :class:`ResultStoreError` naming the path.
+    """
     try:
         payload = json.loads(Path(path).read_text())
-    except (OSError, json.JSONDecodeError) as exc:
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
         raise ResultStoreError(f"cannot read {path}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ResultStoreError(
+            f"{path}: not a result archive (top level is not an object)"
+        )
     schema = payload.get("schema")
     if schema not in SUPPORTED_SCHEMAS:
         supported = ", ".join(str(v) for v in SUPPORTED_SCHEMAS)
@@ -126,11 +231,16 @@ def read_archive(path: str | os.PathLike) -> ResultArchive:
         results[(result.dataset, result.algorithm, result.ordering)] = (
             result
         )
+    failures = [
+        failure_from_dict(record)
+        for record in payload.get("failures", [])
+    ]
     return ResultArchive(
         schema=schema,
         results=results,
         manifest=payload.get("manifest"),
         metadata=payload.get("metadata") or {},
+        failures=failures,
     )
 
 
@@ -139,6 +249,32 @@ def load_results(
 ) -> dict[tuple[str, str, str], RunResult]:
     """Read an archive back, keyed by (dataset, algorithm, ordering)."""
     return read_archive(path).results
+
+
+def archive_digest(path: str | os.PathLike) -> str:
+    """Content hash of an archive, ignoring wall-clock fields.
+
+    Two archives holding the same simulated results digest
+    identically even though manifest timestamps and the wall-clock
+    diagnostics (``ordering_seconds``, ``simulation_seconds``,
+    failure ``elapsed_seconds``) differ between runs — the equality
+    the engine's kill/resume guarantee is stated in.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ResultStoreError(f"cannot read {path}: {exc}") from exc
+    manifest = payload.get("manifest")
+    if isinstance(manifest, dict):
+        for key in VOLATILE_MANIFEST_FIELDS:
+            manifest.pop(key, None)
+    for record in payload.get("results", []):
+        record.pop("ordering_seconds", None)
+        record.pop("simulation_seconds", None)
+    for record in payload.get("failures", []):
+        record.pop("elapsed_seconds", None)
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def compare_runs(

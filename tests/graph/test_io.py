@@ -88,6 +88,35 @@ class TestNpz:
         with pytest.raises(GraphFormatError, match="not a repro graph"):
             load_npz(path)
 
+    def test_write_is_atomic_no_tmp_left(self, tmp_path, small_social):
+        path = tmp_path / "graph.npz"
+        save_npz(small_social, path)
+        assert [p.name for p in tmp_path.iterdir()] == ["graph.npz"]
+
+    def test_suffix_appended_like_numpy(self, tmp_path, small_social):
+        save_npz(small_social, tmp_path / "bare")
+        assert (tmp_path / "bare.npz").exists()
+        assert load_npz(tmp_path / "bare.npz") == small_social
+
+    def test_truncated_archive_clean_error(self, tmp_path,
+                                           small_social):
+        path = tmp_path / "graph.npz"
+        save_npz(small_social, path)
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 2])
+        with pytest.raises(GraphFormatError, match="cannot read"):
+            load_npz(path)
+
+    def test_garbage_archive_clean_error(self, tmp_path):
+        path = tmp_path / "graph.npz"
+        path.write_bytes(b"not a zip archive at all")
+        with pytest.raises(GraphFormatError, match="cannot read"):
+            load_npz(path)
+
+    def test_missing_file_clean_error(self, tmp_path):
+        with pytest.raises(GraphFormatError, match="cannot read"):
+            load_npz(tmp_path / "absent.npz")
+
 
 class TestGzip:
     def test_gz_edge_list(self, tmp_path):

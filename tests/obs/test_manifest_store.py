@@ -1,4 +1,4 @@
-"""Run manifests and the v2 result-store schema."""
+"""Run manifests and the manifest-stamped result-store schema."""
 
 import json
 import sys
@@ -58,12 +58,12 @@ class TestManifest:
         )
 
 
-class TestSchemaV2:
+class TestManifestStamping:
     def test_save_stamps_schema_and_manifest(self, tmp_path):
         path = tmp_path / "run.json"
         save_results([make_result()], path)
         payload = json.loads(path.read_text())
-        assert payload["schema"] == SCHEMA_VERSION == 2
+        assert payload["schema"] == SCHEMA_VERSION == 3
         assert payload["manifest"]["python"] == sys.version.split()[0]
 
     def test_explicit_manifest_wins(self, tmp_path):
@@ -86,7 +86,7 @@ class TestSchemaV2:
         archive = read_archive(path)
         assert archive.results == results
         assert archive.metadata == {"note": "x"}
-        assert archive.schema == 2
+        assert archive.schema == 3
 
     def test_load_results_still_returns_plain_dict(self, tmp_path):
         path = tmp_path / "run.json"
@@ -137,7 +137,7 @@ class TestBackwardCompatibility:
             ResultStoreError, match="unsupported schema 99"
         ) as excinfo:
             read_archive(path)
-        assert "versions 1, 2" in str(excinfo.value)
+        assert "versions 1, 2, 3" in str(excinfo.value)
 
     def test_missing_schema_is_an_error(self, tmp_path):
         path = tmp_path / "none.json"

@@ -1,0 +1,139 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import time
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.perf.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    SweepKill,
+    parse_fault_spec,
+)
+
+CELL = ("epinion", "nq", "gorder", 7)
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InvalidParameterError, match="kind"):
+            FaultSpec("d", "a", "o", kind="explode")
+
+    def test_matching(self):
+        spec = FaultSpec("epinion", "nq", "gorder")
+        assert spec.matches(*CELL)
+        assert not spec.matches("epinion", "nq", "rcm", 7)
+
+    def test_seed_narrowing(self):
+        spec = FaultSpec("epinion", "nq", "gorder", seed=5)
+        assert spec.matches("epinion", "nq", "gorder", 5)
+        assert not spec.matches(*CELL)
+
+    def test_times_semantics(self):
+        spec = FaultSpec("d", "a", "o", times=2)
+        assert spec.triggers(0) and spec.triggers(1)
+        assert not spec.triggers(2)
+        assert FaultSpec("d", "a", "o", times=-1).triggers(10 ** 6)
+
+    def test_builtin_error_type(self):
+        spec = FaultSpec("d", "a", "o", error_type="MemoryError")
+        assert isinstance(spec.exception(), MemoryError)
+
+    def test_unknown_error_type_rejected(self):
+        spec = FaultSpec("d", "a", "o", error_type="NotAnException")
+        with pytest.raises(InvalidParameterError, match="error type"):
+            spec.exception()
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_falsy_and_inert(self):
+        plan = FaultPlan()
+        assert not plan
+        plan.apply_in_cell(*CELL, attempt=0)
+        plan.kill_after_cell(*CELL)
+
+    def test_error_raises_for_matching_cell_only(self):
+        plan = FaultPlan((FaultSpec("epinion", "nq", "gorder"),))
+        with pytest.raises(InjectedFault):
+            plan.apply_in_cell(*CELL, attempt=0)
+        plan.apply_in_cell("epinion", "nq", "rcm", 7, attempt=0)
+
+    def test_deterministic_across_instances(self):
+        """Stateless: a rebuilt plan behaves identically (the
+        property kill/resume and subprocess transport rely on)."""
+        spec = FaultSpec("epinion", "nq", "gorder", times=2)
+        for plan in (FaultPlan((spec,)),
+                     FaultPlan.from_payload(
+                         FaultPlan((spec,)).to_payload())):
+            with pytest.raises(InjectedFault):
+                plan.apply_in_cell(*CELL, attempt=0)
+            with pytest.raises(InjectedFault):
+                plan.apply_in_cell(*CELL, attempt=1)
+            plan.apply_in_cell(*CELL, attempt=2)
+
+    def test_delay_sleeps(self):
+        plan = FaultPlan(
+            (FaultSpec("epinion", "nq", "gorder", kind="delay",
+                       delay_seconds=0.05),)
+        )
+        start = time.perf_counter()
+        plan.apply_in_cell(*CELL, attempt=0)
+        assert time.perf_counter() - start >= 0.04
+
+    def test_kill_fires_post_cell(self):
+        plan = FaultPlan(
+            (FaultSpec("epinion", "nq", "gorder", kind="kill"),)
+        )
+        plan.apply_in_cell(*CELL, attempt=0)  # kill is not in-cell
+        with pytest.raises(SweepKill):
+            plan.kill_after_cell(*CELL)
+
+    def test_kill_is_base_exception(self):
+        assert not issubclass(SweepKill, Exception)
+
+    def test_payload_round_trip(self):
+        plan = FaultPlan(
+            (
+                FaultSpec("d", "a", "o", kind="delay",
+                          delay_seconds=1.5),
+                FaultSpec("d", "a", "p", kind="error", times=3,
+                          error_type="MemoryError"),
+            )
+        )
+        rebuilt = FaultPlan.from_payload(plan.to_payload())
+        assert rebuilt.specs == plan.specs
+
+
+class TestParseFaultSpec:
+    def test_full_spec(self):
+        spec = parse_fault_spec(
+            "dataset=epinion,algorithm=nq,ordering=gorder,"
+            "kind=delay,delay=2.5,times=3,seed=9"
+        )
+        assert spec == FaultSpec(
+            "epinion", "nq", "gorder", kind="delay", seed=9,
+            times=3, delay_seconds=2.5,
+        )
+
+    def test_defaults_to_permanent_error(self):
+        spec = parse_fault_spec(
+            "dataset=d,algorithm=a,ordering=o"
+        )
+        assert spec.kind == "error"
+        assert spec.times == -1
+
+    def test_missing_required_key(self):
+        with pytest.raises(InvalidParameterError, match="ordering"):
+            parse_fault_spec("dataset=d,algorithm=a")
+
+    def test_unknown_key(self):
+        with pytest.raises(InvalidParameterError, match="unknown"):
+            parse_fault_spec(
+                "dataset=d,algorithm=a,ordering=o,bogus=1"
+            )
+
+    def test_malformed_fragment(self):
+        with pytest.raises(InvalidParameterError, match="key=value"):
+            parse_fault_spec("dataset=d,algorithm")

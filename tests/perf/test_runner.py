@@ -88,6 +88,75 @@ class TestOrderingCache:
         assert perm_a is not perm_b
 
 
+class TestCacheBounds:
+    def test_entry_cap_evicts_least_recently_used(self, graph):
+        cache = OrderingCache(max_entries=2)
+        perm_a, _ = cache.permutation(graph, "original", 0)
+        cache.permutation(graph, "indegsort", 0)
+        cache.permutation(graph, "rcm", 0)  # evicts "original"
+        assert len(cache) == 2
+        perm_a2, _ = cache.permutation(graph, "original", 0)
+        assert perm_a2 is not perm_a  # recomputed, still correct
+        assert (perm_a2 == perm_a).all()
+
+    def test_lru_order_refreshed_on_hit(self, graph):
+        cache = OrderingCache(max_entries=2)
+        cache.permutation(graph, "original", 0)
+        cache.permutation(graph, "indegsort", 0)
+        # Touch "original" so "indegsort" is the LRU victim.
+        first, _ = cache.permutation(graph, "original", 0)
+        cache.permutation(graph, "rcm", 0)
+        again, _ = cache.permutation(graph, "original", 0)
+        assert again is first
+
+    def test_byte_cap(self, graph):
+        cache = OrderingCache(max_entries=None, max_bytes=1)
+        cache.relabeled(graph, "original", 0)
+        cache.relabeled(graph, "indegsort", 0)
+        # Over the byte cap, only the newest entry is retained.
+        assert len(cache) == 1
+        assert cache.nbytes() > 0
+
+    def test_newest_entry_always_survives(self, graph):
+        cache = OrderingCache(max_entries=1)
+        perm_a, _ = cache.permutation(graph, "original", 0)
+        perm_b, _ = cache.permutation(graph, "original", 0)
+        assert perm_b is perm_a
+
+    def test_eviction_counter(self, graph):
+        from repro import obs
+
+        obs.reset()
+        obs.TELEMETRY.enable()
+        try:
+            cache = OrderingCache(max_entries=1)
+            cache.permutation(graph, "original", 0)
+            cache.permutation(graph, "indegsort", 0)
+            counters = obs.counters()
+            assert counters["runner.ordering_cache_evictions"] == 1
+        finally:
+            obs.reset()
+
+    def test_eviction_releases_pin(self, graph):
+        cache = OrderingCache(max_entries=1)
+        cache.permutation(graph, "original", 0)
+        cache.permutation(graph, "indegsort", 0)
+        # One entry left -> exactly one pin on the keyed graph.
+        assert list(cache._pinned) == [id(graph)]
+        assert cache._pin_counts[id(graph)] == 1
+
+    def test_invalid_caps_rejected(self):
+        with pytest.raises(ValueError):
+            OrderingCache(max_entries=0)
+        with pytest.raises(ValueError):
+            OrderingCache(max_bytes=0)
+
+    def test_global_cache_is_bounded(self):
+        from repro.perf import GLOBAL_ORDERING_CACHE
+
+        assert GLOBAL_ORDERING_CACHE.max_entries is not None
+
+
 class TestTimeOrdering:
     def test_positive(self, graph):
         assert time_ordering(graph, "indegsort") > 0

@@ -16,6 +16,113 @@ def narrow_profile(monkeypatch):
     monkeypatch.setenv("REPRO_DATASETS", "epinion")
 
 
+class TestSweepCommands:
+    INJECT_FAIL = (
+        "dataset=epinion,algorithm=nq,ordering=rcm,kind=error"
+    )
+
+    def test_sweep_run_with_checkpoint_and_archive(
+        self, capsys, tmp_path
+    ):
+        ckpt = tmp_path / "ck.jsonl"
+        archive = tmp_path / "run.json"
+        code = main(
+            ["sweep", "run", "--checkpoint", str(ckpt),
+             "--save", str(archive)]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "failed=0" in output
+        assert "digest" in output
+        assert archive.exists()
+
+        assert main(["sweep", "status", str(ckpt)]) == 0
+        output = capsys.readouterr().out
+        assert "0 failed" in output
+        assert "0 pending" in output
+
+    def test_sweep_degrades_on_injected_failure(
+        self, capsys, tmp_path
+    ):
+        archive = tmp_path / "run.json"
+        code = main(
+            ["sweep", "run", "--inject", self.INJECT_FAIL,
+             "--save", str(archive)]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "failed=1" in output
+        assert "InjectedFault" in output  # the failure table
+        from repro.perf import read_archive
+
+        failures = read_archive(archive).failures
+        assert [f.key for f in failures] == [
+            ("epinion", "nq", "rcm", 7)
+        ]
+
+    def test_sweep_strict_aborts(self, capsys):
+        code = main(
+            ["sweep", "run", "--strict", "--inject",
+             self.INJECT_FAIL]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "strict" in err
+
+    def test_speedup_renders_gaps_for_failed_cells(self, capsys):
+        code = main(["speedup", "--inject", self.INJECT_FAIL])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "(failed)" in output
+        assert "relative to Gorder" in output
+
+    def test_injected_kill_exits_137_and_resumes(
+        self, capsys, tmp_path
+    ):
+        ckpt = tmp_path / "ck.jsonl"
+        kill = (
+            "dataset=epinion,algorithm=nq,ordering=indegsort,"
+            "kind=kill"
+        )
+        code = main(
+            ["sweep", "run", "--checkpoint", str(ckpt),
+             "--inject", kill]
+        )
+        assert code == 137
+        assert "sweep killed" in capsys.readouterr().err
+
+        archive = tmp_path / "run.json"
+        code = main(
+            ["sweep", "run", "--checkpoint", str(ckpt), "--resume",
+             "--save", str(archive)]
+        )
+        assert code == 0
+        assert "resumed=" in capsys.readouterr().out
+        assert archive.exists()
+
+    def test_keyboard_interrupt_exits_130_with_hint(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        from repro import perf
+
+        def interrupt(self, *args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(perf.SweepEngine, "run", interrupt)
+        code = main(
+            ["sweep", "run", "--checkpoint",
+             str(tmp_path / "ck.jsonl")]
+        )
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "--resume" in err
+
+    def test_bad_inject_spec_is_clean_error(self, capsys):
+        code = main(["sweep", "run", "--inject", "nonsense"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestExperimentCommands:
     def test_ordering_time(self, capsys):
         assert main(["ordering-time"]) == 0
