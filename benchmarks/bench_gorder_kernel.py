@@ -1,0 +1,58 @@
+"""Gorder kernel benchmark — the perf-regression gate for this repo.
+
+Runs :func:`repro.perf.run_gorder_bench` at the profile-selected
+scale, asserts the invariants a perf harness must never trade away
+(batched byte-identical to loop, partitioned worker-count invariant,
+batched not slower than loop), and records ``BENCH_gorder.json`` under
+``benchmarks/results/<profile>/`` so every change leaves a perf
+trajectory behind.
+
+Scale (via ``REPRO_PROFILE``):
+
+* ``quick``    — 2k nodes, the CI smoke size (seconds)
+* ``standard`` — 20k nodes (tens of seconds)
+* ``full``     — the 50k-node / ~700k-edge acceptance graph, where the
+  batched kernel must hold its >= 3x advantage over the loop kernel
+"""
+
+import json
+
+from repro.perf import (
+    GorderBenchConfig,
+    quick_config,
+    render_gorder_bench,
+    run_gorder_bench,
+    write_bench_json,
+)
+
+#: Per-profile benchmark shapes (full == the acceptance configuration).
+CONFIGS = {
+    "quick": quick_config(),
+    "standard": GorderBenchConfig(nodes=20_000, workers=2),
+    "full": GorderBenchConfig(),
+}
+
+#: Speedup floors the harness enforces.  The quick graph is too small
+#: to amortise numpy call overhead, so it only guards against the
+#: batched kernel *losing*; the acceptance bar applies at full scale.
+SPEEDUP_FLOORS = {"quick": 1.0, "standard": 1.5, "full": 3.0}
+
+
+def test_gorder_kernel_bench(profile, results_dir, record):
+    config = CONFIGS[profile.name]
+    payload = run_gorder_bench(config)
+
+    # Correctness gates (run_gorder_bench itself raises on divergence;
+    # asserted again so the recorded artifact is self-certifying).
+    assert payload["identical"] is True
+    assert payload["partitioned"]["identical"] is True
+
+    speedup = payload["speedup_batched_vs_loop"]
+    assert speedup >= SPEEDUP_FLOORS[profile.name], (
+        f"batched kernel regressed: {speedup:.2f}x vs loop "
+        f"(floor {SPEEDUP_FLOORS[profile.name]}x at {profile.name})"
+    )
+
+    path = write_bench_json(payload, results_dir / "BENCH_gorder.json")
+    record("bench_gorder_kernel", render_gorder_bench(payload))
+    assert json.loads(path.read_text())["bench"] == "gorder_kernel"

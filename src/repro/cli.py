@@ -13,6 +13,7 @@ Subcommands map onto the paper's artifacts and common library tasks::
     repro-gorder ordering-time --profile quick  # Table 2
     repro-gorder window --dataset flickr  # Figure 4 sweep
     repro-gorder annealing                # Figure 3 sweep
+    repro-gorder bench --quick            # Gorder kernel benchmark
     repro-gorder telemetry trace.jsonl    # summarise a telemetry trace
     repro-gorder sweep run --profile quick --checkpoint ck.jsonl
     repro-gorder sweep status ck.jsonl    # inspect a checkpoint
@@ -21,6 +22,10 @@ Every subcommand accepts the telemetry flags ``--log-level LEVEL``
 (text events on stderr; ``-v`` is an alias for ``--log-level info``)
 and ``--log-json PATH`` (machine-readable JSONL trace; see
 ``docs/telemetry.md``).
+
+Commands that compute orderings accept ``--ordering-backend
+batched|loop`` (the Gorder kernel) and ``--workers N`` (process pool
+for partitioned orderings); see ``docs/performance.md``.
 
 The matrix commands (``speedup``, ``ranking``, ``sweep run``) run
 through the fault-tolerant sweep engine and accept ``--checkpoint``/
@@ -34,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 
 
 from repro import obs, perf
@@ -41,7 +47,11 @@ from repro.algorithms import ALGORITHM_NAMES
 from repro.errors import ReproError
 from repro.graph import datasets, read_edge_list
 from repro.graph.csr import CSRGraph
-from repro.ordering import ORDERING_NAMES, compute_ordering
+from repro.ordering import (
+    ALL_ORDERING_NAMES,
+    ORDERING_NAMES,
+    compute_ordering,
+)
 from repro.perf import report
 
 
@@ -49,6 +59,35 @@ def _load_graph(args: argparse.Namespace) -> CSRGraph:
     if getattr(args, "input", None):
         return read_edge_list(args.input)
     return datasets.load(args.dataset)
+
+
+def _ordering_params(args: argparse.Namespace) -> dict:
+    """The ordering knobs given on the command line, as kwargs.
+
+    Forwarded through the signature-filtered
+    :func:`repro.ordering.compute_ordering`, so each knob only reaches
+    the orderings that declare it (``backend`` → the Gorder kernels,
+    ``workers`` → the partitioned Gorder).
+    """
+    params: dict = {}
+    backend = getattr(args, "ordering_backend", None)
+    if backend is not None:
+        params["backend"] = backend
+    workers = getattr(args, "workers", None)
+    if workers is not None:
+        params["workers"] = workers
+    return params
+
+
+def _profile_from_args(args: argparse.Namespace) -> "perf.Profile":
+    """The requested profile, with any CLI ordering knobs applied."""
+    profile = perf.get_profile(getattr(args, "profile", None))
+    params = _ordering_params(args)
+    if params:
+        profile = replace(
+            profile, ordering_params=tuple(sorted(params.items()))
+        )
+    return profile
 
 
 def _cmd_datasets(args: argparse.Namespace) -> int:
@@ -65,7 +104,9 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 
 def _cmd_order(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    perm = compute_ordering(args.ordering, graph, seed=args.seed)
+    perm = compute_ordering(
+        args.ordering, graph, seed=args.seed, **_ordering_params(args)
+    )
     if args.output:
         from repro.graph.io import save_permutation
 
@@ -89,6 +130,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=profile.seed,
         params=params,
         hierarchy=profile.hierarchy(),
+        ordering_params=_ordering_params(args),
     )
     stats = result.stats
     print(f"dataset     : {result.dataset}")
@@ -163,14 +205,14 @@ def _print_speedup_panels(profile, outcome) -> None:
 
 
 def _cmd_speedup(args: argparse.Namespace) -> int:
-    profile = perf.get_profile(args.profile)
+    profile = _profile_from_args(args)
     outcome = _run_sweep_outcome(args, profile)
     _print_speedup_panels(profile, outcome)
     return 0
 
 
 def _cmd_ranking(args: argparse.Namespace) -> int:
-    profile = perf.get_profile(args.profile)
+    profile = _profile_from_args(args)
     outcome = _run_sweep_outcome(args, profile)
     histogram = perf.rank_orderings(outcome.matrix())
     print(
@@ -193,7 +235,7 @@ def _cmd_ranking(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep_run(args: argparse.Namespace) -> int:
-    profile = perf.get_profile(args.profile)
+    profile = _profile_from_args(args)
     outcome = _run_sweep_outcome(args, profile)
     ok = len(outcome.results)
     failed = len(outcome.failures)
@@ -274,7 +316,7 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_ordering_time(args: argparse.Namespace) -> int:
-    profile = perf.get_profile(args.profile)
+    profile = _profile_from_args(args)
     times = perf.ordering_times(profile)
     headers = ["Ordering"] + list(profile.datasets)
     rows = [
@@ -411,6 +453,33 @@ def _cmd_annealing(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    base = (
+        perf.quick_config() if args.quick else perf.GorderBenchConfig()
+    )
+    overrides = {
+        name: value
+        for name, value in [
+            ("nodes", args.nodes),
+            ("edges_per_node", args.edges_per_node),
+            ("window", args.window),
+            ("num_parts", args.num_parts),
+            ("workers", args.workers),
+            ("seed", args.seed),
+            ("repeats", args.repeats),
+        ]
+        if value is not None
+    }
+    if args.skip_partitioned:
+        overrides["include_partitioned"] = False
+    config = replace(base, **overrides)
+    payload = perf.run_gorder_bench(config)
+    print(perf.render_gorder_bench(payload))
+    path = perf.write_bench_json(payload, args.out)
+    print(f"wrote       : {path}")
+    return 0
+
+
 def _cmd_telemetry(args: argparse.Namespace) -> int:
     summary = obs.summarize_trace(args.trace)
     print(f"trace       : {summary.path}")
@@ -494,6 +563,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="alias for --log-level info",
     )
+    # Ordering-kernel flags (forwarded signature-filtered, so they
+    # only reach the orderings that declare them).
+    ordering_flags = argparse.ArgumentParser(add_help=False)
+    group = ordering_flags.add_argument_group("ordering kernel")
+    group.add_argument(
+        "--ordering-backend",
+        choices=("batched", "loop"),
+        default=None,
+        help="Gorder priority-queue kernel (default: batched)",
+    )
+    group.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        default=None,
+        help="process-pool size for partitioned orderings",
+    )
     # Sweep-engine flags shared by the matrix commands.
     sweep_flags = argparse.ArgumentParser(add_help=False)
     group = sweep_flags.add_argument_group("fault tolerance")
@@ -557,21 +643,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     add("datasets", _cmd_datasets, help="list the dataset analogues")
 
-    p = add("order", _cmd_order, help="compute a node arrangement")
+    p = sub.add_parser(
+        "order", parents=[telemetry_flags, ordering_flags],
+        help="compute a node arrangement",
+    )
+    p.set_defaults(func=_cmd_order)
     p.add_argument("--dataset", default="epinion",
                    help="dataset analogue name")
     p.add_argument("--input", help="edge-list file instead of a dataset")
     p.add_argument("--ordering", default="gorder",
-                   choices=ORDERING_NAMES)
+                   choices=ALL_ORDERING_NAMES)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("-o", "--output", help="write the arrangement here")
 
-    p = add("run", _cmd_run, help="simulate one algorithm run")
+    p = sub.add_parser(
+        "run", parents=[telemetry_flags, ordering_flags],
+        help="simulate one algorithm run",
+    )
+    p.set_defaults(func=_cmd_run)
     p.add_argument("--dataset", default="pokec")
     p.add_argument("--input", help="edge-list file instead of a dataset")
     p.add_argument("--algorithm", default="pr", choices=ALGORITHM_NAMES)
     p.add_argument("--ordering", default="gorder",
-                   choices=ORDERING_NAMES)
+                   choices=ALL_ORDERING_NAMES)
     p.add_argument("--profile", default=None)
 
     for name, func, help_text in [
@@ -579,21 +673,24 @@ def build_parser() -> argparse.ArgumentParser:
         ("ranking", _cmd_ranking, "Figure 6: rank histogram"),
     ]:
         p = sub.add_parser(
-            name, parents=[telemetry_flags, sweep_flags],
+            name, parents=[telemetry_flags, sweep_flags, ordering_flags],
             help=help_text,
         )
         p.set_defaults(func=func)
         p.add_argument("--profile", default=None)
 
-    p = add("ordering-time", _cmd_ordering_time,
-            help="Table 2: ordering time")
+    p = sub.add_parser(
+        "ordering-time", parents=[telemetry_flags, ordering_flags],
+        help="Table 2: ordering time",
+    )
+    p.set_defaults(func=_cmd_ordering_time)
     p.add_argument("--profile", default=None)
 
     p = add("sweep", _cmd_sweep_run,
             help="fault-tolerant matrix sweep (run/status)")
     sweep_sub = p.add_subparsers(dest="sweep_command", required=True)
     p = sweep_sub.add_parser(
-        "run", parents=[telemetry_flags, sweep_flags],
+        "run", parents=[telemetry_flags, sweep_flags, ordering_flags],
         help="run the speedup matrix through the sweep engine",
     )
     p.set_defaults(func=_cmd_sweep_run)
@@ -646,7 +743,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--input", help="edge-list file instead of a dataset")
     p.add_argument("--algorithm", default="nq", choices=ALGORITHM_NAMES)
     p.add_argument("--ordering", default="gorder",
-                   choices=ORDERING_NAMES)
+                   choices=ALL_ORDERING_NAMES)
+
+    p = add("bench", _cmd_bench,
+            help="Gorder kernel benchmark (writes BENCH_gorder.json)")
+    p.add_argument("--quick", action="store_true",
+                   help="small smoke graph (CI bench job)")
+    p.add_argument("--out", metavar="PATH", default="BENCH_gorder.json",
+                   help="output JSON path (default BENCH_gorder.json)")
+    p.add_argument("--nodes", type=int, default=None,
+                   help="benchmark graph size (default 50000)")
+    p.add_argument("--edges-per-node", type=int, default=None,
+                   help="average out-degree of the benchmark graph")
+    p.add_argument("--window", type=int, default=None,
+                   help="Gorder window (default 5)")
+    p.add_argument("--num-parts", type=int, default=None,
+                   help="partitions for the partitioned section")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes for the partitioned section")
+    p.add_argument("--seed", type=int, default=None,
+                   help="benchmark graph seed")
+    p.add_argument("--repeats", type=int, default=None,
+                   help="timing repeats per kernel (best-of)")
+    p.add_argument("--skip-partitioned", action="store_true",
+                   help="skip the partitioned workers comparison")
 
     p = add("telemetry", _cmd_telemetry,
             help="summarise a --log-json JSONL trace")

@@ -47,7 +47,10 @@ class CSRGraph:
     helpers) rather than calling this constructor with raw arrays.
     """
 
-    __slots__ = ("_n", "_offsets", "_adjacency", "_in_csr", "name")
+    __slots__ = (
+        "_n", "_offsets", "_adjacency", "_in_csr",
+        "_out_degrees", "_in_degrees", "name",
+    )
 
     def __init__(
         self,
@@ -65,6 +68,8 @@ class CSRGraph:
         self._offsets = offsets
         self._adjacency = adjacency
         self._in_csr: tuple[np.ndarray, np.ndarray] | None = None
+        self._out_degrees: np.ndarray | None = None
+        self._in_degrees: np.ndarray | None = None
         self.name = name
         self._offsets.setflags(write=False)
         self._adjacency.setflags(write=False)
@@ -113,8 +118,16 @@ class CSRGraph:
         return int(self._offsets[u + 1] - self._offsets[u])
 
     def out_degrees(self) -> np.ndarray:
-        """Out-degrees of every node as an ``int64`` array."""
-        return np.diff(self._offsets)
+        """Out-degrees of every node as a read-only ``int64`` array.
+
+        Cached on the instance (the graph is immutable); callers that
+        need a private mutable copy must ``.copy()``.
+        """
+        if self._out_degrees is None:
+            degrees = np.diff(self._offsets)
+            degrees.setflags(write=False)
+            self._out_degrees = degrees
+        return self._out_degrees
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether the directed edge ``u -> v`` exists (binary search)."""
@@ -172,8 +185,15 @@ class CSRGraph:
         return int(in_offsets[u + 1] - in_offsets[u])
 
     def in_degrees(self) -> np.ndarray:
-        """In-degrees of every node as an ``int64`` array."""
-        return np.diff(self._ensure_in_csr()[0])
+        """In-degrees of every node as a read-only ``int64`` array.
+
+        Cached on the instance, like :meth:`out_degrees`.
+        """
+        if self._in_degrees is None:
+            degrees = np.diff(self._ensure_in_csr()[0])
+            degrees.setflags(write=False)
+            self._in_degrees = degrees
+        return self._in_degrees
 
     # ------------------------------------------------------------------
     # Derived graphs

@@ -1,6 +1,7 @@
 """Node ordering methods: Gorder plus all baselines from the papers."""
 
 from repro.ordering.base import (
+    ALL_ORDERING_NAMES,
     ORDERING_NAMES,
     REGISTRY,
     OrderingSpec,
@@ -15,11 +16,13 @@ from repro.ordering.compression import (
     gap_encoding_bits,
 )
 from repro.ordering.gorder import (
+    GORDER_BACKENDS,
     DEFAULT_WINDOW,
     gorder_naive,
     gorder_order,
     gorder_sequence,
     window_scores,
+    window_scores_reference,
 )
 from repro.ordering.evaluation import (
     OrderingEvaluation,
@@ -59,6 +62,7 @@ from repro.ordering.slashburn import slashburn_order
 from repro.ordering.unit_heap import UnitHeap
 
 __all__ = [
+    "ALL_ORDERING_NAMES",
     "ORDERING_NAMES",
     "REGISTRY",
     "OrderingSpec",
@@ -70,6 +74,8 @@ __all__ = [
     "gorder_sequence",
     "gorder_naive",
     "window_scores",
+    "window_scores_reference",
+    "GORDER_BACKENDS",
     "original_order",
     "random_order",
     "indegsort_order",

@@ -9,6 +9,7 @@ replication's figures use.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Callable
 
@@ -129,6 +130,9 @@ ORDERING_NAMES: tuple[str, ...] = tuple(
     name for name, spec in REGISTRY.items() if spec.headline
 )
 
+#: Every registry name, headline plus extensions (CLI choices).
+ALL_ORDERING_NAMES: tuple[str, ...] = tuple(REGISTRY)
+
 
 def spec(name: str) -> OrderingSpec:
     """Look up an ordering by registry name (case-insensitive)."""
@@ -141,8 +145,45 @@ def spec(name: str) -> OrderingSpec:
         ) from None
 
 
+_ACCEPTED_PARAMS: dict[str, frozenset[str] | None] = {}
+
+
+def _accepted_params(ordering: OrderingSpec) -> frozenset[str] | None:
+    """Keyword names ``ordering.compute`` accepts (None = any)."""
+    cached = _ACCEPTED_PARAMS.get(ordering.name, False)
+    if cached is not False:
+        return cached
+    accepted: frozenset[str] | None
+    signature = inspect.signature(ordering.compute)
+    if any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in signature.parameters.values()
+    ):
+        accepted = None
+    else:
+        accepted = frozenset(signature.parameters)
+    _ACCEPTED_PARAMS[ordering.name] = accepted
+    return accepted
+
+
 def compute_ordering(
     name: str, graph: CSRGraph, seed: int = 0, **params
 ) -> np.ndarray:
-    """Compute the arrangement for ``graph`` by ordering name."""
-    return spec(name).compute(graph, seed=seed, **params)
+    """Compute the arrangement for ``graph`` by ordering name.
+
+    Extra ``params`` are forwarded to the ordering function, filtered
+    against its signature: parameters an ordering does not declare are
+    silently dropped.  This lets sweep-wide knobs (``backend``,
+    ``workers``, ``window``) apply to the orderings they concern
+    without every ordering having to accept every knob.
+    """
+    ordering = spec(name)
+    if params:
+        accepted = _accepted_params(ordering)
+        if accepted is not None:
+            params = {
+                key: value
+                for key, value in params.items()
+                if key in accepted
+            }
+    return ordering.compute(graph, seed=seed, **params)

@@ -43,7 +43,7 @@ def gorder_sequence_lazy(
     out_adjacency = graph.adjacency
     in_offsets = graph.in_offsets
     in_adjacency = graph.in_adjacency
-    out_degrees = np.diff(out_offsets)
+    out_degrees = graph.out_degrees()
     skip_limit = (
         np.iinfo(np.int64).max if hub_threshold is None else hub_threshold
     )

@@ -24,7 +24,7 @@ from repro.ordering.unit_heap import UnitHeap
 
 def slashburn_order(graph: CSRGraph, seed: int = 0) -> np.ndarray:
     """Compute the simplified-SlashBurn arrangement."""
-    del seed  # deterministic (FIFO tie-break among equal-degree hubs)
+    del seed  # deterministic (smallest-id tie-break among equal-degree hubs)
     undirected = graph.undirected()
     n = undirected.num_nodes
     offsets = undirected.offsets

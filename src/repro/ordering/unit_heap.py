@@ -4,14 +4,34 @@ The greedy GO algorithm (Algorithm 2 of the paper) repeatedly extracts
 the candidate node with the maximum proximity score to the current
 window, under a stream of **unit** updates: every event changes one
 node's key by exactly ±1.  The paper exploits this with a linked
-bucket structure giving O(1) updates; we implement the same idea with
-one ordered-``dict`` bucket per key value and a moving ``max_key``
-pointer.
+bucket structure giving O(1) updates; this implementation keeps the
+authoritative state in two flat arrays (``_keys``, ``_present``) and
+makes two further changes that unlock the batched numpy kernel:
 
-Amortised costs: ``increase``/``decrease``/``remove`` are O(1);
-``pop_max`` pays for scanning empty buckets downwards, but ``max_key``
-only ever rises through ``increase`` calls, so the total scan work is
-bounded by the total number of increments — O(1) amortised.
+* **State-functional tie-break.**  ``pop_max`` returns the *smallest
+  item id* among the maximal-key items.  Unlike FIFO-within-bucket,
+  this is a pure function of the current ``(keys, present)`` state —
+  independent of the order in which the key deltas arrived — so a
+  vectorised kernel that applies a whole step's events as one net
+  delta pops byte-identical sequences to the one-event-at-a-time loop.
+* **Array-wise lazy entries.**  Every key change records one packed
+  entry ``key * span + (span - 1 - item)``; maximising the packed code
+  is exactly "maximal key, then minimal id".  Entries live in a small
+  collection of **sorted numpy runs** (merged geometrically, LSM
+  style), so a batch update is: deduplicate events, scatter-add the
+  net deltas into ``_keys``, pack, one ``sort`` — no per-event Python.
+  Scalar updates append to a plain-list buffer that is sorted into a
+  run at the next pop.  Entries are *lazy*: an entry is valid only if
+  it still matches ``_keys``/``_present``; ``pop_max`` discards stale
+  tops, and a periodic compaction (rebuilding the runs from the live
+  keys once garbage exceeds a small multiple of the live size) bounds
+  memory at O(n) under arbitrary churn.
+
+Amortised costs: scalar updates are O(1) list appends plus their
+share of run merging (O(log n) comparisons, all inside C sorts);
+batch updates are O(k log k) vectorised for k events; ``pop_max``
+scans the run tails (a handful of Python ints) and pays one discard
+per stale entry that surfaces, bounded by the total update count.
 """
 
 from __future__ import annotations
@@ -29,11 +49,22 @@ class UnitHeap:
     are ignored (exactly what Gorder needs — placed nodes keep
     receiving score events that must not resurrect them).
 
-    Ties are broken deterministically: the item that reached its
-    current key earliest (FIFO within a bucket).
+    Ties are broken deterministically: the **smallest item id** among
+    the maximal-key items.  This is a pure function of the heap state,
+    so any sequence of updates with the same net effect leaves the pop
+    order unchanged — the property the batched Gorder kernel relies on
+    for byte-identical output versus the event-loop kernel.
     """
 
-    __slots__ = ("_keys", "_present", "_buckets", "_max_key", "_size")
+    #: Fresh runs buffered before a collapse into the merge ladder.
+    #: Bounds the tail scan in ``pop_max`` while amortising the
+    #: geometric merges over many updates.
+    _MAX_FRESH_RUNS = 8
+
+    __slots__ = (
+        "_keys", "_present", "_size", "_span",
+        "_runs", "_tails", "_ladder", "_pending", "_entries",
+    )
 
     def __init__(self, num_items: int) -> None:
         if num_items < 0:
@@ -42,11 +73,19 @@ class UnitHeap:
             )
         self._keys = np.zeros(num_items, dtype=np.int64)
         self._present = np.ones(num_items, dtype=bool)
-        self._buckets: dict[int, dict[int, None]] = {
-            0: dict.fromkeys(range(num_items))
-        }
-        self._max_key = 0
         self._size = num_items
+        self._span = max(num_items, 1)
+        # With every key 0 the packed codes are span-1-item, i.e. an
+        # ascending arange — already one sorted run.
+        self._runs: list[np.ndarray] = (
+            [np.arange(num_items, dtype=np.int64)] if num_items else []
+        )
+        self._tails: list[int] = [num_items - 1] if num_items else []
+        # Runs below this index form the geometric merge ladder;
+        # beyond it sit the fresh, not-yet-merged runs.
+        self._ladder = 1 if num_items else 0
+        self._pending: list[int] = []
+        self._entries = num_items
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -56,52 +95,265 @@ class UnitHeap:
         return bool(self._present[item])
 
     def key_of(self, item: int) -> int:
-        """Current key of ``item`` (valid even after removal)."""
+        """Current key of ``item``.
+
+        Meaningful only while the item is present: batch updates
+        addressed at a removed item are ignored for ordering purposes
+        but may still drift its stored key.
+        """
         return int(self._keys[item])
 
+    # ------------------------------------------------------------------
+    # Run maintenance
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _merge_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Merge two sorted arrays in three linear passes.
+
+        ``np.searchsorted`` places every element of the smaller array,
+        then two scatter writes interleave both — much cheaper than
+        re-sorting the concatenation, which is what keeps the
+        geometric run-merging affordable.
+        """
+        if a.shape[0] < b.shape[0]:
+            a, b = b, a
+        merged = np.empty(a.shape[0] + b.shape[0], dtype=np.int64)
+        slots = np.searchsorted(a, b) + np.arange(b.shape[0])
+        keep = np.ones(merged.shape[0], dtype=bool)
+        keep[slots] = False
+        merged[slots] = b
+        merged[keep] = a
+        return merged
+
+    def _add_run(self, codes: np.ndarray) -> None:
+        """Buffer a sorted code run, collapsing the buffer when full.
+
+        Merging every new (small) run straight into the ladder costs
+        a handful of numpy calls per run; buffering and collapsing
+        :data:`_MAX_FRESH_RUNS` at a time pays that price once per
+        batch while ``pop_max`` keeps scanning the buffered tails.
+        """
+        self._runs.append(codes)
+        self._tails.append(int(codes[-1]))
+        if len(self._runs) - self._ladder >= self._MAX_FRESH_RUNS:
+            self._collapse_fresh()
+
+    def _collapse_fresh(self) -> None:
+        """Sort the fresh runs into one and merge it up the ladder."""
+        runs = self._runs
+        tails = self._tails
+        ladder = self._ladder
+        fresh = runs[ladder:]
+        del runs[ladder:]
+        del tails[ladder:]
+        if len(fresh) == 1:
+            codes = fresh[0]
+        else:
+            codes = np.concatenate(fresh)
+            codes.sort()
+        # Geometric cascade: absorb every ladder run not much bigger
+        # than the incoming one, so each entry is merged O(log) times.
+        while ladder and runs[ladder - 1].shape[0] <= 2 * codes.shape[0]:
+            ladder -= 1
+            codes = self._merge_sorted(runs.pop(ladder), codes)
+            tails.pop(ladder)
+        runs.append(codes)
+        tails.append(int(codes[-1]))
+        self._ladder = len(runs)
+
+    def _flush_pending(self) -> None:
+        pending = self._pending
+        if pending:
+            codes = np.array(pending, dtype=np.int64)
+            pending.clear()
+            codes.sort()
+            self._add_run(codes)
+
+    def _maybe_compact(self) -> None:
+        if self._entries > 64 + 4 * self._size:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the runs from the authoritative key vector.
+
+        Drops every stale entry in one vectorised pass; the result is
+        a single sorted run of exactly the live items.
+        """
+        self._pending.clear()
+        items = np.flatnonzero(self._present)
+        self._entries = int(items.shape[0])
+        if not items.shape[0]:
+            self._runs = []
+            self._tails = []
+            self._ladder = 0
+            return
+        codes = self._keys[items] * self._span + (
+            self._span - 1 - items
+        )
+        codes.sort()
+        self._runs = [codes]
+        self._tails = [int(codes[-1])]
+        self._ladder = 1
+
+    # ------------------------------------------------------------------
+    # Scalar updates
     # ------------------------------------------------------------------
     def increase(self, item: int) -> None:
         """Add 1 to ``item``'s key.  No-op if the item was removed."""
         if not self._present[item]:
             return
-        key = int(self._keys[item])
-        bucket = self._buckets[key]
-        del bucket[item]
-        key += 1
+        key = int(self._keys[item]) + 1
         self._keys[item] = key
-        target = self._buckets.get(key)
-        if target is None:
-            target = {}
-            self._buckets[key] = target
-        target[item] = None
-        if key > self._max_key:
-            self._max_key = key
+        self._pending.append(key * self._span + self._span - 1 - item)
+        self._entries += 1
+        self._maybe_compact()
 
     def decrease(self, item: int) -> None:
         """Subtract 1 from ``item``'s key.  No-op if removed."""
         if not self._present[item]:
             return
-        key = int(self._keys[item])
-        bucket = self._buckets[key]
-        del bucket[item]
-        key -= 1
+        key = int(self._keys[item]) - 1
         self._keys[item] = key
-        target = self._buckets.get(key)
-        if target is None:
-            target = {}
-            self._buckets[key] = target
-        target[item] = None
+        self._pending.append(key * self._span + self._span - 1 - item)
+        self._entries += 1
+        self._maybe_compact()
 
+    # ------------------------------------------------------------------
+    # Batched updates
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _as_batch(items) -> np.ndarray:
+        items = np.asarray(items)
+        if items.ndim != 1:
+            raise InvalidParameterError(
+                f"batch items must be one-dimensional, got shape "
+                f"{items.shape}"
+            )
+        if items.shape[0] and items.dtype.kind not in "iu":
+            raise InvalidParameterError(
+                f"batch items must be integers, got dtype {items.dtype}"
+            )
+        return items
+
+    def increase_batch(
+        self, items: np.ndarray, counts: np.ndarray | None = None
+    ) -> None:
+        """Add to many keys at once.
+
+        ``items`` may contain duplicates (each occurrence is one +1
+        event) and removed items (silently ignored).  ``counts``, when
+        given, must align with ``items`` and give the non-negative
+        delta per entry instead of the implicit 1.
+        """
+        self._update_batch(items, counts, 1)
+
+    def decrease_batch(
+        self, items: np.ndarray, counts: np.ndarray | None = None
+    ) -> None:
+        """Subtract from many keys at once (mirror of increase_batch)."""
+        self._update_batch(items, counts, -1)
+
+    def _update_batch(
+        self, items: np.ndarray, counts: np.ndarray | None, sign: int
+    ) -> int:
+        """Apply the summed deltas; return the number of moved items."""
+        items = self._as_batch(items)
+        if counts is None:
+            if not items.shape[0]:
+                return 0
+            items, deltas = np.unique(items, return_counts=True)
+        else:
+            counts = np.asarray(counts)
+            if counts.shape != items.shape:
+                raise InvalidParameterError(
+                    f"counts shape {counts.shape} does not match items "
+                    f"shape {items.shape}"
+                )
+            if counts.shape[0] and int(counts.min()) < 0:
+                raise InvalidParameterError(
+                    "batch counts must be non-negative"
+                )
+            if not items.shape[0]:
+                return 0
+            # Collapse duplicate items so each gets one summed delta.
+            items, inverse = np.unique(items, return_inverse=True)
+            deltas = np.bincount(
+                inverse, weights=counts, minlength=items.shape[0]
+            ).astype(np.int64)
+        if sign < 0:
+            deltas = -deltas
+        return self._apply_deltas(items, deltas)
+
+    def apply_step(
+        self, enter_events: np.ndarray, exit_events: np.ndarray
+    ) -> int:
+        """Net-apply one window slide in a single pass.
+
+        Every occurrence in ``enter_events`` is a +1 and every one in
+        ``exit_events`` a −1.  Equivalent to
+        ``increase_batch(enter_events)`` followed by
+        ``decrease_batch(exit_events)`` (no pop may occur between the
+        two, which is exactly Gorder's window slide), but with far
+        fewer array passes: the duplicate-aware scatter-adds land the
+        net keys directly, and one sort extracts the unique touched
+        items whose fresh entries need recording.  Returns the number
+        of live candidates touched.
+        """
+        enter_events = self._as_batch(enter_events)
+        exit_events = self._as_batch(exit_events)
+        total = enter_events.shape[0] + exit_events.shape[0]
+        if not total:
+            return 0
+        keys = self._keys
+        np.add.at(keys, enter_events, 1)
+        np.subtract.at(keys, exit_events, 1)
+        touched = np.concatenate((enter_events, exit_events))
+        touched.sort()
+        boundary = np.empty(total, dtype=bool)
+        boundary[0] = True
+        np.not_equal(touched[1:], touched[:-1], out=boundary[1:])
+        items = touched[boundary]
+        items = items[self._present[items]]
+        if not items.shape[0]:
+            return 0
+        codes = keys[items] * self._span + (self._span - 1 - items)
+        codes.sort()
+        self._add_run(codes)
+        self._entries += codes.shape[0]
+        self._maybe_compact()
+        return int(items.shape[0])
+
+    def _apply_deltas(
+        self, items: np.ndarray, deltas: np.ndarray
+    ) -> int:
+        """Scatter signed deltas of unique ``items``; push new entries."""
+        moved = self._present[items] & (deltas != 0)
+        items = items[moved]
+        if not items.shape[0]:
+            return 0
+        deltas = deltas[moved]
+        self._keys[items] += deltas
+        codes = self._keys[items] * self._span + (
+            self._span - 1 - items
+        )
+        codes.sort()
+        self._add_run(codes)
+        self._entries += codes.shape[0]
+        self._maybe_compact()
+        return int(items.shape[0])
+
+    # ------------------------------------------------------------------
+    # Removal and extraction
+    # ------------------------------------------------------------------
     def remove(self, item: int) -> None:
         """Delete ``item`` from the heap (subsequent updates ignored)."""
         if not self._present[item]:
             return
         self._present[item] = False
-        del self._buckets[int(self._keys[item])][item]
         self._size -= 1
 
     def pop_max(self) -> int:
-        """Remove and return an item with the maximal key.
+        """Remove and return the smallest-id item with the maximal key.
 
         Raises
         ------
@@ -110,29 +362,63 @@ class UnitHeap:
         """
         if self._size == 0:
             raise IndexError("pop from an empty UnitHeap")
-        buckets = self._buckets
-        key = self._max_key
-        bucket = buckets.get(key)
-        while not bucket:
-            if bucket is not None:
-                del buckets[key]
-            key -= 1
-            bucket = buckets.get(key)
-        self._max_key = key
-        item = next(iter(bucket))
-        del bucket[item]
-        self._present[item] = False
-        self._size -= 1
-        return item
+        self._flush_pending()
+        runs = self._runs
+        tails = self._tails
+        keys = self._keys
+        present = self._present
+        span = self._span
+        while True:
+            # max()/index() run at C speed over the few run tails.
+            best_tail = max(tails)
+            best = tails.index(best_tail)
+            run = runs[best]
+            if run.shape[0] == 1:
+                runs.pop(best)
+                tails.pop(best)
+                if best < self._ladder:
+                    self._ladder -= 1
+            else:
+                run = run[:-1]
+                runs[best] = run
+                tails[best] = int(run[-1])
+            self._entries -= 1
+            key, remainder = divmod(best_tail, span)
+            item = span - 1 - remainder
+            if present[item] and keys[item] == key:
+                present[item] = False
+                self._size -= 1
+                return item
 
     def peek_max_key(self) -> int:
         """Maximal key among present items (empty heap raises)."""
         if self._size == 0:
             raise IndexError("peek on an empty UnitHeap")
-        key = self._max_key
-        while not self._buckets.get(key):
-            key -= 1
-        return key
+        self._flush_pending()
+        runs = self._runs
+        tails = self._tails
+        keys = self._keys
+        present = self._present
+        span = self._span
+        while True:
+            best_tail = max(tails)
+            key, remainder = divmod(best_tail, span)
+            item = span - 1 - remainder
+            if present[item] and keys[item] == key:
+                return key
+            # Discard the stale top, exactly as pop_max would.
+            best = tails.index(best_tail)
+            run = runs[best]
+            if run.shape[0] == 1:
+                runs.pop(best)
+                tails.pop(best)
+                if best < self._ladder:
+                    self._ladder -= 1
+            else:
+                run = run[:-1]
+                runs[best] = run
+                tails[best] = int(run[-1])
+            self._entries -= 1
 
 
 class MeteredUnitHeap(UnitHeap):
@@ -142,9 +428,18 @@ class MeteredUnitHeap(UnitHeap):
     loop swaps this in for the plain heap and publishes the totals as
     counters afterwards.  Keeping the plain class untouched keeps the
     telemetry-disabled path at exactly its original cost.
+
+    ``increases``/``decreases`` count unit events — one per scalar
+    call, one per batch entry (weighted by ``counts``) — so the totals
+    agree between the loop and batched Gorder kernels.
+    ``batched_moves`` counts deduplicated live items refreshed per
+    batch call (per window step for the fused :meth:`apply_step`), the
+    measure of how much work vectorisation collapses.
     """
 
-    __slots__ = ("increases", "decreases", "pops", "removes")
+    __slots__ = (
+        "increases", "decreases", "pops", "removes", "batched_moves"
+    )
 
     def __init__(self, num_items: int) -> None:
         super().__init__(num_items)
@@ -152,6 +447,13 @@ class MeteredUnitHeap(UnitHeap):
         self.decreases = 0
         self.pops = 0
         self.removes = 0
+        self.batched_moves = 0
+
+    @staticmethod
+    def _units(items, counts) -> int:
+        if counts is not None:
+            return int(np.sum(counts))
+        return int(np.asarray(items).shape[0])
 
     def increase(self, item: int) -> None:
         self.increases += 1
@@ -160,6 +462,31 @@ class MeteredUnitHeap(UnitHeap):
     def decrease(self, item: int) -> None:
         self.decreases += 1
         super().decrease(item)
+
+    def increase_batch(
+        self, items: np.ndarray, counts: np.ndarray | None = None
+    ) -> None:
+        self.increases += self._units(items, counts)
+        self.batched_moves += self._update_batch(items, counts, 1)
+
+    def decrease_batch(
+        self, items: np.ndarray, counts: np.ndarray | None = None
+    ) -> None:
+        self.decreases += self._units(items, counts)
+        self.batched_moves += self._update_batch(items, counts, -1)
+
+    def apply_step(
+        self, enter_events: np.ndarray, exit_events: np.ndarray
+    ) -> int:
+        # Counting must not change the kernel being measured: run the
+        # fused fast path and attribute costs arithmetically (one unit
+        # per raw event; batched_moves = the step's live touched items,
+        # the fused call's return value).
+        moved = super().apply_step(enter_events, exit_events)
+        self.increases += int(np.asarray(enter_events).shape[0])
+        self.decreases += int(np.asarray(exit_events).shape[0])
+        self.batched_moves += moved
+        return moved
 
     def remove(self, item: int) -> None:
         self.removes += 1

@@ -1,0 +1,304 @@
+"""Benchmark-regression harness for the Gorder kernels.
+
+Times the loop and batched greedy kernels (plus the partitioned
+multiprocess ordering) on a deterministic generated graph, verifies
+they agree byte-for-byte, and emits a machine-readable
+``BENCH_gorder.json`` so every future change has a perf trajectory to
+compare against.  Schema (version 1, documented in
+``docs/performance.md``)::
+
+    {
+      "schema_version": 1,
+      "bench": "gorder_kernel",
+      "quick": bool,
+      "manifest": {...},             # repro.obs.run_manifest()
+      "graph": {"generator", "nodes", "edges", "edges_per_node", "seed"},
+      "window": int,
+      "kernels": {
+        "loop":    {"seconds", "heap_pops", "unit_updates",
+                    "updates_per_second"},
+        "batched": {..., "batched_moves"}
+      },
+      "speedup_batched_vs_loop": float,
+      "identical": true,             # divergence raises instead
+      "partitioned": {               # null when skipped
+        "num_parts", "workers", "workers_1_seconds",
+        "workers_n_seconds", "speedup", "identical"
+      }
+    }
+
+Entry points: the ``repro-gorder bench`` CLI subcommand and the
+pytest harness ``benchmarks/bench_gorder_kernel.py`` both call
+:func:`run_gorder_bench`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.errors import ReproError
+from repro.graph.generators import social_graph
+from repro.ordering.gorder import DEFAULT_WINDOW, gorder_sequence
+from repro.ordering.parallel import gorder_partitioned
+
+#: Current BENCH_gorder.json schema version.
+BENCH_SCHEMA_VERSION = 1
+
+#: Counters attributed to each kernel (diffed around one metered run,
+#: separate from the timed runs — see :func:`_counted`).
+_KERNEL_COUNTERS = {
+    "heap_pops": "gorder.heap_pops",
+    "unit_updates": "gorder.priority_updates",
+    "batched_moves": "gorder.batched_moves",
+}
+
+
+class BenchRegressionError(ReproError):
+    """The two Gorder backends produced different sequences."""
+
+
+@dataclass(frozen=True)
+class GorderBenchConfig:
+    """Shape of one Gorder kernel benchmark run."""
+
+    #: Benchmark graph size (the acceptance graph is 50k nodes /
+    #: ~500k+ edges; ``quick_config`` shrinks it for CI smoke).
+    nodes: int = 50_000
+    edges_per_node: int = 10
+    window: int = DEFAULT_WINDOW
+    num_parts: int = 4
+    workers: int = 4
+    seed: int = 3
+    #: Best-of-N timing; 2 absorbs first-run allocator cold start.
+    repeats: int = 2
+    quick: bool = False
+    include_partitioned: bool = True
+
+
+def quick_config(**overrides) -> GorderBenchConfig:
+    """The CI smoke configuration (small graph, same schema)."""
+    settings = dict(
+        nodes=2_000, edges_per_node=8, num_parts=4, workers=2,
+        repeats=1, quick=True,
+    )
+    settings.update(overrides)
+    return GorderBenchConfig(**settings)
+
+
+def _timed(fn, repeats: int):
+    """Best-of-``repeats`` wall time of ``fn`` (monotonic clock)."""
+    start = time.perf_counter()
+    result = fn()
+    best = time.perf_counter() - start
+    for _ in range(max(repeats, 1) - 1):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def _counted(fn) -> dict:
+    """Run ``fn`` once with the counter registry active and return the
+    diffed kernel counters.
+
+    Kept separate from :func:`_timed` on purpose: metering swaps in
+    the instrumented heap, whose per-event accounting would otherwise
+    leak into the timings (the benchmark must measure the production
+    path, not the telemetry path).
+    """
+    owns_telemetry = not obs.enabled()
+    if owns_telemetry:
+        obs.configure()  # registry-only: counters without sinks
+    try:
+        before = dict(obs.counters())
+        fn()
+        after = dict(obs.counters())
+    finally:
+        if owns_telemetry:
+            obs.shutdown()
+    return {
+        field: int(after.get(name, 0)) - int(before.get(name, 0))
+        for field, name in _KERNEL_COUNTERS.items()
+    }
+
+
+def run_gorder_bench(
+    config: GorderBenchConfig | None = None,
+) -> dict:
+    """Run the kernel benchmark and return the JSON-ready payload.
+
+    Raises :class:`BenchRegressionError` if the batched and loop
+    backends (or the partitioned worker counts) disagree — a perf
+    harness must never bless a wrong answer.
+    """
+    config = config or GorderBenchConfig()
+    graph = social_graph(
+        config.nodes,
+        edges_per_node=config.edges_per_node,
+        seed=config.seed,
+        name=f"bench-social-{config.nodes}",
+    )
+    # Force the shared lazy structures before any timing so neither
+    # kernel pays the in-CSR/degree build inside its measurement.
+    graph.in_adjacency
+    graph.out_degrees()
+    graph.in_degrees()
+
+    # Timing runs leave telemetry exactly as the caller configured it
+    # (normally disabled) so both kernels take their production path;
+    # counters come from one separate metered run per kernel.
+    with obs.span(
+        "bench.gorder_kernel", n=graph.num_nodes,
+        m=graph.num_edges, window=config.window,
+        quick=config.quick,
+    ):
+        run_loop = lambda: gorder_sequence(  # noqa: E731
+            graph, window=config.window, backend="loop"
+        )
+        run_batched = lambda: gorder_sequence(  # noqa: E731
+            graph, window=config.window, backend="batched"
+        )
+        loop_seq, loop_seconds = _timed(run_loop, config.repeats)
+        batched_seq, batched_seconds = _timed(
+            run_batched, config.repeats
+        )
+        identical = bool(np.array_equal(loop_seq, batched_seq))
+        if not identical:
+            raise BenchRegressionError(
+                "batched and loop Gorder backends diverged on "
+                f"{graph.name} (window={config.window})"
+            )
+        partitioned = None
+        if config.include_partitioned:
+            partitioned = _bench_partitioned(graph, config)
+        loop_counters = _counted(run_loop)
+        batched_counters = _counted(run_batched)
+
+    loop_kernel = _kernel_payload(
+        loop_seconds, loop_counters, batched=False
+    )
+    batched_kernel = _kernel_payload(
+        batched_seconds, batched_counters, batched=True
+    )
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "bench": "gorder_kernel",
+        "quick": config.quick,
+        "manifest": obs.run_manifest(
+            seed=config.seed, command="bench",
+        ),
+        "graph": {
+            "generator": "social_graph",
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+            "edges_per_node": config.edges_per_node,
+            "seed": config.seed,
+        },
+        "window": config.window,
+        "kernels": {"loop": loop_kernel, "batched": batched_kernel},
+        "speedup_batched_vs_loop": (
+            loop_seconds / batched_seconds if batched_seconds else None
+        ),
+        "identical": identical,
+        "partitioned": partitioned,
+    }
+
+
+def _kernel_payload(
+    seconds: float, counters: dict, batched: bool
+) -> dict:
+    payload = {
+        "seconds": seconds,
+        "heap_pops": counters["heap_pops"],
+        "unit_updates": counters["unit_updates"],
+        "updates_per_second": (
+            counters["unit_updates"] / seconds if seconds else None
+        ),
+    }
+    if batched:
+        payload["batched_moves"] = counters["batched_moves"]
+    return payload
+
+
+def _bench_partitioned(graph, config: GorderBenchConfig) -> dict:
+    """Time workers=1 vs workers=N and verify they agree."""
+
+    def run(workers: int) -> np.ndarray:
+        return gorder_partitioned(
+            graph,
+            num_parts=config.num_parts,
+            window=config.window,
+            workers=workers,
+        )
+
+    serial, serial_seconds = _timed(lambda: run(1), config.repeats)
+    parallel, parallel_seconds = _timed(
+        lambda: run(config.workers), config.repeats
+    )
+    identical = bool(np.array_equal(serial, parallel))
+    if not identical:
+        raise BenchRegressionError(
+            f"gorder_partitioned(workers={config.workers}) diverged "
+            f"from workers=1 on {graph.name}"
+        )
+    return {
+        "num_parts": config.num_parts,
+        "workers": config.workers,
+        "workers_1_seconds": serial_seconds,
+        "workers_n_seconds": parallel_seconds,
+        "speedup": (
+            serial_seconds / parallel_seconds
+            if parallel_seconds
+            else None
+        ),
+        "identical": identical,
+    }
+
+
+def write_bench_json(payload: dict, path: str | Path) -> Path:
+    """Write the benchmark payload as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def render_gorder_bench(payload: dict) -> str:
+    """Human-readable summary of one benchmark payload (CLI output)."""
+    graph = payload["graph"]
+    kernels = payload["kernels"]
+    lines = [
+        f"graph       : {graph['generator']} n={graph['nodes']:,} "
+        f"m={graph['edges']:,} (seed {graph['seed']})",
+        f"window      : {payload['window']}",
+    ]
+    for name in ("loop", "batched"):
+        kernel = kernels[name]
+        rate = kernel["updates_per_second"]
+        rate_text = f"{rate:,.0f}/s" if rate else "n/a"
+        lines.append(
+            f"{name:<12}: {kernel['seconds']:.3f}s  "
+            f"{kernel['unit_updates']:,} updates ({rate_text}), "
+            f"{kernel['heap_pops']:,} pops"
+        )
+    speedup = payload["speedup_batched_vs_loop"]
+    if speedup is not None:
+        lines.append(f"speedup     : {speedup:.2f}x batched vs loop")
+    partitioned = payload.get("partitioned")
+    if partitioned:
+        lines.append(
+            f"partitioned : parts={partitioned['num_parts']} "
+            f"workers=1 {partitioned['workers_1_seconds']:.3f}s vs "
+            f"workers={partitioned['workers']} "
+            f"{partitioned['workers_n_seconds']:.3f}s "
+            f"({partitioned['speedup']:.2f}x)"
+        )
+    lines.append(
+        "identical   : " + ("yes" if payload["identical"] else "NO")
+    )
+    return "\n".join(lines)

@@ -363,6 +363,10 @@ def _isolated_cell_worker(conn, payload: dict) -> None:
             "datasets", "orderings", "algorithms", "random_seeds"
         ):
             fields[key] = tuple(fields[key])
+        # JSON round-trips the (name, value) pairs as lists.
+        fields["ordering_params"] = tuple(
+            tuple(pair) for pair in fields.get("ordering_params", ())
+        )
         profile = Profile(**fields)
         plan = FaultPlan.from_payload(payload["plan"])
         cell = CellSpec(**payload["cell"])
@@ -410,6 +414,7 @@ def _execute_cell_body(
         hierarchy=profile.hierarchy(),
         cache=cache,
         dataset_name=cell.dataset,
+        ordering_params=dict(profile.ordering_params),
     )
 
 

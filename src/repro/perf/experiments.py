@@ -58,6 +58,11 @@ class Profile:
     #: minloga); the run with median cycles represents the cell, the
     #: replication's repetition-with-median methodology.
     random_seeds: tuple[int, ...] = (7,)
+    #: Keyword arguments forwarded to every ordering computation
+    #: (signature-filtered per ordering), as sorted (name, value)
+    #: pairs so the profile stays hashable and JSON-roundtrippable.
+    #: The CLI's ``--ordering-backend``/``--workers`` flags land here.
+    ordering_params: tuple[tuple[str, object], ...] = ()
 
     def hierarchy(self) -> CacheHierarchy:
         """A fresh cache hierarchy for one run."""
@@ -215,6 +220,7 @@ def _representative_run(
             hierarchy=profile.hierarchy(),
             cache=cache,
             dataset_name=dataset_name,
+            ordering_params=dict(profile.ordering_params),
         )
         for seed in seeds
     ]
@@ -303,7 +309,11 @@ def ordering_times(
             graph = datasets.load(dataset_name)
             for ordering in profile.orderings:
                 times[(ordering, dataset_name)] = time_ordering(
-                    graph, ordering, seed=profile.seed, repeats=repeats
+                    graph,
+                    ordering,
+                    seed=profile.seed,
+                    repeats=repeats,
+                    ordering_params=dict(profile.ordering_params),
                 )
                 obs.progress(
                     "ordering_time.cell",

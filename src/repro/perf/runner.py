@@ -58,9 +58,18 @@ class RunResult:
         return self.cost.total_cycles
 
 
+def _params_key(
+    params: dict | None,
+) -> tuple[tuple[str, object], ...]:
+    """Canonical, hashable form of an ordering-parameter dict."""
+    if not params:
+        return ()
+    return tuple(sorted(params.items()))
+
+
 @dataclass
 class _CacheEntry:
-    """One memoised (graph, ordering, seed) triple."""
+    """One memoised (graph, ordering, seed, params) cell."""
 
     perm: np.ndarray
     seconds: float
@@ -107,7 +116,7 @@ class OrderingCache:
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self._entries: OrderedDict[
-            tuple[int, str, int], _CacheEntry
+            tuple[int, str, int, tuple], _CacheEntry
         ] = OrderedDict()
         self._pinned: dict[int, CSRGraph] = {}
         self._pin_counts: dict[int, int] = {}
@@ -154,7 +163,7 @@ class OrderingCache:
             obs.inc("runner.ordering_cache_evictions")
 
     def _lookup(
-        self, key: tuple[int, str, int]
+        self, key: tuple[int, str, int, tuple]
     ) -> _CacheEntry | None:
         entry = self._entries.get(key)
         if entry is not None:
@@ -162,10 +171,19 @@ class OrderingCache:
         return entry
 
     def permutation(
-        self, graph: CSRGraph, ordering: str, seed: int
+        self,
+        graph: CSRGraph,
+        ordering: str,
+        seed: int,
+        params: dict | None = None,
     ) -> tuple[np.ndarray, float]:
-        """The arrangement for (graph, ordering, seed) + compute time."""
-        key = (id(graph), ordering, seed)
+        """The arrangement for (graph, ordering, seed, params) + time.
+
+        ``params`` are ordering keyword arguments (e.g. ``backend``,
+        ``workers``); they are part of the memo key so runs with
+        different knobs never share a cached arrangement.
+        """
+        key = (id(graph), ordering, seed, _params_key(params))
         entry = self._lookup(key)
         if entry is None:
             obs.inc("runner.ordering_memo_misses")
@@ -178,7 +196,7 @@ class OrderingCache:
             ):
                 start = time.perf_counter()
                 perm = orderings.compute_ordering(
-                    ordering, graph, seed=seed
+                    ordering, graph, seed=seed, **(params or {})
                 )
                 seconds = time.perf_counter() - start
             entry = _CacheEntry(perm=perm, seconds=seconds)
@@ -190,11 +208,15 @@ class OrderingCache:
         return entry.perm, entry.seconds
 
     def relabeled(
-        self, graph: CSRGraph, ordering: str, seed: int
+        self,
+        graph: CSRGraph,
+        ordering: str,
+        seed: int,
+        params: dict | None = None,
     ) -> tuple[CSRGraph, np.ndarray, float]:
         """Relabeled graph, arrangement and ordering compute time."""
-        key = (id(graph), ordering, seed)
-        perm, seconds = self.permutation(graph, ordering, seed)
+        key = (id(graph), ordering, seed, _params_key(params))
+        perm, seconds = self.permutation(graph, ordering, seed, params)
         entry = self._entries[key]
         if entry.graph is None:
             entry.graph = relabel(graph, perm)
@@ -226,6 +248,7 @@ def run_cell(
     cost_model: CostModel = DEFAULT_COST_MODEL,
     cache: OrderingCache | None = None,
     dataset_name: str | None = None,
+    ordering_params: dict | None = None,
 ) -> RunResult:
     """Execute one experiment cell and return its :class:`RunResult`.
 
@@ -233,11 +256,14 @@ def run_cell(
     named in the algorithm's ``source_params`` is interpreted as
     *logical* node ids on the original graph and mapped through the
     ordering's permutation, so every ordering does identical work.
+    ``ordering_params`` are forwarded to the ordering computation
+    (signature-filtered, see
+    :func:`repro.ordering.base.compute_ordering`).
     """
     cache = cache or GLOBAL_ORDERING_CACHE
     algorithm_spec = algorithms.spec(algorithm)
     relabeled, perm, ordering_seconds = cache.relabeled(
-        graph, ordering, seed
+        graph, ordering, seed, ordering_params
     )
     run_params = dict(params or {})
     for key in algorithm_spec.source_params:
@@ -272,7 +298,11 @@ def run_cell(
 
 
 def time_ordering(
-    graph: CSRGraph, ordering: str, seed: int = 0, repeats: int = 1
+    graph: CSRGraph,
+    ordering: str,
+    seed: int = 0,
+    repeats: int = 1,
+    ordering_params: dict | None = None,
 ) -> float:
     """Wall-clock seconds to compute an ordering (no memoisation).
 
@@ -289,6 +319,8 @@ def time_ordering(
             seed=seed,
         ):
             start = time.perf_counter()
-            orderings.compute_ordering(ordering, graph, seed=seed)
+            orderings.compute_ordering(
+                ordering, graph, seed=seed, **(ordering_params or {})
+            )
             best = min(best, time.perf_counter() - start)
     return best

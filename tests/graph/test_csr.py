@@ -156,3 +156,23 @@ class TestEquality:
 
     def test_non_graph_comparison(self, triangle):
         assert triangle != "not a graph"
+
+
+class TestDegreeCaching:
+    def test_out_degrees_cached_and_read_only(self, diamond):
+        first = diamond.out_degrees()
+        assert first is diamond.out_degrees()
+        assert not first.flags.writeable
+        with pytest.raises(ValueError):
+            first[0] = 99
+
+    def test_in_degrees_cached_and_read_only(self, diamond):
+        first = diamond.in_degrees()
+        assert first is diamond.in_degrees()
+        assert not first.flags.writeable
+
+    def test_cached_values_stay_correct(self, diamond):
+        assert diamond.out_degrees().tolist() == [2, 1, 1, 1]
+        assert diamond.out_degrees().tolist() == [2, 1, 1, 1]
+        assert diamond.in_degrees().tolist() == [1, 1, 1, 2]
+        assert int(diamond.in_degrees().sum()) == diamond.num_edges

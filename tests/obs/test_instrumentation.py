@@ -77,7 +77,24 @@ class TestGorderCounters:
         ]
         assert len(ends) == 1
         assert ends[0]["attrs"]["n"] == 4
-        assert ends[0]["attrs"]["backend"] == "unit_heap"
+        assert ends[0]["attrs"]["backend"] == "batched"
+
+    def test_greedy_span_names_loop_backend(self, cycle4):
+        obs.configure(capture=True)
+        gorder_sequence(cycle4, backend="loop")
+        ends = [
+            e for e in obs.captured()
+            if e["kind"] == "span_end" and e["name"] == "gorder.greedy"
+        ]
+        assert ends[0]["attrs"]["backend"] == "loop"
+
+    def test_batched_moves_counter(self, cycle4):
+        obs.configure()
+        gorder_sequence(cycle4, backend="batched")
+        counters = obs.counters()
+        # The 4-cycle's 8 unit events dedup to at most 8 moved items.
+        assert 0 < counters["gorder.batched_moves"] <= 8
+        assert counters["gorder.priority_updates"] == 8
 
 
 class TestGorderLazyCounters:

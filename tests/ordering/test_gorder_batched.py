@@ -1,0 +1,185 @@
+"""Equivalence of the batched Gorder kernel with its references.
+
+The batched numpy kernel must be *byte-identical* to the scalar loop
+kernel — both implement the same state-functional greedy (max key,
+then smallest node id) — and both must match the quadratic
+:func:`gorder_naive` oracle.  These tests sweep graphs, windows and
+hub thresholds, plus hypothesis-generated random graphs, and verify
+the multiprocess partitioned ordering is worker-count invariant.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import InvalidParameterError
+from repro.graph import from_edges, generators, invert_permutation
+from repro.ordering import (
+    GORDER_BACKENDS,
+    gorder_naive,
+    gorder_order,
+    gorder_partitioned,
+    gorder_sequence,
+    gorder_sequence_lazy,
+    window_scores,
+    window_scores_reference,
+)
+
+from tests.conftest import assert_valid_permutation, graph_strategy
+
+WINDOWS = (1, 3, 5, 8)
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    """A spread of shapes: social, web, sparse random, plus a path."""
+    return [
+        generators.social_graph(90, edges_per_node=5, seed=7),
+        generators.web_graph(
+            80, pages_per_host=16, out_degree=4, seed=3
+        ),
+        generators.erdos_renyi(60, 240, seed=11),
+        from_edges([(i, i + 1) for i in range(19)], num_nodes=20),
+    ]
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("window", WINDOWS)
+    def test_batched_matches_loop(self, graphs, window):
+        for graph in graphs:
+            batched = gorder_sequence(
+                graph, window=window, backend="batched"
+            )
+            loop = gorder_sequence(
+                graph, window=window, backend="loop"
+            )
+            assert np.array_equal(batched, loop), graph.name
+
+    @pytest.mark.parametrize("window", WINDOWS)
+    def test_batched_matches_naive_oracle(self, window):
+        graph = generators.social_graph(40, edges_per_node=4, seed=5)
+        batched = gorder_sequence(
+            graph, window=window, backend="batched"
+        )
+        oracle = invert_permutation(gorder_naive(graph, window=window))
+        assert np.array_equal(batched, oracle)
+
+    @pytest.mark.parametrize("window", WINDOWS)
+    def test_batched_matches_lazy(self, graphs, window):
+        """The lazy-PQ variant shares the smallest-id tie-break."""
+        for graph in graphs:
+            batched = gorder_sequence(
+                graph, window=window, backend="batched"
+            )
+            lazy = gorder_sequence_lazy(graph, window=window)
+            assert np.array_equal(batched, lazy), graph.name
+
+    @pytest.mark.parametrize("hub_threshold", [0, 2, 5])
+    def test_hub_threshold_equivalence(self, graphs, hub_threshold):
+        for graph in graphs:
+            batched = gorder_sequence(
+                graph, hub_threshold=hub_threshold, backend="batched"
+            )
+            loop = gorder_sequence(
+                graph, hub_threshold=hub_threshold, backend="loop"
+            )
+            assert np.array_equal(batched, loop), graph.name
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=graph_strategy())
+    def test_property_backends_agree(self, graph):
+        for window in (1, 3):
+            batched = gorder_sequence(
+                graph, window=window, backend="batched"
+            )
+            loop = gorder_sequence(
+                graph, window=window, backend="loop"
+            )
+            assert np.array_equal(batched, loop)
+            assert_valid_permutation(
+                invert_permutation(batched), graph.num_nodes
+            )
+
+    def test_empty_and_single_node(self):
+        for backend in GORDER_BACKENDS:
+            empty = gorder_sequence(
+                from_edges([], num_nodes=0), backend=backend
+            )
+            assert empty.size == 0
+            single = gorder_sequence(
+                from_edges([], num_nodes=1), backend=backend
+            )
+            assert single.tolist() == [0]
+
+    def test_backend_selection_on_order(self, small_social):
+        batched = gorder_order(small_social, backend="batched")
+        loop = gorder_order(small_social, backend="loop")
+        assert np.array_equal(batched, loop)
+
+    def test_unknown_backend_rejected(self, triangle):
+        with pytest.raises(InvalidParameterError, match="backend"):
+            gorder_sequence(triangle, backend="gpu")
+
+    def test_backend_registry(self):
+        assert set(GORDER_BACKENDS) == {"batched", "loop"}
+
+
+class TestPartitionedWorkers:
+    def test_workers_validation(self, triangle):
+        with pytest.raises(InvalidParameterError):
+            gorder_partitioned(triangle, workers=0)
+
+    def test_backend_forwarded(self, small_social):
+        batched = gorder_partitioned(
+            small_social, num_parts=3, backend="batched"
+        )
+        loop = gorder_partitioned(
+            small_social, num_parts=3, backend="loop"
+        )
+        assert np.array_equal(batched, loop)
+
+    @pytest.mark.slow
+    def test_workers_4_identical_to_workers_1(self):
+        """Spawned process pool is a wall-clock detail, never a
+        different arrangement."""
+        graph = generators.social_graph(600, edges_per_node=6, seed=13)
+        serial = gorder_partitioned(graph, num_parts=4, workers=1)
+        parallel = gorder_partitioned(graph, num_parts=4, workers=4)
+        assert np.array_equal(serial, parallel)
+        assert_valid_permutation(parallel, graph.num_nodes)
+
+
+class TestWindowScoresVectorised:
+    @pytest.mark.parametrize("window", WINDOWS)
+    def test_matches_reference_on_gorder_sequence(self, graphs, window):
+        for graph in graphs:
+            sequence = gorder_sequence(graph, window=window)
+            fast = window_scores(graph, sequence, window)
+            oracle = window_scores_reference(graph, sequence, window)
+            assert np.array_equal(fast, oracle), graph.name
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=graph_strategy())
+    def test_property_matches_reference(self, graph):
+        rng = np.random.default_rng(0)
+        sequence = rng.permutation(graph.num_nodes).astype(np.int64)
+        for window in (1, 4):
+            fast = window_scores(graph, sequence, window)
+            oracle = window_scores_reference(graph, sequence, window)
+            assert np.array_equal(fast, oracle)
+
+    def test_partial_sequence(self):
+        """Scoring a prefix (not all nodes placed) stays correct."""
+        graph = generators.social_graph(50, edges_per_node=4, seed=2)
+        sequence = gorder_sequence(graph)[:20]
+        fast = window_scores(graph, sequence, 5)
+        oracle = window_scores_reference(graph, sequence, 5)
+        assert np.array_equal(fast, oracle)
+
+    def test_window_validation(self, triangle):
+        with pytest.raises(InvalidParameterError):
+            window_scores(triangle, np.array([0, 1, 2]), window=0)
+        with pytest.raises(InvalidParameterError):
+            window_scores_reference(
+                triangle, np.array([0, 1, 2]), window=0
+            )

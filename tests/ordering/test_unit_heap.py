@@ -1,11 +1,13 @@
 """Unit and model-based property tests for the unit heap."""
 
+import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import InvalidParameterError
 from repro.ordering import UnitHeap
+from repro.ordering.unit_heap import MeteredUnitHeap
 
 
 class TestBasics:
@@ -163,3 +165,161 @@ class TestGorderUsagePattern:
             heap.decrease(3)
         assert heap.key_of(3) == 200
         assert heap.pop_max() == 3
+
+
+class TestBatchUpdates:
+    """The array-wise entry points must be indistinguishable from the
+    equivalent scalar call sequences (pop order is a pure function of
+    keys and presence, so equal keys mean equal behaviour)."""
+
+    @staticmethod
+    def _drain(heap):
+        return [heap.pop_max() for _ in range(len(heap))]
+
+    def test_increase_batch_equals_scalar(self):
+        scalar, batched = UnitHeap(6), UnitHeap(6)
+        items = [3, 1, 3, 5, 3, 1]
+        for item in items:
+            scalar.increase(item)
+        batched.increase_batch(np.array(items))
+        assert self._drain(scalar) == self._drain(batched)
+
+    def test_decrease_batch_equals_scalar(self):
+        scalar, batched = UnitHeap(4), UnitHeap(4)
+        for heap in (scalar, batched):
+            heap.increase_batch(np.array([0, 0, 1, 1, 2]))
+        scalar.decrease(0)
+        scalar.decrease(1)
+        batched.decrease_batch(np.array([0, 1]))
+        assert self._drain(scalar) == self._drain(batched)
+
+    def test_counts_path_equals_repeats(self):
+        repeated, counted = UnitHeap(5), UnitHeap(5)
+        repeated.increase_batch(np.array([2, 2, 2, 4, 4]))
+        counted.increase_batch(
+            np.array([2, 4]), counts=np.array([3, 2])
+        )
+        assert repeated.key_of(2) == counted.key_of(2) == 3
+        assert self._drain(repeated) == self._drain(counted)
+
+    def test_apply_step_equals_two_phase(self):
+        """One fused enter+exit step == increase_batch; decrease_batch."""
+        rng = np.random.default_rng(7)
+        initial = rng.integers(0, 20, size=50)
+        fused, phased = UnitHeap(20), UnitHeap(20)
+        for heap in (fused, phased):
+            heap.increase_batch(initial)
+        enter = rng.integers(0, 20, size=12)
+        exit_ = rng.integers(0, 20, size=12)
+        fused.apply_step(enter, exit_)
+        phased.increase_batch(enter)
+        phased.decrease_batch(exit_)
+        assert self._drain(fused) == self._drain(phased)
+
+    def test_apply_step_skips_absent_items(self):
+        heap = UnitHeap(4)
+        heap.remove(2)
+        heap.apply_step(np.array([2, 2, 1]), np.array([2]))
+        assert 2 not in heap
+        assert heap.key_of(1) == 1
+        assert self._drain(heap) == [1, 0, 3]
+
+    def test_empty_batches_are_noops(self):
+        heap = UnitHeap(3)
+        heap.increase_batch(np.array([], dtype=np.int64))
+        assert heap.apply_step(
+            np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+        ) == 0
+        assert self._drain(heap) == [0, 1, 2]
+
+    def test_min_id_tie_break(self):
+        heap = UnitHeap(8)
+        heap.increase_batch(np.array([6, 2, 4]))
+        assert heap.pop_max() == 2
+        assert heap.pop_max() == 4
+        assert heap.pop_max() == 6
+        assert heap.pop_max() == 0
+
+    def test_batch_validation(self):
+        heap = UnitHeap(3)
+        with pytest.raises(InvalidParameterError):
+            heap.increase_batch(np.array([0.5, 1.0]))
+        with pytest.raises(InvalidParameterError):
+            heap.increase_batch(np.array([[0, 1]]))
+        with pytest.raises(InvalidParameterError):
+            heap.increase_batch(
+                np.array([0, 1]), counts=np.array([1])
+            )
+        with pytest.raises(InvalidParameterError):
+            heap.increase_batch(
+                np.array([0, 1]), counts=np.array([1, -1])
+            )
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 7)),
+            max_size=30,
+        )
+    )
+    def test_property_random_steps_match_scalar_model(self, steps):
+        """Random fused steps against the dict model (present items)."""
+        fused = UnitHeap(8)
+        model = {i: 0 for i in range(8)}
+        for enter_item, exit_item in steps:
+            fused.apply_step(
+                np.array([enter_item]), np.array([exit_item])
+            )
+            if enter_item in model:
+                model[enter_item] += 1
+            if exit_item in model:
+                model[exit_item] -= 1
+        while model:
+            popped = fused.pop_max()
+            max_key = max(model.values())
+            candidates = [
+                item for item, key in model.items() if key == max_key
+            ]
+            assert popped == min(candidates)
+            del model[popped]
+
+
+class TestMeteredBatches:
+    def test_batch_counters_match_raw_units(self):
+        heap = MeteredUnitHeap(6)
+        heap.increase_batch(np.array([1, 1, 2]))
+        heap.decrease_batch(np.array([1]))
+        assert heap.increases == 3
+        assert heap.decreases == 1
+        assert heap.priority_updates == 4
+
+    def test_apply_step_unit_counts_match_two_phases(self):
+        """Raw unit counts agree with the two-phase form, so the loop
+        and batched Gorder kernels report identical priority_updates.
+        batched_moves dedups per *step* in the fused form (3 touched
+        items here) vs per *phase* two-phased (3 + 2)."""
+        fused = MeteredUnitHeap(6)
+        phased = MeteredUnitHeap(6)
+        enter = np.array([1, 1, 2, 3])
+        exit_ = np.array([2, 3])
+        moved = fused.apply_step(enter, exit_)
+        phased.increase_batch(enter)
+        phased.decrease_batch(exit_)
+        assert fused.increases == phased.increases == 4
+        assert fused.decreases == phased.decreases == 2
+        assert moved == fused.batched_moves == 3
+        assert phased.batched_moves == 5
+
+    def test_metered_apply_step_pops_match_plain(self):
+        plain, metered = UnitHeap(8), MeteredUnitHeap(8)
+        enter = np.array([1, 1, 5, 3])
+        exit_ = np.array([5, 0])
+        for heap in (plain, metered):
+            heap.apply_step(enter, exit_)
+        assert [plain.pop_max() for _ in range(8)] == [
+            metered.pop_max() for _ in range(8)
+        ]
+
+    def test_counts_weighted_units(self):
+        heap = MeteredUnitHeap(4)
+        heap.increase_batch(np.array([0, 2]), counts=np.array([3, 2]))
+        assert heap.increases == 5

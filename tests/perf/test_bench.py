@@ -1,0 +1,124 @@
+"""The Gorder benchmark-regression harness (quick-sized)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.perf import bench
+from repro.perf.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchRegressionError,
+    GorderBenchConfig,
+    quick_config,
+    render_gorder_bench,
+    run_gorder_bench,
+    write_bench_json,
+)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    """One shared quick benchmark run (module-scoped: it costs time)."""
+    return run_gorder_bench(quick_config(nodes=400, workers=2))
+
+
+class TestConfig:
+    def test_defaults_meet_acceptance_floor(self):
+        config = GorderBenchConfig()
+        assert config.nodes >= 50_000
+        assert config.nodes * config.edges_per_node >= 500_000
+
+    def test_quick_config_is_small(self):
+        config = quick_config()
+        assert config.quick
+        assert config.nodes < 10_000
+
+    def test_quick_config_overrides(self):
+        config = quick_config(nodes=123, window=2)
+        assert config.nodes == 123
+        assert config.window == 2
+        assert config.quick
+
+
+class TestPayloadSchema:
+    def test_top_level_fields(self, payload):
+        assert payload["schema_version"] == BENCH_SCHEMA_VERSION
+        assert payload["bench"] == "gorder_kernel"
+        assert payload["quick"] is True
+        assert payload["identical"] is True
+        assert payload["speedup_batched_vs_loop"] > 0
+        assert "manifest" in payload
+
+    def test_graph_section(self, payload):
+        graph = payload["graph"]
+        assert graph["generator"] == "social_graph"
+        assert graph["nodes"] == 400
+        assert graph["edges"] > 0
+
+    def test_kernel_sections(self, payload):
+        loop = payload["kernels"]["loop"]
+        batched = payload["kernels"]["batched"]
+        assert loop["seconds"] > 0 and batched["seconds"] > 0
+        # Same greedy, so identical event streams.
+        assert loop["heap_pops"] == batched["heap_pops"]
+        assert loop["unit_updates"] == batched["unit_updates"]
+        assert loop["unit_updates"] > 0
+        assert 0 < batched["batched_moves"] <= batched["unit_updates"]
+
+    def test_partitioned_section(self, payload):
+        partitioned = payload["partitioned"]
+        assert partitioned["identical"] is True
+        assert partitioned["workers"] == 2
+        assert partitioned["workers_1_seconds"] > 0
+        assert partitioned["speedup"] > 0
+
+    def test_json_round_trip(self, payload, tmp_path):
+        path = write_bench_json(payload, tmp_path / "bench.json")
+        assert json.loads(path.read_text()) == payload
+
+    def test_render_mentions_key_numbers(self, payload):
+        text = render_gorder_bench(payload)
+        assert "speedup" in text
+        assert "identical   : yes" in text
+        assert "partitioned" in text
+
+
+class TestSkipPartitioned:
+    def test_partitioned_null_when_skipped(self):
+        payload = run_gorder_bench(
+            quick_config(nodes=300, include_partitioned=False)
+        )
+        assert payload["partitioned"] is None
+        assert "partitioned" not in render_gorder_bench(payload)
+
+
+class TestRegressionGuard:
+    def test_divergence_raises(self, monkeypatch):
+        """A wrong answer must never be blessed with a timing."""
+
+        def fake_sequence(graph, window=5, backend="batched"):
+            n = graph.num_nodes
+            order = np.arange(n, dtype=np.int64)
+            return order if backend == "loop" else order[::-1].copy()
+
+        monkeypatch.setattr(bench, "gorder_sequence", fake_sequence)
+        with pytest.raises(BenchRegressionError):
+            run_gorder_bench(
+                quick_config(nodes=50, include_partitioned=False)
+            )
+
+
+class TestBenchCLI:
+    def test_quick_bench_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_gorder.json"
+        code = main([
+            "bench", "--quick", "--nodes", "300",
+            "--skip-partitioned", "--out", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["identical"] is True
+        assert payload["quick"] is True
+        assert "speedup" in capsys.readouterr().out

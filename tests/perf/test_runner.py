@@ -87,6 +87,39 @@ class TestOrderingCache:
         perm_b, _ = cache.permutation(graph, "rcm", 0)
         assert perm_a is not perm_b
 
+    def test_params_are_part_of_the_key(self, graph):
+        """Runs with different ordering knobs never share an entry."""
+        cache = OrderingCache()
+        default, _ = cache.permutation(graph, "gorder", 0)
+        loop, _ = cache.permutation(
+            graph, "gorder", 0, params={"backend": "loop"}
+        )
+        assert default is not loop
+        assert len(cache) == 2
+        again, _ = cache.permutation(
+            graph, "gorder", 0, params={"backend": "loop"}
+        )
+        assert again is loop
+
+    def test_params_key_order_insensitive(self, graph):
+        cache = OrderingCache()
+        a, _ = cache.permutation(
+            graph, "gorder", 0,
+            params={"window": 3, "backend": "loop"},
+        )
+        b, _ = cache.permutation(
+            graph, "gorder", 0,
+            params={"backend": "loop", "window": 3},
+        )
+        assert a is b
+        assert len(cache) == 1
+
+    def test_empty_params_same_as_none(self, graph):
+        cache = OrderingCache()
+        a, _ = cache.permutation(graph, "gorder", 0)
+        b, _ = cache.permutation(graph, "gorder", 0, params={})
+        assert a is b
+
 
 class TestCacheBounds:
     def test_entry_cap_evicts_least_recently_used(self, graph):
