@@ -54,7 +54,7 @@ def _propagate(
         traced_adjacency = memory.array(
             "u_adjacency", undirected.num_edges, 4
         )
-        touch_label = memory.array("labels", n, 4).touch
+        touch_label_all = memory.array("labels", n, 4).touch_all
         touch_next = memory.array("next_labels", n, 4).touch
     for _ in range(iterations):
         changed = False
@@ -66,10 +66,9 @@ def _propagate(
             if memory is not None:
                 traced_offsets.touch(u)
                 traced_adjacency.touch_run(start, end - start)
+                touch_label_all(adjacency[start:end])
             counts: dict[int, int] = {}
             for v in adjacency[start:end].tolist():
-                if memory is not None:
-                    touch_label(v)
                 label = int(labels[v])
                 counts[label] = counts.get(label, 0) + 1
             # Most frequent label, smallest on ties.

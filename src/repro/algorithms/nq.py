@@ -35,16 +35,14 @@ def neighbor_query_traced(graph: CSRGraph, memory: Memory) -> np.ndarray:
     adjacency = graph.adjacency
     degrees = graph.out_degrees()
     q = np.zeros(n, dtype=np.int64)
-    touch_degree = traced_degree.touch
+    touch_degree_all = traced_degree.touch_all
     for u in range(n):
         traced.offsets.touch(u)
         start = int(offsets[u])
         end = int(offsets[u + 1])
         traced.adjacency.touch_run(start, end - start)
-        total = 0
-        for v in adjacency[start:end].tolist():
-            touch_degree(v)
-            total += int(degrees[v])
+        neighbors = adjacency[start:end]
+        touch_degree_all(neighbors)
         traced_q.touch(u)
-        q[u] = total
+        q[u] = degrees[neighbors].sum()
     return q

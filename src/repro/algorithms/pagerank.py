@@ -74,7 +74,7 @@ def pagerank_traced(
     rank = np.full(n, 1.0 / n, dtype=np.float64)
     next_rank = np.zeros(n, dtype=np.float64)
     teleport = (1.0 - damping) / n
-    touch_next = traced_next.touch
+    touch_next_all = traced_next.touch_all
     for _ in range(iterations):
         next_rank[:] = 0.0
         dangling_mass = 0.0
@@ -89,9 +89,11 @@ def pagerank_traced(
             traced.offsets.touch(u)
             start = int(offsets[u])
             traced.adjacency.touch_run(start, degree)
-            for v in adjacency[start:start + degree].tolist():
-                touch_next(v)  # the random per-edge write
-                next_rank[v] += contribution
+            neighbors = adjacency[start:start + degree]
+            touch_next_all(neighbors)  # the random per-edge writes
+            # np.add.at applies element-wise in index order — the
+            # float accumulation is bitwise the per-edge loop's.
+            np.add.at(next_rank, neighbors, contribution)
         dangling_share = dangling_mass / n
         # Final sequential combine pass over both rank arrays.
         traced_next.touch_run(0, n)

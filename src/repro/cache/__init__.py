@@ -7,8 +7,16 @@ from repro.cache.hierarchy import (
     paper_hierarchy,
     scaled_hierarchy,
 )
-from repro.cache.layout import Memory, TracedArray
+from repro.cache.layout import CACHE_BACKENDS, Memory, TracedArray
 from repro.cache.level import CacheLevel
+from repro.cache.replay import (
+    CacheTrace,
+    TraceBuffer,
+    count_prior_greater,
+    hit_mask,
+    lru_hit_mask,
+    stack_distances,
+)
 from repro.cache.reuse import (
     COLD,
     RecordingHierarchy,
@@ -27,6 +35,13 @@ __all__ = [
     "scaled_hierarchy",
     "Memory",
     "TracedArray",
+    "CACHE_BACKENDS",
+    "CacheTrace",
+    "TraceBuffer",
+    "count_prior_greater",
+    "hit_mask",
+    "lru_hit_mask",
+    "stack_distances",
     "CacheStats",
     "COLD",
     "RecordingHierarchy",

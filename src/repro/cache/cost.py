@@ -47,17 +47,26 @@ class CostModel:
                 "stall latencies must be non-decreasing with cache depth"
             )
 
-    def stall_for_level(self, level: int) -> float:
-        """Stall cycles for a reference served at ``level`` (0=memory)."""
+    def stall_for_level(self, level: int, num_levels: int = 3) -> float:
+        """Stall cycles for a reference served at ``level`` (0=memory)
+        in a ``num_levels``-deep hierarchy.
+
+        Hierarchies deeper than three levels fold the way
+        :meth:`CacheHierarchy.snapshot` does: middle levels take the
+        L2 latency and the last level plays the L3 role (the L2 role
+        in a two-level stack).  For one-, two- and three-level
+        hierarchies this reproduces the classic L1/L2/L3 mapping
+        exactly.
+        """
+        if level < 0 or level > num_levels:
+            raise InvalidParameterError(f"unknown cache level {level}")
         if level == 0:
             return self.memory_stall
         if level == 1:
             return self.l1_stall
-        if level == 2:
+        if level < num_levels:
             return self.l2_stall
-        if level == 3:
-            return self.l3_stall
-        raise InvalidParameterError(f"unknown cache level {level}")
+        return self.l3_stall if num_levels >= 3 else self.l2_stall
 
     def cost(
         self,
@@ -85,8 +94,9 @@ class CostModel:
         """
         del prefetched_refs  # latency fully hidden in this model
         total_refs = sum(level_counts)
+        num_levels = max(len(level_counts) - 1, 0)
         stall = sum(
-            count * self.stall_for_level(level)
+            count * self.stall_for_level(level, num_levels)
             for level, count in enumerate(level_counts)
         )
         return RunCost(

@@ -18,8 +18,11 @@ Two standard geometries are provided:
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro import obs
 from repro.cache.level import CacheLevel
+from repro.cache.replay import hit_mask
 from repro.cache.stats import CacheStats
 from repro.errors import InvalidParameterError
 
@@ -69,6 +72,81 @@ class CacheHierarchy:
     def access_address(self, address: int) -> int:
         """Reference the line containing a byte address."""
         return self.access(address // self.line_size)
+
+    # ------------------------------------------------------------------
+    @property
+    def supports_replay(self) -> bool:
+        """Whether :meth:`replay` is exact for this geometry.
+
+        Trace replay classifies hits by LRU stack distance, so every
+        level must use the ``"lru"`` policy; FIFO/random levels need
+        the scalar :meth:`access` path.
+        """
+        return all(level.policy == "lru" for level in self.levels)
+
+    def replay(self, lines) -> np.ndarray:
+        """Vectorised cold-start replay of a line-id access trace.
+
+        Equivalent to calling :meth:`access` once per entry of
+        ``lines`` on a freshly flushed hierarchy, as far as every
+        level's ``refs``/``misses`` counters and each access's serving
+        level are concerned.  Each level is classified array-wise with
+        :func:`~repro.cache.replay.hit_mask`; the reference stream
+        of level N+1 is the miss stream of level N (the non-exclusive
+        fill model makes that exact).
+
+        Counters are *incremented* — call on a cold (flushed)
+        hierarchy for step-identical numbers.  Cache *contents* are
+        left untouched: the replay computes what would have happened
+        without materialising the final residency.
+
+        Returns the 1-based serving level per access
+        (:data:`MEMORY_LEVEL` for accesses that fell through).
+        """
+        if not self.supports_replay:
+            raise InvalidParameterError(
+                "trace replay is only exact for all-LRU hierarchies; "
+                f"{self.name!r} has non-LRU levels"
+            )
+        stream = np.ascontiguousarray(lines, dtype=np.int64)
+        n = stream.shape[0]
+        # Narrow bookkeeping dtypes: the per-level compress/scatter
+        # passes are memory-bound and serving levels are tiny ints.
+        serving = np.zeros(n, dtype=np.int16)
+        origin = np.arange(
+            n, dtype=np.int32 if n < (1 << 31) else np.int64
+        )
+        for depth, level in enumerate(self.levels, start=1):
+            if stream.shape[0] == 0:
+                break
+            hits = hit_mask(
+                stream, level.num_sets, level.associativity
+            )
+            misses = ~hits
+            level.refs += int(stream.shape[0])
+            level.misses += int(misses.sum())
+            serving[origin[hits]] = depth
+            stream = stream[misses]
+            origin = origin[misses]
+        return serving
+
+    def step_trace(self, lines) -> np.ndarray:
+        """Scalar reference replay: one :meth:`access` per entry.
+
+        The oracle :meth:`replay` is checked against — identical
+        counter and serving-level semantics — but built on the plain
+        per-access step path, so it works for *any* replacement
+        policy.  Unlike :meth:`replay` it also materialises the final
+        cache contents, exactly as live stepping would.  Call on a
+        cold (flushed) hierarchy for step-identical numbers.
+        """
+        stream = np.ascontiguousarray(lines, dtype=np.int64)
+        access = self.access
+        return np.fromiter(
+            (access(line) for line in stream.tolist()),
+            dtype=np.int64,
+            count=stream.shape[0],
+        )
 
     # ------------------------------------------------------------------
     def snapshot(self) -> CacheStats:

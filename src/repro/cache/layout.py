@@ -11,21 +11,40 @@ cache hierarchy, tallying which level served each reference.
 This is the heart of the substitution documented in DESIGN.md: node
 ids with close values land on the same cache line of the same array,
 exactly the effect a graph ordering manipulates.
+
+Two interchangeable simulation backends (see docs/performance.md):
+
+* ``"step"`` — every touch steps the hierarchy inline, one scalar
+  :meth:`CacheHierarchy.access` at a time.  The reference oracle;
+  works for every replacement policy and for wrapper hierarchies.
+* ``"replay"`` — touches are recorded into growable trace buffers
+  (:class:`~repro.cache.replay.TraceBuffer`) and replayed vectorised
+  through :meth:`CacheHierarchy.replay` the first time a result is
+  read.  Byte-identical counters for all-LRU hierarchies, much
+  faster; unsupported geometries silently fall back to stepping.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro import obs
 from repro.cache.cost import DEFAULT_COST_MODEL, CostModel, RunCost
 from repro.cache.hierarchy import CacheHierarchy, scaled_hierarchy
+from repro.cache.replay import CacheTrace, TraceBuffer
 from repro.cache.stats import CacheStats
 from repro.errors import InvalidParameterError
+
+#: Cache simulation backends accepted by :class:`Memory`.
+CACHE_BACKENDS = ("step", "replay")
 
 
 class TracedArray:
     """A declared array whose element accesses hit the simulator.
 
     Create via :meth:`Memory.array`.  ``touch(i)`` models reading or
-    writing element ``i``; ``touch_run(start, count)`` models a
+    writing element ``i``; ``touch_all(indices)`` models one reference
+    per index, in order; ``touch_run(start, count)`` models a
     sequential scan and exploits the guarantee that consecutive
     elements on one line hit L1 after the line is first referenced.
     """
@@ -47,12 +66,66 @@ class TracedArray:
         self._memory = memory
 
     def touch(self, index: int) -> None:
-        """Model one reference to element ``index``."""
+        """Model one reference to element ``index``.
+
+        Out-of-range indices raise instead of silently aliasing the
+        *neighbouring* array's cache lines (arrays are laid out
+        contiguously, so a stale or negative index would otherwise
+        corrupt the locality statistics without any symptom).
+        """
+        if index < 0 or index >= self.length:
+            raise InvalidParameterError(
+                f"touch({index}) is outside array {self.name!r} "
+                f"of length {self.length}"
+            )
         memory = self._memory
-        level = memory._hierarchy.access(
-            (self._base + index * self.itemsize) >> memory._line_shift
-        )
-        memory.level_counts[level] += 1
+        line = (self._base + index * self.itemsize) >> memory._line_shift
+        if memory._record:
+            memory._trace.touches.append(line)
+            memory._dirty = True
+        else:
+            memory._level_counts[memory._hierarchy.access(line)] += 1
+
+    def touch_all(self, indices) -> None:
+        """Model one reference per element of ``indices``, in order.
+
+        Semantically ``for i in indices: self.touch(i)``; in replay
+        mode the whole batch is captured as one vectorised trace
+        segment, which removes the per-edge Python from the traced
+        algorithms' hot loops.
+        """
+        idx = np.asarray(indices)
+        if idx.ndim != 1:
+            raise InvalidParameterError(
+                f"touch_all expects a 1-D index array, got shape "
+                f"{idx.shape}"
+            )
+        if idx.dtype.kind not in "iu":
+            raise InvalidParameterError(
+                f"touch_all expects integer indices, got dtype {idx.dtype}"
+            )
+        if idx.shape[0] == 0:
+            return
+        memory = self._memory
+        if memory._record:
+            # Deferred: conversion, bounds check and line arithmetic
+            # all happen vectorised at freeze time (see TraceBuffer).
+            memory._trace.record_many(
+                idx, self._base, self.itemsize, self.length, self.name
+            )
+            memory._dirty = True
+            return
+        idx = idx.astype(np.int64, copy=False)
+        if int(idx.min()) < 0 or int(idx.max()) >= self.length:
+            raise InvalidParameterError(
+                f"touch_all indices outside array {self.name!r} "
+                f"of length {self.length}"
+            )
+        lines = (self._base + idx * self.itemsize) >> memory._line_shift
+        counts = memory._level_counts
+        access = memory._hierarchy.access
+        for line in lines.tolist():
+            counts[access(line)] += 1
 
     def touch_run(self, start: int, count: int) -> None:
         """Model a sequential scan of ``count`` elements from ``start``.
@@ -67,14 +140,25 @@ class TracedArray:
         """
         if count <= 0:
             return
+        if start < 0 or start + count > self.length:
+            raise InvalidParameterError(
+                f"touch_run({start}, {count}) is outside array "
+                f"{self.name!r} of length {self.length}"
+            )
         memory = self._memory
         shift = memory._line_shift
         itemsize = self.itemsize
         base = self._base
-        counts = memory.level_counts
-        access = memory._hierarchy.access
         first_line = (base + start * itemsize) >> shift
         last_line = (base + (start + count - 1) * itemsize) >> shift
+        if memory._record:
+            memory._trace.record_run(
+                first_line, last_line - first_line + 1, count
+            )
+            memory._dirty = True
+            return
+        counts = memory._level_counts
+        access = memory._hierarchy.access
         per_line = (1 << shift) // itemsize
         remaining = count
         # First (possibly partial) line: a demand access.
@@ -95,7 +179,7 @@ class TracedArray:
             counts[1] += on_line
             remaining -= on_line
             line += 1
-        memory.prefetched_refs += prefetched
+        memory._prefetched_refs += prefetched
 
     def line_of(self, index: int) -> int:
         """Cache line id of element ``index`` (for tests)."""
@@ -111,24 +195,47 @@ class TracedArray:
 
 
 class Memory:
-    """Simulated address space + cache hierarchy + cost accounting."""
+    """Simulated address space + cache hierarchy + cost accounting.
+
+    ``cache_backend`` selects the simulation strategy (see the module
+    docstring): ``"step"`` is the scalar oracle, ``"replay"`` records
+    a trace and replays it vectorised.  Replay silently degrades to
+    stepping when the hierarchy cannot be replayed exactly (non-LRU
+    levels, or wrappers such as
+    :class:`~repro.cache.reuse.RecordingHierarchy`), so results are
+    backend-independent by construction.
+    """
 
     def __init__(
         self,
         hierarchy: CacheHierarchy | None = None,
         cost_model: CostModel = DEFAULT_COST_MODEL,
+        cache_backend: str = "step",
     ) -> None:
+        if cache_backend not in CACHE_BACKENDS:
+            raise InvalidParameterError(
+                f"cache_backend must be one of {CACHE_BACKENDS}, "
+                f"got {cache_backend!r}"
+            )
         self._hierarchy = hierarchy or scaled_hierarchy()
         line_size = self._hierarchy.line_size
         self._line_shift = line_size.bit_length() - 1
         self._next_base = 0
         self.cost_model = cost_model
-        #: References by serving level: [memory, L1, L2, L3, ...].
-        self.level_counts = [0] * (self._hierarchy.num_levels + 1)
+        self.cache_backend = cache_backend
+        self._record = (
+            cache_backend == "replay"
+            and isinstance(self._hierarchy, CacheHierarchy)
+            and self._hierarchy.supports_replay
+        )
+        self._trace: TraceBuffer | None = (
+            TraceBuffer(self._line_shift) if self._record else None
+        )
+        self._dirty = False
+        self._level_counts = [0] * (self._hierarchy.num_levels + 1)
         #: Pure-CPU cycles added via :meth:`work`.
         self.extra_work = 0.0
-        #: Sequential-scan references hidden by the stream prefetcher.
-        self.prefetched_refs = 0
+        self._prefetched_refs = 0
         self.arrays: dict[str, TracedArray] = {}
 
     # ------------------------------------------------------------------
@@ -136,15 +243,45 @@ class Memory:
     def hierarchy(self) -> CacheHierarchy:
         return self._hierarchy
 
+    @property
+    def replaying(self) -> bool:
+        """Whether this memory actually records for vectorised replay
+        (False when ``cache_backend="replay"`` fell back to stepping).
+        """
+        return self._record
+
+    def recorded_trace(self) -> "CacheTrace":
+        """The touches recorded so far, frozen as a
+        :class:`~repro.cache.replay.CacheTrace` (replay backend only).
+
+        The public handle for benchmarks and tests that want to drive
+        :meth:`CacheHierarchy.replay` / :meth:`CacheHierarchy.step_trace`
+        on a real workload's trace directly.
+        """
+        if not self._record:
+            raise InvalidParameterError(
+                "recorded_trace() requires an actively recording "
+                "cache_backend='replay' memory"
+            )
+        return self._trace.freeze()
+
     def array(self, name: str, length: int, itemsize: int) -> TracedArray:
         """Declare (allocate) an array and return its traced handle.
 
         Arrays are laid out consecutively, each base aligned to a cache
         line — the layout a sensible C allocator would produce.
+        ``itemsize`` may not exceed the line size: a multi-line element
+        would make "the line of element i" ill-defined and previously
+        sent ``touch_run`` into an infinite loop (``per_line == 0``).
         """
         if itemsize < 1 or (itemsize & (itemsize - 1)):
             raise InvalidParameterError(
                 f"itemsize must be a positive power of two, got {itemsize}"
+            )
+        if itemsize > (1 << self._line_shift):
+            raise InvalidParameterError(
+                f"itemsize {itemsize} exceeds the cache line size "
+                f"{1 << self._line_shift}; elements must fit one line"
             )
         if length < 0:
             raise InvalidParameterError(
@@ -168,6 +305,54 @@ class Memory:
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
+    def _ensure_replayed(self) -> None:
+        """Replay the recorded trace if results are stale.
+
+        Replay always recomputes from the *full* retained trace (LRU
+        hit/miss depends on all prior state, so there is no exact
+        incremental form) and overwrites the hierarchy counters, which
+        keeps mid-run ``stats()`` calls exact.
+        """
+        if not self._record or not self._dirty:
+            return
+        trace = self._trace.freeze()
+        with obs.span(
+            "cache.replay",
+            accesses=trace.num_accesses,
+            demand=trace.num_demand,
+        ):
+            self._hierarchy.flush()
+            serving = self._hierarchy.replay(trace.lines)
+            counts = np.bincount(
+                serving[trace.demand_idx],
+                minlength=self._hierarchy.num_levels + 1,
+            )
+            self._level_counts = [int(c) for c in counts]
+            self._level_counts[1] += trace.extra_l1
+            self._prefetched_refs = trace.prefetched_refs
+        if obs.enabled():
+            obs.inc("cache.replay.runs")
+            obs.inc("cache.replay.accesses", trace.num_accesses)
+        self._dirty = False
+
+    @property
+    def level_counts(self) -> list[int]:
+        """References by serving level: ``[memory, L1, L2, L3, ...]``.
+
+        In replay mode reading this (or :meth:`stats`/:meth:`cost`)
+        triggers the lazy vectorised replay, so the numbers always
+        reflect every touch recorded so far.
+        """
+        self._ensure_replayed()
+        return self._level_counts
+
+    @property
+    def prefetched_refs(self) -> int:
+        """Sequential-scan references hidden by the stream prefetcher."""
+        if self._record:
+            return self._trace.prefetched_refs
+        return self._prefetched_refs
+
     @property
     def total_refs(self) -> int:
         """Demand data references issued so far.
@@ -176,21 +361,28 @@ class Memory:
         :attr:`prefetched_refs`; they are requests the hardware issues
         on its own, not loads the program executes.
         """
-        return sum(self.level_counts)
+        if self._record:
+            return self._trace.total_refs
+        return sum(self._level_counts)
 
     def stats(self) -> CacheStats:
         """Hierarchy counters as a :class:`CacheStats` snapshot."""
+        self._ensure_replayed()
         return self._hierarchy.snapshot()
 
     def cost(self) -> RunCost:
         """Simulated cycle cost of everything traced so far."""
+        self._ensure_replayed()
         return self.cost_model.cost(
-            self.level_counts, self.extra_work, self.prefetched_refs
+            self._level_counts, self.extra_work, self.prefetched_refs
         )
 
     def reset(self) -> None:
         """Flush caches and zero counters; declared arrays survive."""
         self._hierarchy.flush()
-        self.level_counts = [0] * (self._hierarchy.num_levels + 1)
+        self._level_counts = [0] * (self._hierarchy.num_levels + 1)
         self.extra_work = 0.0
-        self.prefetched_refs = 0
+        self._prefetched_refs = 0
+        if self._record:
+            self._trace = TraceBuffer(self._line_shift)
+            self._dirty = False

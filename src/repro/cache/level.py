@@ -15,6 +15,8 @@ billion-edge graphs overflow a real 32 KiB / 256 KiB / 20 MiB one.
 
 from __future__ import annotations
 
+import random
+
 from repro.errors import InvalidParameterError
 
 
@@ -49,7 +51,7 @@ class CacheLevel:
     __slots__ = (
         "name", "capacity", "line_size", "associativity",
         "num_sets", "_set_mask", "_sets", "refs", "misses",
-        "policy", "_rng",
+        "policy", "seed", "_rng",
     )
 
     POLICIES = ("lru", "fifo", "random")
@@ -96,10 +98,9 @@ class CacheLevel:
         self.refs = 0
         self.misses = 0
         self.policy = policy
+        self.seed = seed
         self._rng = (
-            __import__("random").Random(seed)
-            if policy == "random"
-            else None
+            random.Random(seed) if policy == "random" else None
         )
 
     # ------------------------------------------------------------------
@@ -145,9 +146,17 @@ class CacheLevel:
         self.misses = 0
 
     def flush(self) -> None:
-        """Drop all cached lines and zero the counters."""
+        """Drop all cached lines and zero the counters.
+
+        A flush is a cold start, so the ``"random"`` policy's victim
+        stream restarts from its seed — two flushed runs of the same
+        trace are identical, the determinism the sweep engine's
+        archive digests rely on.
+        """
         for lines in self._sets:
             lines.clear()
+        if self._rng is not None:
+            self._rng = random.Random(self.seed)
         self.reset_statistics()
 
     @property

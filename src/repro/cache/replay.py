@@ -1,0 +1,766 @@
+"""Vectorised trace replay: the cache simulator's batched backend.
+
+The scalar simulator pays one Python call per simulated reference —
+``TracedArray.touch`` → ``CacheHierarchy.access`` → per-level dict
+ops.  This module removes that per-reference interpreter round-trip
+the same way PR 3's batched kernel removed it from the ordering side:
+record now, compute later, array-wise.
+
+* :class:`TraceBuffer` is the record side.  ``Memory`` (in replay
+  mode) appends single demand touches to a plain Python list (the
+  hottest path), run-compresses sequential scans and stores bulk
+  touch batches *by reference* — index conversion, bounds checking
+  and line arithmetic are all deferred to ``freeze()``, which
+  interleaves everything back into one flat line-id access stream in
+  a handful of numpy passes.
+* :func:`hit_mask` classifies every access of a line stream against
+  one set-associative LRU level — **exactly**, not approximately.
+  ``CacheHierarchy.replay`` chains it level by level (each level's
+  reference stream is the previous level's miss stream).
+
+Two classifier implementations back :func:`hit_mask`:
+
+* :func:`lru_hit_mask` — the *reference* path: per-set stack
+  distances via a bottom-up merge (``searchsorted`` over
+  offset-packed sorted rows), O(n log^2 n) array work, valid for any
+  associativity and any line-id range.
+* the *blocked* fast path — per-set subtraces are chunked into
+  blocks of a power-of-two width; each block is prefixed with the
+  top-``A`` LRU stack entering it (computed once for all blocks by an
+  associative parallel prefix scan over block summaries), after which
+  every block classifies independently: pack-sort for previous
+  occurrences, a level-doubling inversion count for in-window
+  distinct totals.  Work is O(n log ROW) with small numpy constants;
+  it requires ``associativity <= 64`` and line ids below ``2**23``
+  (int32 packing headroom) and silently defers to the reference path
+  otherwise.
+
+The mathematics shared by both: within one cache set, an access at
+local time ``t`` to a line previously seen at ``P[t]`` has LRU stack
+distance
+
+    ``d(t) = (t - 1 - P[t]) - #{s < t : P[s] > P[t]}``
+
+because every access in the window ``(P[t], t)`` touches a line other
+than ``line[t]``, and a line's *first* access in the window — the one
+that counts towards the distinct total — is exactly an access whose
+own previous occurrence lies before the window (``P[s] < P[t]``;
+``P[s] == P[t]`` is impossible for a warm ``t`` since a position has
+one next-occurrence).  The access hits a level of associativity ``A``
+iff it is warm and ``d(t) < A``; the Fenwick-tree oracle in
+:mod:`repro.cache.reuse` stays as the scalar cross-check.
+
+Replay is exact for LRU only: FIFO and random levels are not
+stack-distance characterisable, so ``Memory`` silently falls back to
+scalar stepping for those geometries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+#: Stack distance reported for cold (first-ever) accesses — same
+#: convention as :data:`repro.cache.reuse.COLD`.
+COLD = -1
+
+#: Sentinel for an empty slot in blocked-classifier stack summaries.
+_EMPTY_SLOT = -1
+
+#: Line ids must stay below this for the blocked fast path (int32
+#: packing: line * ROW + column must fit 31 bits with ROW <= 128).
+FAST_LINE_LIMIT = 1 << 23
+
+#: Largest associativity the blocked fast path handles (a row must
+#: hold the incoming stack prefix plus at least that many accesses).
+FAST_MAX_WAYS = 64
+
+
+# ----------------------------------------------------------------------
+# Reference classifier: exact stack distances by merge counting
+# ----------------------------------------------------------------------
+def count_prior_greater(values) -> np.ndarray:
+    """For each position ``t``, count positions ``s < t`` with
+    ``values[s] > values[t]`` (the classic inversion count, reported
+    per right endpoint).
+
+    Bottom-up merge counting: blocks of doubling width; at each level
+    the left half of every block holds the originally-earlier
+    positions already sorted, so one ``searchsorted`` over the
+    offset-packed concatenation counts, for every right element, the
+    left elements strictly greater than it.  O(n log^2 n) total array
+    work, no Python per element.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    n = values.shape[0]
+    counts = np.zeros(n, dtype=np.int64)
+    if n < 2:
+        return counts
+    # Rank-compress so the per-row offset packing below stays small.
+    ranks = np.unique(values, return_inverse=True)[1].astype(np.int64)
+    span = int(ranks.max()) + 3  # row values live in [-1, span - 3]
+    m = 1 << (n - 1).bit_length()
+    vals = np.full(m, -1, dtype=np.int64)  # pad: below every rank
+    vals[:n] = ranks
+    idx = np.arange(m, dtype=np.int64)
+    width = 1
+    while width < m:
+        rows = m // (2 * width)
+        block = vals.reshape(rows, 2 * width)
+        block_idx = idx.reshape(rows, 2 * width)
+        left = block[:, :width]  # ascending within each row (invariant)
+        right = block[:, width:]
+        row_offset = np.arange(rows, dtype=np.int64)[:, None] * span
+        left_keys = (left + row_offset).ravel()  # globally ascending
+        right_keys = (right + row_offset).ravel()
+        insert = np.searchsorted(left_keys, right_keys, side="right")
+        row_of_right = np.repeat(np.arange(rows, dtype=np.int64), width)
+        greater = width - (insert - row_of_right * width)
+        right_pos = block_idx[:, width:].ravel()
+        live = right_pos < n  # padding slots carry no real position
+        # Original positions are a permutation, so plain fancy-index
+        # addition is safe (no duplicate indices).
+        counts[right_pos[live]] += greater[live]
+        merged = np.argsort(block, axis=1, kind="stable")
+        vals = np.take_along_axis(block, merged, axis=1).ravel()
+        idx = np.take_along_axis(block_idx, merged, axis=1).ravel()
+        width *= 2
+    return counts
+
+
+def stack_distances(lines, num_sets: int = 1) -> np.ndarray:
+    """Per-access LRU stack distance of a line trace, per cache set.
+
+    The distance of an access is the number of *distinct* lines
+    referenced in the same set since the previous access to its line
+    (:data:`COLD` for first-ever accesses).  With ``num_sets=1`` this
+    equals :func:`repro.cache.reuse.reuse_distances`, vectorised.
+    """
+    lines = np.asarray(lines, dtype=np.int64)
+    n = lines.shape[0]
+    if num_sets < 1 or (num_sets & (num_sets - 1)):
+        raise InvalidParameterError(
+            f"num_sets must be a positive power of two, got {num_sets}"
+        )
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    if num_sets > 1:
+        # Group-major view: stable sort by set id keeps time order
+        # inside each group; local time = position minus group start.
+        sets = lines & np.int64(num_sets - 1)
+        order = np.argsort(sets, kind="stable")
+        s_lines = lines[order]
+        s_sets = sets[order]
+        new_group = np.empty(n, dtype=bool)
+        new_group[0] = True
+        np.not_equal(s_sets[1:], s_sets[:-1], out=new_group[1:])
+        group_id = np.cumsum(new_group) - 1
+        group_start = np.flatnonzero(new_group)
+        local_t = np.arange(n, dtype=np.int64) - group_start[group_id]
+    else:
+        order = None
+        s_lines = lines
+        group_id = None
+        local_t = np.arange(n, dtype=np.int64)
+    # Previous occurrence (as a local time) of each access's line.  A
+    # line always maps to one set, so equal values never cross groups.
+    by_line = np.argsort(s_lines, kind="stable")
+    previous = np.full(n, -1, dtype=np.int64)
+    same = s_lines[by_line[1:]] == s_lines[by_line[:-1]]
+    previous[by_line[1:][same]] = local_t[by_line[:-1][same]]
+    if group_id is None:
+        packed = previous
+    else:
+        # Offset per group: a pair from different groups can never
+        # register as an inversion (the gap n+2 exceeds any local
+        # P-difference), so one global count serves every set at once.
+        packed = previous + group_id * np.int64(n + 2)
+    inversions = count_prior_greater(packed)
+    distances = (local_t - 1 - previous) - inversions
+    distances[previous < 0] = COLD
+    if order is None:
+        return distances
+    out = np.empty(n, dtype=np.int64)
+    out[order] = distances
+    return out
+
+
+def lru_hit_mask(
+    lines, num_sets: int, associativity: int
+) -> np.ndarray:
+    """Hit/miss of every access against one cold-started LRU level.
+
+    Exact: an access hits a ``num_sets x associativity`` LRU level iff
+    it is warm and its in-set stack distance is below the
+    associativity.  This is the reference implementation, valid for
+    any associativity and line-id range; :func:`hit_mask` dispatches
+    to the blocked fast path when the geometry allows.
+    """
+    distances = stack_distances(lines, num_sets)
+    return (distances != COLD) & (distances < associativity)
+
+
+# ----------------------------------------------------------------------
+# Blocked fast classifier
+# ----------------------------------------------------------------------
+def _compose(older, newer, ways: int) -> np.ndarray:
+    """Top-``ways`` distinct lines after playing ``older`` then
+    ``newer`` (both ``(rows, ways)`` int32 stacks, most recent first,
+    :data:`_EMPTY_SLOT` padded) — the associative scan operator."""
+    dup = (older[:, :, None] == newer[:, None, :]).any(axis=2)
+    valid_n = newer != _EMPTY_SLOT
+    valid_o = (older != _EMPTY_SLOT) & ~dup
+    cand = np.concatenate([newer, older], axis=1)
+    valid = np.concatenate([valid_n, valid_o], axis=1)
+    # Pack (invalid, recency, line) into int32: invalid entries sort
+    # last, surviving entries keep newest-first order.
+    seq = np.arange(2 * ways, dtype=np.int32)
+    pack = (~valid).astype(np.int32) << 30
+    pack |= seq << 23
+    pack |= np.where(valid, cand, 0).astype(np.int32)
+    pack.sort(axis=1)
+    head = pack[:, :ways]
+    out = head & np.int32(FAST_LINE_LIMIT - 1)
+    out[head >= (1 << 30)] = _EMPTY_SLOT
+    return out
+
+
+def _classify_blocks(s_lines, starts, lens, ways: int, data_width: int):
+    """Hit mask for concatenated per-set subtraces (int32 lines).
+
+    ``s_lines`` holds each set's accesses contiguously (set ``i`` at
+    ``starts[i] : starts[i] + lens[i]``); consecutive equal lines must
+    already be collapsed (the caller's distance-0 pass).
+    ``data_width`` (a power of two) is the number of trace cells per
+    block; the ``ways``-deep incoming stack prefix lives *outside* the
+    block, so index arithmetic below stays shift-and-mask.
+    """
+    n = s_lines.size
+    data_bits = data_width.bit_length() - 1
+    row_width = ways + data_width  # prefix + data, prev-pack coords
+    num_sets = starts.size
+    blocks_per_set = -(-lens // data_width)
+    row_offset = np.concatenate([[0], np.cumsum(blocks_per_set)[:-1]])
+    num_rows = int(blocks_per_set.sum())
+    row_set = np.repeat(np.arange(num_sets), blocks_per_set)
+
+    # Scatter each set's subtrace into its rows; padding cells get
+    # distinct negative sentinels (cold by construction, never hits).
+    # With a power-of-two row the block/column split of the in-set
+    # position folds into the flat index itself: one repeat, one add.
+    cols = np.arange(data_width, dtype=np.int32)
+    data = np.empty((num_rows, data_width), dtype=np.int32)
+    data[:] = -(cols + ways + 2)
+    flat = np.arange(n, dtype=np.int64) + np.repeat(
+        (row_offset << np.int64(data_bits)) - starts, lens
+    )
+    data.reshape(-1)[flat] = s_lines
+
+    # ---- block summaries: last `ways` distinct lines, newest first.
+    # Pack-sort (line << data_bits | column) groups equal lines with
+    # ascending positions; the last entry of each group is the line's
+    # final occurrence in the block.  (A negative sentinel times a
+    # power of two has zeroed low bits, so or-ing the column in and
+    # shifting back out is exact for sentinels too.)
+    pack = data << np.int32(data_bits)
+    pack |= cols
+    pack.sort(axis=1)
+    packed_line = pack >> np.int32(data_bits)
+    packed_col = pack & np.int32(data_width - 1)
+    last = np.empty((num_rows, data_width), dtype=bool)
+    last[:, -1] = True
+    np.not_equal(packed_line[:, 1:], packed_line[:, :-1], out=last[:, :-1])
+    last &= packed_line >= 0  # sentinels never enter a summary
+    idx_last = np.flatnonzero(last)
+    row_last = idx_last >> np.int64(data_bits)
+    flags = np.zeros((num_rows, data_width), dtype=bool)
+    flags.reshape(-1)[
+        (row_last << np.int64(data_bits))
+        + packed_col.reshape(-1)[idx_last]
+    ] = True
+    fwd = np.cumsum(flags, axis=1, dtype=np.uint8)
+    total = fwd[:, -1:]
+    kept = flags & ((total - fwd) < ways)  # newest `ways` finals
+    idx_kept = np.flatnonzero(kept)
+    row_kept = idx_kept >> np.int64(data_bits)
+    rank = (
+        total.reshape(-1)[row_kept] - fwd.reshape(-1)[idx_kept]
+    ).astype(np.int64)
+    summary = np.full((num_rows, ways), _EMPTY_SLOT, dtype=np.int32)
+    summary.reshape(-1)[row_kept * ways + rank] = data.reshape(-1)[idx_kept]
+
+    # ---- incoming stack per block: masked inclusive prefix scan of
+    # summaries within each set (Hillis–Steele; _compose associates).
+    comp = summary.copy()
+    shift = 1
+    max_blocks = int(blocks_per_set.max())
+    while shift < max_blocks:
+        idx = np.arange(shift, num_rows)
+        ok = row_set[idx] == row_set[idx - shift]
+        tgt = idx[ok]
+        comp[tgt] = _compose(comp[tgt - shift], comp[tgt], ways)
+        shift *= 2
+    states = np.full((num_rows, ways), _EMPTY_SLOT, dtype=np.int32)
+    has_prev = np.zeros(num_rows, dtype=bool)
+    has_prev[1:] = row_set[1:] == row_set[:-1]
+    states[has_prev] = comp[np.flatnonzero(has_prev) - 1]
+
+    # ---- full rows: replaying the incoming stack deepest-first as
+    # `ways` prefix accesses reproduces it exactly, so in-row stack
+    # distances of the data cells are true distances (cells whose true
+    # distance exceeds the prefix are in-row cold -> miss, correct
+    # since true distance >= ways means miss anyway).
+    rows = np.empty((num_rows, row_width), dtype=np.int32)
+    prefix = states[:, ::-1]
+    sentinels = -(np.arange(ways, dtype=np.int32) + 2)
+    rows[:, :ways] = np.where(prefix != _EMPTY_SLOT, prefix, sentinels)
+    rows[:, ways:] = data
+
+    # ---- previous occurrence within each row, same pack-sort trick
+    # (eight column bits: row_width <= FAST_MAX_WAYS + 128 < 256).
+    packf = rows << np.int32(8)
+    packf |= np.arange(row_width, dtype=np.int32)
+    packf.sort(axis=1)
+    linef = packf >> np.int32(8)
+    posf = (packf & np.int32(255)).astype(np.uint8)
+    # The later element of an equal-line pair is always a data cell
+    # (prefix lines are distinct and sort first in their group), so a
+    # plain adjacency test selects exactly the warm data cells.  Prev
+    # values stay in full-row coordinates; targets drop to data-block
+    # coordinates (the masked-out wraparounds are never gathered).
+    same = linef[:, 1:] == linef[:, :-1]
+    same_flat = same.reshape(-1)
+    row_base = np.arange(num_rows, dtype=np.uint32)[:, None]
+    row_base <<= np.uint32(data_bits)
+    target = (row_base + posf[:, 1:]).reshape(-1)[same_flat]
+    target -= np.uint32(ways)
+    value = (posf[:, :-1] + np.uint8(1)).reshape(-1)[same_flat]
+    prev1 = np.zeros((num_rows, data_width), dtype=np.uint8)  # P+1
+    prev1.reshape(-1)[target] = value
+
+    # ---- in-window inversion counts by level doubling: at each width
+    # the right half of every span counts left-half entries with a
+    # larger previous-occurrence.  Ties are cold/cold only (distinct
+    # next-occurrences), and cold entries never beat warm ones, so the
+    # count is exact for warm targets — the only ones that can hit.
+    # Prefix cells are in-row cold (each stack line occurs once), so
+    # they contribute nothing and stay out of the pyramid entirely.
+    inversions = np.zeros((num_rows, data_width), dtype=np.int16)
+    width = 1
+    while width < data_width:
+        spans = prev1.reshape(-1, 2 * width)
+        acc = inversions.reshape(-1, 2 * width)
+        left = spans[:, :width]
+        right = spans[:, width:]
+        if width <= 4:
+            for j in range(width):
+                col_r = right[:, j]
+                out_col = acc[:, width + j]
+                for i in range(width):
+                    out_col += left[:, i] > col_r
+        elif width < 64:
+            # Chunk the (rows, width, width) comparison so its bool
+            # temporary stays a few MB: one huge temp per round would
+            # be mmap'd and page-faulted afresh on every call.
+            step = max(1, (1 << 22) // (width * width))
+            for lo in range(0, spans.shape[0], step):
+                hi = lo + step
+                acc[lo:hi, width:] += (
+                    left[lo:hi, :, None] > right[lo:hi, None, :]
+                ).sum(axis=1, dtype=np.int16)
+        else:
+            # Widest round: per-row 256-bin histogram of the left
+            # half, prefix-summed, beats the quadratic comparison.
+            # #(left > r) = width - #(left <= r) = width - cum[r].
+            # 2048 rows keeps the int64 histogram a few MB (same
+            # mmap-thrash guard as the branch above).
+            step = 2048
+            for lo in range(0, spans.shape[0], step):
+                l_chunk = left[lo:lo + step]
+                r_chunk = right[lo:lo + step]
+                nrows = l_chunk.shape[0]
+                base = np.arange(nrows, dtype=np.int64)[:, None] << 8
+                counts = np.bincount(
+                    (base + l_chunk).reshape(-1), minlength=nrows << 8
+                )
+                cum = counts.reshape(nrows, 256).cumsum(axis=1)
+                below = cum.reshape(-1)[(base + r_chunk).reshape(-1)]
+                acc[lo:lo + step, width:] += (
+                    width - below.reshape(nrows, width)
+                ).astype(np.int16)
+        width *= 2
+
+    # Data cell local times in full-row coordinates (after the
+    # ``ways`` prefix cells), matching the stored prev positions.
+    local_t = np.arange(ways, ways + data_width, dtype=np.int16)[None, :]
+    prev = prev1.astype(np.int16) - 1
+    distance = (local_t - 1 - prev) - inversions
+    hit = (prev >= 0) & (distance < ways)
+    return hit.reshape(-1)[flat]
+
+
+def _data_width_for(mean_len: float) -> int:
+    """Trace cells per block: roughly one mean subtrace, rounded up
+    to a power of two and clamped to keep padding and pyramid depth
+    in check.  Independent of associativity — the stack prefix lives
+    outside the block."""
+    target = min(max(int(mean_len) + 1, 16), 128)
+    return 1 << (target - 1).bit_length()
+
+
+def _classify_sets(s_lines, starts, lens, ways: int) -> np.ndarray:
+    """Dispatch per-set subtraces to the cheapest exact classifier.
+
+    A set with at most ``ways`` accesses (after distance-0 collapse)
+    can never overflow its stack — every warm access hits, every cold
+    access misses — so only a previous-occurrence test is needed.
+    That shortcut is what keeps many-set levels (e.g. a 16384-set L3
+    seeing a short miss stream) from drowning in per-set padding.
+    """
+    n = s_lines.size
+    short = lens <= ways
+    if not short.any():
+        mean_len = n / max(starts.size, 1)
+        return _classify_blocks(
+            s_lines, starts, lens, ways, _data_width_for(mean_len)
+        )
+    verdict = np.empty(n, dtype=bool)
+    elem_short = np.repeat(short, lens)
+    n_short = int(lens[short].sum())
+    if n_short:
+        segment = np.repeat(np.cumsum(short) - 1, lens)[elem_short]
+        packed = (segment << np.int64(24)) | s_lines[elem_short].astype(
+            np.int64
+        )
+        order = np.argsort(packed, kind="stable")
+        ordered = packed[order]
+        warm = np.empty(n_short, dtype=bool)
+        warm[0] = False
+        np.equal(ordered[1:], ordered[:-1], out=warm[1:])
+        back = np.empty(n_short, dtype=bool)
+        back[order] = warm
+        verdict[elem_short] = back
+    if n_short < n:
+        long_lens = lens[~short]
+        long_lines = s_lines[~elem_short]
+        long_starts = np.concatenate([[0], np.cumsum(long_lens)[:-1]])
+        mean_len = long_lines.size / max(long_lens.size, 1)
+        verdict[~elem_short] = _classify_blocks(
+            long_lines,
+            long_starts,
+            long_lens,
+            ways,
+            _data_width_for(mean_len),
+        )
+    return verdict
+
+
+def _blocked_hit_mask(
+    lines: np.ndarray, num_sets: int, associativity: int
+) -> np.ndarray:
+    """Fast-path hit classification; caller guarantees the domain
+    (int64 ``lines`` in ``[0, FAST_LINE_LIMIT)``, ``associativity <=
+    FAST_MAX_WAYS``, power-of-two ``num_sets``)."""
+    n = lines.size
+    if n == 0:
+        return np.ones(0, dtype=bool)
+    ways = int(associativity)
+    small = lines.astype(np.int32)
+    if num_sets > 1:
+        # Stable partition by set id via a packed value sort — the
+        # permutation comes out of the low bits, ~5x cheaper than a
+        # stable argsort — with the set id readable from the high
+        # bits of the sorted keys (no gather needed).
+        if n < (1 << 26) and num_sets <= 64:
+            pk = (
+                (small.astype(np.uint32) & np.uint32(num_sets - 1))
+                << np.uint32(26)
+            ) | np.arange(n, dtype=np.uint32)
+            pk.sort()
+            order = (pk & np.uint32((1 << 26) - 1)).astype(np.int64)
+            hi = pk >> np.uint32(26)
+        else:
+            pk = (
+                (small & np.int32(num_sets - 1)).astype(np.int64)
+                << np.int64(32)
+            ) | np.arange(n, dtype=np.int64)
+            pk.sort()
+            order = pk & np.int64((1 << 32) - 1)
+            hi = pk >> np.int64(32)
+        s_lines = small[order]
+        boundary = np.empty(n, dtype=bool)
+        boundary[0] = True
+        np.not_equal(hi[1:], hi[:-1], out=boundary[1:])
+        starts = np.flatnonzero(boundary)
+        # Distance-0 collapse: re-touching a set's stack top is a
+        # guaranteed hit and leaves the stack unchanged.  Same line
+        # -> same set and the partition is stable, so an adjacent-
+        # equal test here catches raw-adjacent repeats too.
+        keep1 = np.empty(n, dtype=bool)
+        keep1[0] = True
+        np.not_equal(s_lines[1:], s_lines[:-1], out=keep1[1:])
+        keep1 |= boundary
+        if not keep1.all():
+            reduced = s_lines[keep1]
+            lens = np.add.reduceat(
+                keep1.astype(np.int32), starts
+            ).astype(np.int64)
+            starts_r = np.concatenate([[0], np.cumsum(lens)[:-1]])
+        else:
+            reduced = s_lines
+            lens = np.diff(np.append(starts, n))
+            starts_r = starts
+        v_reduced = _classify_sets(reduced, starts_r, lens, ways)
+        v_part = np.ones(n, dtype=bool)
+        v_part[keep1] = v_reduced
+        out = np.empty(n, dtype=bool)
+        out[order] = v_part
+        return out
+    # Single set: the raw adjacent-equal test is the whole
+    # distance-0 story.
+    keep0 = np.empty(n, dtype=bool)
+    keep0[0] = True
+    np.not_equal(small[1:], small[:-1], out=keep0[1:])
+    core = small[keep0] if not keep0.all() else small
+    starts_r = np.array([0], dtype=np.int64)
+    lens = np.array([core.size], dtype=np.int64)
+    out = np.ones(n, dtype=bool)
+    out[keep0] = _classify_sets(core, starts_r, lens, ways)
+    return out
+
+
+def hit_mask(lines, num_sets: int, associativity: int) -> np.ndarray:
+    """Hit/miss of every access against one cold-started LRU level.
+
+    Dispatches to the blocked fast classifier when the geometry is in
+    its domain, otherwise to the :func:`lru_hit_mask` reference; both
+    are exact, so the choice is invisible in the results.
+    """
+    if num_sets < 1 or (num_sets & (num_sets - 1)):
+        raise InvalidParameterError(
+            f"num_sets must be a positive power of two, got {num_sets}"
+        )
+    if associativity < 1:
+        raise InvalidParameterError(
+            f"associativity must be positive, got {associativity}"
+        )
+    arr = np.ascontiguousarray(lines, dtype=np.int64)
+    if (
+        associativity <= FAST_MAX_WAYS
+        and arr.size > 0
+        and 0 <= int(arr.min())
+        and int(arr.max()) < FAST_LINE_LIMIT
+    ):
+        return _blocked_hit_mask(arr, num_sets, associativity)
+    return lru_hit_mask(arr, num_sets, associativity)
+
+
+# ----------------------------------------------------------------------
+# Trace recording
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, eq=False)
+class CacheTrace:
+    """A frozen access trace, ready for :meth:`CacheHierarchy.replay`.
+
+    ``lines`` is every line-level access in program order (demand
+    touches *and* the prefetched line fills of sequential scans, which
+    update cache state and per-level counters exactly like the scalar
+    path).  ``demand_idx`` indexes the accesses whose serving level is
+    charged to ``Memory.level_counts``; ``extra_l1`` is the aggregate
+    of run-compressed element references that are L1 hits by
+    construction (later elements on an already-referenced line).
+    """
+
+    lines: np.ndarray
+    demand_idx: np.ndarray
+    extra_l1: int
+    prefetched_refs: int
+
+    @property
+    def num_accesses(self) -> int:
+        return int(self.lines.shape[0])
+
+    @property
+    def num_demand(self) -> int:
+        return int(self.demand_idx.shape[0])
+
+    @property
+    def total_refs(self) -> int:
+        """Demand element references (matches ``Memory.total_refs``)."""
+        return self.num_demand + self.extra_l1
+
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+class TraceBuffer:
+    """Growable record of touches, cheap to append and cheap to freeze.
+
+    Three channels, interleaved by position at freeze time:
+
+    * ``touches`` — a plain list of single demand line ids
+      (``list.append`` is the hottest record-mode operation);
+    * runs — ``touch_run`` scans, stored as (first line, line count)
+      pairs;
+    * bulk batches — ``touch_all`` index arrays, stored **by
+      reference** together with the owning array's layout.  No numpy
+      work happens at record time; ``freeze()`` converts, bounds-checks
+      and maps all batches to line ids in one vectorised pass.  The
+      caller must not mutate an index array between ``record_many``
+      and ``freeze`` (the traced algorithms never do — they pass
+      adjacency slices that stay untouched).
+
+    Each run/batch remembers the ``touches`` length at record time
+    (its interleave position) and a global sequence number (its order
+    relative to other runs/batches at the same position).  Bounds
+    errors in deferred batches surface at ``freeze()`` — that is, when
+    results are first read — rather than at touch time; the exception
+    type matches the scalar path's.
+    """
+
+    __slots__ = (
+        "touches", "_line_shift",
+        "_runs",
+        "_many_idx", "_many_meta", "_many_names",
+        "_seq", "_segment_refs",
+        "extra_l1", "prefetched_refs",
+    )
+
+    def __init__(self, line_shift: int = 6) -> None:
+        self.touches: list[int] = []
+        self._line_shift = line_shift
+        self._runs: list[tuple[int, int, int, int]] = []
+        self._many_idx: list[np.ndarray] = []
+        self._many_meta: list[tuple[int, int, int, int, int]] = []
+        self._many_names: list[str] = []
+        self._seq = 0
+        self._segment_refs = 0
+        self.extra_l1 = 0
+        self.prefetched_refs = 0
+
+    @property
+    def total_refs(self) -> int:
+        """Demand element references recorded so far."""
+        return len(self.touches) + self._segment_refs
+
+    def record_run(self, line0: int, nlines: int, count: int) -> None:
+        """A sequential scan: ``count`` elements spanning ``nlines``
+        consecutive lines from ``line0`` (first line demand, the rest
+        prefetched, later elements on a line L1 hits)."""
+        self._runs.append((self._seq, len(self.touches), line0, nlines))
+        self._seq += 1
+        self._segment_refs += count
+        self.extra_l1 += count - 1
+        self.prefetched_refs += nlines - 1
+
+    def record_many(
+        self,
+        indices: np.ndarray,
+        base: int,
+        itemsize: int,
+        length: int,
+        name: str,
+    ) -> None:
+        """A batch of single-element demand touches, deferred: the
+        index array is kept by reference and resolved at freeze."""
+        self._many_meta.append(
+            (self._seq, len(self.touches), base, itemsize, length)
+        )
+        self._many_idx.append(indices)
+        self._many_names.append(name)
+        self._seq += 1
+        self._segment_refs += int(indices.shape[0])
+
+    # ------------------------------------------------------------------
+    def _resolve_batches(self) -> tuple[np.ndarray, ...]:
+        """Convert deferred batches: one concatenation, one bounds
+        check, one line-id computation for every batch at once."""
+        meta = np.asarray(self._many_meta, dtype=np.int64)
+        lens = np.fromiter(
+            (a.shape[0] for a in self._many_idx),
+            dtype=np.int64,
+            count=len(self._many_idx),
+        )
+        idx = np.concatenate(self._many_idx).astype(np.int64, copy=False)
+        lengths = np.repeat(meta[:, 4], lens)
+        bad = (idx < 0) | (idx >= lengths)
+        if bad.any():
+            first = int(np.argmax(bad))
+            batch = int(np.searchsorted(np.cumsum(lens), first, side="right"))
+            raise InvalidParameterError(
+                f"touch_all indices outside array "
+                f"{self._many_names[batch]!r} of length "
+                f"{int(meta[batch, 4])}"
+            )
+        lines = (
+            np.repeat(meta[:, 2], lens) + idx * np.repeat(meta[:, 3], lens)
+        ) >> np.int64(self._line_shift)
+        return meta[:, 0], meta[:, 1], lens, lines
+
+    def freeze(self) -> CacheTrace:
+        """Interleave all channels into one flat :class:`CacheTrace`."""
+        touches = np.asarray(self.touches, dtype=np.int64)
+        num_touches = touches.shape[0]
+        if self._runs:
+            runs = np.asarray(self._runs, dtype=np.int64)
+            run_seq, run_pos = runs[:, 0], runs[:, 1]
+            run_line0, run_nlines = runs[:, 2], runs[:, 3]
+        else:
+            run_seq = run_pos = run_line0 = run_nlines = _EMPTY
+        if self._many_idx:
+            many_seq, many_pos, many_lens, many_lines = (
+                self._resolve_batches()
+            )
+        else:
+            many_seq = many_pos = many_lens = many_lines = _EMPTY
+        num_runs = run_seq.shape[0]
+        num_batches = many_seq.shape[0]
+        num_segments = num_runs + num_batches
+        # Merge the two (already seq-sorted) segment channels.
+        run_at = np.arange(num_runs) + np.searchsorted(many_seq, run_seq)
+        many_at = np.arange(num_batches) + np.searchsorted(run_seq, many_seq)
+        seg_pos = np.empty(num_segments, dtype=np.int64)
+        seg_pos[run_at] = run_pos
+        seg_pos[many_at] = many_pos
+        seg_len = np.empty(num_segments, dtype=np.int64)
+        seg_len[run_at] = run_nlines
+        seg_len[many_at] = many_lens
+        cum_len = np.cumsum(seg_len)
+        # A segment recorded at position p precedes touches[p]; its
+        # expanded start is p singles plus every earlier segment.
+        seg_start = seg_pos + cum_len - seg_len
+        total = num_touches + (int(cum_len[-1]) if num_segments else 0)
+        touch_at = np.arange(num_touches, dtype=np.int64)
+        if num_segments:
+            before = np.searchsorted(seg_pos, touch_at, side="right")
+            touch_at = touch_at + np.where(
+                before > 0, cum_len[np.maximum(before - 1, 0)], 0
+            )
+        lines = np.empty(total, dtype=np.int64)
+        lines[touch_at] = touches
+        demand = np.ones(total, dtype=bool)
+        if num_runs:
+            run_cum = np.cumsum(run_nlines)
+            ramp = np.arange(int(run_cum[-1]), dtype=np.int64) - np.repeat(
+                run_cum - run_nlines, run_nlines
+            )
+            at = np.repeat(seg_start[run_at], run_nlines) + ramp
+            lines[at] = np.repeat(run_line0, run_nlines) + ramp
+            demand[at[ramp > 0]] = False  # prefetched fills
+        if num_batches:
+            batch_cum = np.cumsum(many_lens)
+            ramp = np.arange(
+                int(batch_cum[-1]), dtype=np.int64
+            ) - np.repeat(batch_cum - many_lens, many_lens)
+            lines[np.repeat(seg_start[many_at], many_lens) + ramp] = (
+                many_lines
+            )
+        return CacheTrace(
+            lines=lines,
+            demand_idx=np.flatnonzero(demand),
+            extra_l1=self.extra_l1,
+            prefetched_refs=self.prefetched_refs,
+        )

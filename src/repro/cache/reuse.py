@@ -150,10 +150,20 @@ class RecordingHierarchy:
         return self._inner.snapshot()
 
     def reset_statistics(self) -> None:
+        """Zero the inner counters and restart the recorded trace.
+
+        Both reset flavours start a fresh measurement window, so the
+        trace restarts with them — otherwise a flush-then-rerun
+        sequence would feed reuse-distance analysis a concatenation of
+        two unrelated runs.
+        """
         self._inner.reset_statistics()
+        self.lines.clear()
 
     def flush(self) -> None:
+        """Cold-start the inner hierarchy and restart the trace."""
         self._inner.flush()
+        self.lines.clear()
 
     def trace(self) -> np.ndarray:
         """The recorded line-id trace as an array."""

@@ -14,6 +14,7 @@ Subcommands map onto the paper's artifacts and common library tasks::
     repro-gorder window --dataset flickr  # Figure 4 sweep
     repro-gorder annealing                # Figure 3 sweep
     repro-gorder bench --quick            # Gorder kernel benchmark
+    repro-gorder bench --suite cache      # cache replay benchmark
     repro-gorder telemetry trace.jsonl    # summarise a telemetry trace
     repro-gorder sweep run --profile quick --checkpoint ck.jsonl
     repro-gorder sweep status ck.jsonl    # inspect a checkpoint
@@ -25,7 +26,9 @@ and ``--log-json PATH`` (machine-readable JSONL trace; see
 
 Commands that compute orderings accept ``--ordering-backend
 batched|loop`` (the Gorder kernel) and ``--workers N`` (process pool
-for partitioned orderings); see ``docs/performance.md``.
+for partitioned orderings); commands that simulate accept
+``--cache-backend step|replay`` (scalar stepping vs vectorised trace
+replay); see ``docs/performance.md``.
 
 The matrix commands (``speedup``, ``ranking``, ``sweep run``) run
 through the fault-tolerant sweep engine and accept ``--checkpoint``/
@@ -80,13 +83,16 @@ def _ordering_params(args: argparse.Namespace) -> dict:
 
 
 def _profile_from_args(args: argparse.Namespace) -> "perf.Profile":
-    """The requested profile, with any CLI ordering knobs applied."""
+    """The requested profile, with any CLI simulation knobs applied."""
     profile = perf.get_profile(getattr(args, "profile", None))
     params = _ordering_params(args)
     if params:
         profile = replace(
             profile, ordering_params=tuple(sorted(params.items()))
         )
+    cache_backend = getattr(args, "cache_backend", None)
+    if cache_backend is not None:
+        profile = replace(profile, cache_backend=cache_backend)
     return profile
 
 
@@ -121,7 +127,7 @@ def _cmd_order(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    profile = perf.get_profile(args.profile)
+    profile = _profile_from_args(args)
     params = perf.algorithm_params(args.algorithm, graph, profile)
     result = perf.run_cell(
         graph,
@@ -131,6 +137,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         params=params,
         hierarchy=profile.hierarchy(),
         ordering_params=_ordering_params(args),
+        cache_backend=profile.cache_backend,
     )
     stats = result.stats
     print(f"dataset     : {result.dataset}")
@@ -250,7 +257,10 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
         perf.save_results(
             outcome.matrix(),
             args.save,
-            metadata={"profile": profile.name},
+            metadata={
+                "profile": profile.name,
+                "cache_backend": profile.cache_backend,
+            },
             manifest=obs.run_manifest(
                 profile=profile.name, seed=profile.seed,
                 command="sweep run",
@@ -287,7 +297,7 @@ def _cmd_sweep_status(args: argparse.Namespace) -> int:
 
 
 def _cmd_stall(args: argparse.Namespace) -> int:
-    profile = perf.get_profile(args.profile)
+    profile = _profile_from_args(args)
     results = perf.cache_stall_split(profile, dataset_name=args.dataset)
     for ordering in ("original", "gorder"):
         block = {
@@ -304,7 +314,7 @@ def _cmd_stall(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache_stats(args: argparse.Namespace) -> int:
-    profile = perf.get_profile(args.profile)
+    profile = _profile_from_args(args)
     results = perf.cache_stats_table(profile, args.dataset)
     print(
         report.render_cache_stats(
@@ -333,7 +343,7 @@ def _cmd_ordering_time(args: argparse.Namespace) -> int:
 
 
 def _cmd_window(args: argparse.Namespace) -> int:
-    profile = perf.get_profile(args.profile)
+    profile = _profile_from_args(args)
     results = perf.window_sweep(profile, dataset_name=args.dataset)
     headers = ["window", "cycles(M)", "L1-mr", "order-time(s)"]
     rows = [
@@ -454,28 +464,50 @@ def _cmd_annealing(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    base = (
-        perf.quick_config() if args.quick else perf.GorderBenchConfig()
-    )
-    overrides = {
-        name: value
-        for name, value in [
-            ("nodes", args.nodes),
-            ("edges_per_node", args.edges_per_node),
-            ("window", args.window),
-            ("num_parts", args.num_parts),
-            ("workers", args.workers),
-            ("seed", args.seed),
-            ("repeats", args.repeats),
-        ]
-        if value is not None
-    }
-    if args.skip_partitioned:
-        overrides["include_partitioned"] = False
-    config = replace(base, **overrides)
-    payload = perf.run_gorder_bench(config)
-    print(perf.render_gorder_bench(payload))
-    path = perf.write_bench_json(payload, args.out)
+    if args.suite == "cache":
+        base = (
+            perf.quick_cache_config() if args.quick
+            else perf.CacheBenchConfig()
+        )
+        overrides = {
+            name: value
+            for name, value in [
+                ("dataset", args.dataset),
+                ("iterations", args.iterations),
+                ("hierarchy", args.hierarchy),
+                ("repeats", args.repeats),
+            ]
+            if value is not None
+        }
+        config = replace(base, **overrides)
+        payload = perf.run_cache_bench(config)
+        print(perf.render_cache_bench(payload))
+        out = args.out or "BENCH_cache.json"
+    else:
+        base = (
+            perf.quick_config() if args.quick
+            else perf.GorderBenchConfig()
+        )
+        overrides = {
+            name: value
+            for name, value in [
+                ("nodes", args.nodes),
+                ("edges_per_node", args.edges_per_node),
+                ("window", args.window),
+                ("num_parts", args.num_parts),
+                ("workers", args.workers),
+                ("seed", args.seed),
+                ("repeats", args.repeats),
+            ]
+            if value is not None
+        }
+        if args.skip_partitioned:
+            overrides["include_partitioned"] = False
+        config = replace(base, **overrides)
+        payload = perf.run_gorder_bench(config)
+        print(perf.render_gorder_bench(payload))
+        out = args.out or "BENCH_gorder.json"
+    path = perf.write_bench_json(payload, out)
     print(f"wrote       : {path}")
     return 0
 
@@ -580,6 +612,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="process-pool size for partitioned orderings",
     )
+    # Cache-simulation flags shared by the simulating commands.
+    cache_flags = argparse.ArgumentParser(add_help=False)
+    group = cache_flags.add_argument_group("cache simulation")
+    group.add_argument(
+        "--cache-backend",
+        choices=("step", "replay"),
+        default=None,
+        help="cache simulator: vectorised trace replay (profile "
+             "default) or scalar stepping",
+    )
     # Sweep-engine flags shared by the matrix commands.
     sweep_flags = argparse.ArgumentParser(add_help=False)
     group = sweep_flags.add_argument_group("fault tolerance")
@@ -657,7 +699,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", help="write the arrangement here")
 
     p = sub.add_parser(
-        "run", parents=[telemetry_flags, ordering_flags],
+        "run", parents=[telemetry_flags, ordering_flags, cache_flags],
         help="simulate one algorithm run",
     )
     p.set_defaults(func=_cmd_run)
@@ -673,7 +715,10 @@ def build_parser() -> argparse.ArgumentParser:
         ("ranking", _cmd_ranking, "Figure 6: rank histogram"),
     ]:
         p = sub.add_parser(
-            name, parents=[telemetry_flags, sweep_flags, ordering_flags],
+            name,
+            parents=[
+                telemetry_flags, sweep_flags, ordering_flags, cache_flags
+            ],
             help=help_text,
         )
         p.set_defaults(func=func)
@@ -690,7 +735,10 @@ def build_parser() -> argparse.ArgumentParser:
             help="fault-tolerant matrix sweep (run/status)")
     sweep_sub = p.add_subparsers(dest="sweep_command", required=True)
     p = sweep_sub.add_parser(
-        "run", parents=[telemetry_flags, sweep_flags, ordering_flags],
+        "run",
+        parents=[
+            telemetry_flags, sweep_flags, ordering_flags, cache_flags
+        ],
         help="run the speedup matrix through the sweep engine",
     )
     p.set_defaults(func=_cmd_sweep_run)
@@ -704,16 +752,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_sweep_status)
     p.add_argument("checkpoint", help="path to a checkpoint journal")
 
-    p = add("stall", _cmd_stall, help="Figure 1: execute vs stall")
+    p = sub.add_parser(
+        "stall", parents=[telemetry_flags, cache_flags],
+        help="Figure 1: execute vs stall",
+    )
+    p.set_defaults(func=_cmd_stall)
     p.add_argument("--dataset", default="sdarc")
     p.add_argument("--profile", default=None)
 
-    p = add("cache-stats", _cmd_cache_stats,
-            help="Table 3: PR cache statistics")
+    p = sub.add_parser(
+        "cache-stats", parents=[telemetry_flags, cache_flags],
+        help="Table 3: PR cache statistics",
+    )
+    p.set_defaults(func=_cmd_cache_stats)
     p.add_argument("--dataset", default="flickr")
     p.add_argument("--profile", default=None)
 
-    p = add("window", _cmd_window, help="Figure 4: window sweep")
+    p = sub.add_parser(
+        "window", parents=[telemetry_flags, cache_flags],
+        help="Figure 4: window sweep",
+    )
+    p.set_defaults(func=_cmd_window)
     p.add_argument("--dataset", default="flickr")
     p.add_argument("--profile", default=None)
 
@@ -746,11 +805,23 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=ALL_ORDERING_NAMES)
 
     p = add("bench", _cmd_bench,
-            help="Gorder kernel benchmark (writes BENCH_gorder.json)")
+            help="perf benchmarks (Gorder kernel / cache replay)")
+    p.add_argument("--suite", choices=("gorder", "cache"),
+                   default="gorder",
+                   help="gorder: ordering kernel (BENCH_gorder.json); "
+                        "cache: trace-replay simulator backend "
+                        "(BENCH_cache.json)")
     p.add_argument("--quick", action="store_true",
-                   help="small smoke graph (CI bench job)")
-    p.add_argument("--out", metavar="PATH", default="BENCH_gorder.json",
-                   help="output JSON path (default BENCH_gorder.json)")
+                   help="small smoke configuration (CI bench job)")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="output JSON path (default BENCH_<suite>.json)")
+    p.add_argument("--dataset", default=None,
+                   help="cache suite: dataset for the recorded trace")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="cache suite: traced PageRank iterations")
+    p.add_argument("--hierarchy", choices=("paper", "scaled"),
+                   default=None,
+                   help="cache suite: hierarchy the trace replays on")
     p.add_argument("--nodes", type=int, default=None,
                    help="benchmark graph size (default 50000)")
     p.add_argument("--edges-per-node", type=int, default=None,

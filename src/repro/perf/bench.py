@@ -30,6 +30,33 @@ compare against.  Schema (version 1, documented in
 Entry points: the ``repro-gorder bench`` CLI subcommand and the
 pytest harness ``benchmarks/bench_gorder_kernel.py`` both call
 :func:`run_gorder_bench`.
+
+The module also hosts the **cache trace-replay benchmark**
+(:func:`run_cache_bench`, ``BENCH_cache.json``): a traced PageRank
+records one access trace, then the scalar path
+(:meth:`CacheHierarchy.step_trace`) and the vectorised path
+(:meth:`CacheHierarchy.replay`) simulate that same trace; the harness
+enforces identical serving levels and per-level counters before it
+reports a speedup.  Schema (version 1)::
+
+    {
+      "schema_version": 1,
+      "bench": "cache_replay",
+      "quick": bool,
+      "manifest": {...},
+      "workload": {"algorithm", "dataset", "iterations", "hierarchy",
+                   "accesses", "demand_accesses", "total_refs"},
+      "backends": {
+        "step":   {"seconds", "accesses_per_second"},
+        "replay": {"seconds", "accesses_per_second"}
+      },
+      "speedup_replay_vs_step": float,   # the headline number
+      "level_counts": [...],             # identical across backends
+      "identical": true,                 # divergence raises instead
+      "end_to_end": {                    # record+simulate wall clock
+        "step_seconds", "replay_seconds", "speedup"
+      }
+    }
 """
 
 from __future__ import annotations
@@ -42,7 +69,7 @@ from pathlib import Path
 import numpy as np
 
 from repro import obs
-from repro.errors import ReproError
+from repro.errors import InvalidParameterError, ReproError
 from repro.graph.generators import social_graph
 from repro.ordering.gorder import DEFAULT_WINDOW, gorder_sequence
 from repro.ordering.parallel import gorder_partitioned
@@ -60,7 +87,8 @@ _KERNEL_COUNTERS = {
 
 
 class BenchRegressionError(ReproError):
-    """The two Gorder backends produced different sequences."""
+    """Two benchmark backends that must agree produced different
+    results (Gorder sequences, or cache counters/serving levels)."""
 
 
 @dataclass(frozen=True)
@@ -259,6 +287,235 @@ def _bench_partitioned(graph, config: GorderBenchConfig) -> dict:
         ),
         "identical": identical,
     }
+
+
+# ----------------------------------------------------------------------
+# Cache trace-replay benchmark
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CacheBenchConfig:
+    """Shape of one cache trace-replay benchmark run."""
+
+    #: Dataset whose traced PageRank supplies the access trace (the
+    #: acceptance workload is the largest analogue, ``sdarc``).
+    dataset: str = "sdarc"
+    #: PageRank iterations for the recorded trace.
+    iterations: int = 5
+    #: Hierarchy the trace is simulated against: ``"paper"`` (the
+    #: replication's 32KiB/256KiB/16MiB geometry) or ``"scaled"``.
+    hierarchy: str = "paper"
+    #: Best-of-N timing; 3 absorbs allocator cold start and the
+    #: single-core host's scheduling jitter.
+    repeats: int = 3
+    quick: bool = False
+
+
+def quick_cache_config(**overrides) -> CacheBenchConfig:
+    """The CI smoke configuration (small dataset, same schema)."""
+    settings = dict(
+        dataset="epinion", iterations=2, hierarchy="scaled",
+        repeats=1, quick=True,
+    )
+    settings.update(overrides)
+    return CacheBenchConfig(**settings)
+
+
+def _hierarchy_factory(name: str):
+    from repro.cache import paper_hierarchy, scaled_hierarchy
+
+    try:
+        return {
+            "paper": paper_hierarchy, "scaled": scaled_hierarchy
+        }[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown bench hierarchy {name!r}; "
+            "expected 'paper' or 'scaled'"
+        ) from None
+
+
+def _simulate_counts(hierarchy, serving, trace) -> list[int]:
+    """Serving levels -> ``Memory.level_counts``-shaped counters."""
+    counts = np.bincount(
+        serving[trace.demand_idx],
+        minlength=hierarchy.num_levels + 1,
+    )
+    counts = [int(c) for c in counts]
+    counts[1] += trace.extra_l1
+    return counts
+
+
+def run_cache_bench(config: CacheBenchConfig | None = None) -> dict:
+    """Run the trace-replay benchmark and return the JSON payload.
+
+    Both backends simulate the *same* recorded traced-PageRank trace;
+    :class:`BenchRegressionError` is raised unless their serving
+    levels, per-level refs/misses, and assembled level counts are all
+    identical — a perf harness must never bless a wrong answer.
+    """
+    from repro.algorithms.pagerank import pagerank_traced
+    from repro.cache import Memory
+    from repro.graph import datasets
+
+    config = config or CacheBenchConfig()
+    factory = _hierarchy_factory(config.hierarchy)
+    graph = datasets.load(config.dataset)
+
+    with obs.span(
+        "bench.cache_replay", dataset=config.dataset,
+        iterations=config.iterations, hierarchy=config.hierarchy,
+        quick=config.quick,
+    ):
+        # One recorded trace feeds both simulation paths.
+        memory = Memory(factory(), cache_backend="replay")
+        pagerank_traced(graph, memory, iterations=config.iterations)
+        trace = memory.recorded_trace()
+
+        def run_step():
+            hierarchy = factory()
+            serving = hierarchy.step_trace(trace.lines)
+            return hierarchy, serving, _simulate_counts(
+                hierarchy, serving, trace
+            )
+
+        def run_replay():
+            hierarchy = factory()
+            serving = hierarchy.replay(trace.lines)
+            return hierarchy, serving, _simulate_counts(
+                hierarchy, serving, trace
+            )
+
+        (h_step, serving_step, counts_step), step_seconds = _timed(
+            run_step, config.repeats
+        )
+        (h_replay, serving_replay, counts_replay), replay_seconds = (
+            _timed(run_replay, config.repeats)
+        )
+
+        level_counters = lambda h: [  # noqa: E731
+            (level.refs, level.misses) for level in h.levels
+        ]
+        identical = (
+            bool(np.array_equal(serving_step, serving_replay))
+            and counts_step == counts_replay
+            and level_counters(h_step) == level_counters(h_replay)
+        )
+        if not identical:
+            raise BenchRegressionError(
+                "replay and step cache backends diverged on "
+                f"{config.dataset} ({config.hierarchy} hierarchy)"
+            )
+        end_to_end = _bench_end_to_end(graph, factory, config)
+
+    backends = {
+        "step": {
+            "seconds": step_seconds,
+            "accesses_per_second": (
+                trace.num_accesses / step_seconds
+                if step_seconds else None
+            ),
+        },
+        "replay": {
+            "seconds": replay_seconds,
+            "accesses_per_second": (
+                trace.num_accesses / replay_seconds
+                if replay_seconds else None
+            ),
+        },
+    }
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "bench": "cache_replay",
+        "quick": config.quick,
+        "manifest": obs.run_manifest(command="bench"),
+        "workload": {
+            "algorithm": "pr",
+            "dataset": config.dataset,
+            "iterations": config.iterations,
+            "hierarchy": config.hierarchy,
+            "accesses": trace.num_accesses,
+            "demand_accesses": trace.num_demand,
+            "total_refs": trace.total_refs,
+        },
+        "backends": backends,
+        "speedup_replay_vs_step": (
+            step_seconds / replay_seconds if replay_seconds else None
+        ),
+        "level_counts": counts_step,
+        "identical": identical,
+        "end_to_end": end_to_end,
+    }
+
+
+def _bench_end_to_end(graph, factory, config: CacheBenchConfig) -> dict:
+    """Record+simulate wall clock per backend (informational).
+
+    Unlike the headline simulate-only numbers this includes the traced
+    algorithm's own Python body and the trace recording, which both
+    backends' users pay identically.
+    """
+    from repro.algorithms.pagerank import pagerank_traced
+    from repro.cache import Memory
+
+    def run(backend: str):
+        def body():
+            memory = Memory(factory(), cache_backend=backend)
+            pagerank_traced(
+                graph, memory, iterations=config.iterations
+            )
+            return memory.level_counts
+
+        return _timed(body, config.repeats)
+
+    counts_step, step_seconds = run("step")
+    counts_replay, replay_seconds = run("replay")
+    if counts_step != counts_replay:
+        raise BenchRegressionError(
+            "replay and step backends diverged end-to-end on "
+            f"{config.dataset}"
+        )
+    return {
+        "step_seconds": step_seconds,
+        "replay_seconds": replay_seconds,
+        "speedup": (
+            step_seconds / replay_seconds if replay_seconds else None
+        ),
+        "identical": True,  # divergence raises instead
+    }
+
+
+def render_cache_bench(payload: dict) -> str:
+    """Human-readable summary of one cache benchmark payload."""
+    workload = payload["workload"]
+    backends = payload["backends"]
+    lines = [
+        f"workload    : pr x{workload['iterations']} on "
+        f"{workload['dataset']} ({workload['hierarchy']} hierarchy)",
+        f"trace       : {workload['accesses']:,} accesses "
+        f"({workload['demand_accesses']:,} demand, "
+        f"{workload['total_refs']:,} refs)",
+    ]
+    for name in ("step", "replay"):
+        backend = backends[name]
+        rate = backend["accesses_per_second"]
+        rate_text = f"{rate:,.0f}/s" if rate else "n/a"
+        lines.append(
+            f"{name:<12}: {backend['seconds']:.3f}s  ({rate_text})"
+        )
+    speedup = payload["speedup_replay_vs_step"]
+    if speedup is not None:
+        lines.append(f"speedup     : {speedup:.2f}x replay vs step")
+    end_to_end = payload.get("end_to_end")
+    if end_to_end:
+        lines.append(
+            f"end-to-end  : step {end_to_end['step_seconds']:.3f}s vs "
+            f"replay {end_to_end['replay_seconds']:.3f}s "
+            f"({end_to_end['speedup']:.2f}x)"
+        )
+    lines.append(
+        "identical   : " + ("yes" if payload["identical"] else "NO")
+    )
+    return "\n".join(lines)
 
 
 def write_bench_json(payload: dict, path: str | Path) -> Path:

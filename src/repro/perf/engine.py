@@ -415,6 +415,7 @@ def _execute_cell_body(
         cache=cache,
         dataset_name=cell.dataset,
         ordering_params=dict(profile.ordering_params),
+        cache_backend=profile.cache_backend,
     )
 
 

@@ -63,6 +63,12 @@ class Profile:
     #: pairs so the profile stays hashable and JSON-roundtrippable.
     #: The CLI's ``--ordering-backend``/``--workers`` flags land here.
     ordering_params: tuple[tuple[str, object], ...] = ()
+    #: Cache simulation backend for every cell
+    #: (:data:`repro.cache.layout.CACHE_BACKENDS`).  Profiles default
+    #: to the vectorised ``"replay"`` path — counter-identical to
+    #: ``"step"`` for the all-LRU profile hierarchies, much faster.
+    #: The CLI's ``--cache-backend`` flag overrides it.
+    cache_backend: str = "replay"
 
     def hierarchy(self) -> CacheHierarchy:
         """A fresh cache hierarchy for one run."""
@@ -221,6 +227,7 @@ def _representative_run(
             cache=cache,
             dataset_name=dataset_name,
             ordering_params=dict(profile.ordering_params),
+            cache_backend=profile.cache_backend,
         )
         for seed in seeds
     ]
@@ -292,6 +299,7 @@ def cache_stall_split(
                 params=params,
                 hierarchy=profile.hierarchy(),
                 dataset_name=dataset_name,
+                cache_backend=profile.cache_backend,
             )
     return results
 
@@ -342,6 +350,7 @@ def cache_stats_table(
             params=params,
             hierarchy=profile.hierarchy(),
             dataset_name=dataset_name,
+            cache_backend=profile.cache_backend,
         )
         for ordering in profile.orderings
     }
@@ -368,10 +377,13 @@ def window_sweep(
             start = time.perf_counter()
             perm = gorder_order(graph, window=window)
             ordering_seconds = time.perf_counter() - start
-        memory = Memory(profile.hierarchy())
+        memory = Memory(
+            profile.hierarchy(), cache_backend=profile.cache_backend
+        )
         with obs.span(
             "run.simulate", dataset=dataset_name, algorithm="pr",
             ordering=f"gorder(w={window})",
+            cache_backend=profile.cache_backend,
         ):
             pagerank_spec.traced(relabel(graph, perm), memory, **params)
         obs.progress(

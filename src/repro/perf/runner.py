@@ -249,6 +249,7 @@ def run_cell(
     cache: OrderingCache | None = None,
     dataset_name: str | None = None,
     ordering_params: dict | None = None,
+    cache_backend: str = "step",
 ) -> RunResult:
     """Execute one experiment cell and return its :class:`RunResult`.
 
@@ -259,6 +260,10 @@ def run_cell(
     ``ordering_params`` are forwarded to the ordering computation
     (signature-filtered, see
     :func:`repro.ordering.base.compute_ordering`).
+    ``cache_backend`` selects the cache simulation strategy
+    (:data:`repro.cache.layout.CACHE_BACKENDS`): ``"step"`` scalar
+    stepping, ``"replay"`` recorded-trace vectorised replay with
+    byte-identical counters for all-LRU hierarchies.
     """
     cache = cache or GLOBAL_ORDERING_CACHE
     algorithm_spec = algorithms.spec(algorithm)
@@ -274,24 +279,31 @@ def run_cell(
             else:
                 run_params[key] = [int(perm[int(v)]) for v in value]
     hierarchy = hierarchy or scaled_hierarchy()
-    memory = Memory(hierarchy, cost_model=cost_model)
+    memory = Memory(
+        hierarchy, cost_model=cost_model, cache_backend=cache_backend
+    )
     with obs.span(
         "run.simulate",
         dataset=dataset_name or graph.name,
         algorithm=algorithm_spec.name,
         ordering=orderings.spec(ordering).name,
         seed=seed,
+        cache_backend=cache_backend,
     ):
         start = time.perf_counter()
         algorithm_spec.traced(relabeled, memory, **run_params)
+        # Reading cost/stats triggers the lazy replay (if any) inside
+        # the timed simulate span, and before the counter publish.
+        cost = memory.cost()
+        stats = memory.stats()
         simulation_seconds = time.perf_counter() - start
     hierarchy.publish_telemetry()
     return RunResult(
         dataset=dataset_name or graph.name,
         algorithm=algorithm_spec.name,
         ordering=orderings.spec(ordering).name,
-        cost=memory.cost(),
-        stats=memory.stats(),
+        cost=cost,
+        stats=stats,
         ordering_seconds=ordering_seconds,
         simulation_seconds=simulation_seconds,
     )

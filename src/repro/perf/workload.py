@@ -58,11 +58,14 @@ class Workload:
         self,
         graph: CSRGraph,
         hierarchy_factory=scaled_hierarchy,
+        cache_backend: str = "replay",
     ) -> float:
         """Total simulated cycles of one workload execution."""
         total = 0.0
         for algorithm, params in self.steps:
-            memory = Memory(hierarchy_factory())
+            memory = Memory(
+                hierarchy_factory(), cache_backend=cache_backend
+            )
             algorithms.spec(algorithm).traced(graph, memory, **params)
             total += memory.cost().total_cycles
         return total

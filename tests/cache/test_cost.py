@@ -78,3 +78,48 @@ class TestRunCost:
         zero = RunCost()
         assert zero.speedup_over(RunCost(1.0, 0.0)) == float("inf")
         assert zero.speedup_over(zero) == 1.0
+
+
+class TestDeepHierarchyFolding:
+    """Regression: ``cost()`` used to raise on hierarchies deeper than
+    three levels while ``snapshot()`` folded them gracefully."""
+
+    def test_stall_for_level_folds_middle_levels(self):
+        model = CostModel()
+        assert model.stall_for_level(2, num_levels=4) == model.l2_stall
+        assert model.stall_for_level(3, num_levels=4) == model.l2_stall
+        assert model.stall_for_level(4, num_levels=4) == model.l3_stall
+        assert (
+            model.stall_for_level(0, num_levels=4)
+            == model.memory_stall
+        )
+        # A two-level stack's last level plays the L2 role.
+        assert model.stall_for_level(2, num_levels=2) == model.l2_stall
+        with pytest.raises(InvalidParameterError, match="level"):
+            model.stall_for_level(5, num_levels=4)
+
+    def test_cost_accepts_four_level_counts(self):
+        model = CostModel()
+        cost = model.cost([1, 1, 1, 1, 1])
+        assert cost.stall_cycles == (
+            model.memory_stall
+            + model.l1_stall
+            + model.l2_stall  # L2 keeps its latency
+            + model.l2_stall  # L3 folds onto it
+            + model.l3_stall  # the last level plays the L3 role
+        )
+
+    def test_memory_cost_through_four_level_hierarchy(self):
+        from repro.cache import CacheHierarchy, CacheLevel, Memory
+
+        hierarchy = CacheHierarchy(
+            [
+                CacheLevel(2 * 64 * 2, 64, 2, f"L{i + 1}")
+                for i in range(4)
+            ]
+        )
+        memory = Memory(hierarchy)
+        array = memory.array("a", 64, 8)
+        for index in (0, 8, 16, 24, 0, 8):
+            array.touch(index)
+        assert memory.cost().total_cycles > 0

@@ -147,3 +147,38 @@ class TestCostAccounting:
         # Arrays survive a reset.
         a.touch(0)
         assert memory.total_refs == 1
+
+
+class TestBoundsAndGeometryGuards:
+    """Regressions: oversized elements once sent ``touch_run`` into an
+    infinite loop, and out-of-range touches silently aliased the
+    neighbouring array's cache lines."""
+
+    def test_itemsize_beyond_line_size_rejected(self):
+        memory = small_memory()  # 64-byte lines
+        with pytest.raises(InvalidParameterError, match="exceeds"):
+            memory.array("wide", 4, 128)
+
+    def test_itemsize_equal_to_line_size_allowed(self):
+        memory = small_memory()
+        array = memory.array("full-line", 4, 64)
+        array.touch_run(0, 4)  # one demand line + three prefetched
+        assert memory.total_refs == 4
+
+    def test_touch_bounds_checked(self):
+        memory = small_memory()
+        array = memory.array("a", 8, 4)
+        with pytest.raises(InvalidParameterError, match="outside"):
+            array.touch(8)
+        with pytest.raises(InvalidParameterError, match="outside"):
+            array.touch(-1)
+        array.touch(7)  # boundary element is fine
+
+    def test_touch_run_bounds_checked(self):
+        memory = small_memory()
+        array = memory.array("a", 8, 4)
+        with pytest.raises(InvalidParameterError, match="outside"):
+            array.touch_run(4, 5)
+        with pytest.raises(InvalidParameterError, match="outside"):
+            array.touch_run(-1, 2)
+        array.touch_run(4, 4)  # boundary run is fine

@@ -135,3 +135,23 @@ class TestLruProperties:
         for line in trace:
             level.access(line)
         assert level.misses == misses_after_warmup
+
+
+class TestRandomPolicyFlushDeterminism:
+    """Regression: ``flush()`` kept the advanced victim RNG, so two
+    flushed runs of the same trace could evict differently — breaking
+    the cold-start determinism archive digests rely on."""
+
+    def test_flush_restarts_victim_stream(self):
+        level = CacheLevel(
+            4 * 64, 64, 2, "rnd", policy="random", seed=7
+        )
+        # All-even lines map to one 2-way set: constant eviction
+        # pressure, so diverging RNG states diverge the verdicts.
+        trace = [(i * 17) % 40 * 2 for i in range(300)]
+
+        def run():
+            level.flush()
+            return [level.access(line) for line in trace]
+
+        assert run() == run()

@@ -154,3 +154,29 @@ class TestFenwickInternals:
         assert tree.prefix_sum(9) == 6
         tree.add(4, -2)
         assert tree.prefix_sum(9) == 4
+
+
+class TestRecorderResetClearsTrace:
+    """Regression: ``flush()``/``reset_statistics()`` used to keep the
+    recorded lines, feeding later analysis a concatenation of
+    unrelated measurement windows."""
+
+    def test_flush_restarts_trace(self):
+        recorder = RecordingHierarchy(scaled_hierarchy())
+        memory = Memory(recorder)
+        array = memory.array("a", 16, 8)
+        array.touch(0)
+        array.touch(8)
+        assert recorder.trace().shape[0] == 2
+        recorder.flush()
+        assert recorder.trace().shape[0] == 0
+        array.touch(0)
+        assert recorder.trace().tolist() == [array.line_of(0)]
+
+    def test_reset_statistics_restarts_trace(self):
+        recorder = RecordingHierarchy(scaled_hierarchy())
+        recorder.access(1)
+        recorder.access(2)
+        recorder.reset_statistics()
+        assert recorder.trace().shape[0] == 0
+        assert recorder.levels[0].refs == 0

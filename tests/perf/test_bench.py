@@ -122,3 +122,121 @@ class TestBenchCLI:
         assert payload["identical"] is True
         assert payload["quick"] is True
         assert "speedup" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Cache trace-replay suite
+# ----------------------------------------------------------------------
+from repro.perf.bench import (  # noqa: E402
+    CacheBenchConfig,
+    quick_cache_config,
+    render_cache_bench,
+    run_cache_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def cache_payload():
+    """One shared quick cache benchmark run (module-scoped)."""
+    return run_cache_bench(quick_cache_config())
+
+
+class TestCacheConfig:
+    def test_defaults_are_the_acceptance_workload(self):
+        config = CacheBenchConfig()
+        assert config.dataset == "sdarc"
+        assert config.iterations == 5
+        assert config.hierarchy == "paper"
+
+    def test_quick_config_is_small(self):
+        config = quick_cache_config()
+        assert config.quick
+        assert config.dataset != "sdarc"
+
+    def test_quick_config_overrides(self):
+        config = quick_cache_config(iterations=1, repeats=2)
+        assert config.iterations == 1
+        assert config.repeats == 2
+        assert config.quick
+
+    def test_unknown_hierarchy_rejected(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError, match="hierarchy"):
+            run_cache_bench(quick_cache_config(hierarchy="l4"))
+
+
+class TestCachePayloadSchema:
+    def test_top_level_fields(self, cache_payload):
+        assert (
+            cache_payload["schema_version"] == BENCH_SCHEMA_VERSION
+        )
+        assert cache_payload["bench"] == "cache_replay"
+        assert cache_payload["quick"] is True
+        assert cache_payload["identical"] is True
+
+    def test_backend_sections(self, cache_payload):
+        backends = cache_payload["backends"]
+        for name in ("step", "replay"):
+            assert backends[name]["seconds"] >= 0
+            assert backends[name]["accesses_per_second"] > 0
+        assert cache_payload["speedup_replay_vs_step"] > 0
+
+    def test_workload_section(self, cache_payload):
+        workload = cache_payload["workload"]
+        assert workload["dataset"] == "epinion"
+        assert workload["accesses"] > 0
+        assert workload["demand_accesses"] <= workload["accesses"]
+
+    def test_end_to_end_section(self, cache_payload):
+        end_to_end = cache_payload["end_to_end"]
+        assert end_to_end["identical"] is True
+        assert end_to_end["speedup"] > 0
+
+    def test_level_counts_sum_to_demand_plus_extra(self, cache_payload):
+        workload = cache_payload["workload"]
+        assert sum(cache_payload["level_counts"]) == (
+            workload["total_refs"]
+        )
+
+    def test_json_round_trip(self, cache_payload, tmp_path):
+        path = write_bench_json(
+            cache_payload, tmp_path / "BENCH_cache.json"
+        )
+        assert json.loads(path.read_text()) == cache_payload
+
+    def test_render_mentions_key_numbers(self, cache_payload):
+        text = render_cache_bench(cache_payload)
+        assert "replay vs step" in text
+        assert "identical   : yes" in text
+
+
+class TestCacheRegressionGuard:
+    def test_divergence_raises(self, monkeypatch):
+        """A wrong answer must never be blessed with a timing."""
+        from repro.cache.hierarchy import CacheHierarchy
+
+        real_replay = CacheHierarchy.replay
+
+        def corrupted(self, lines):
+            serving = real_replay(self, lines)
+            if serving.shape[0]:
+                serving[0] = serving[0] + 1
+            return serving
+
+        monkeypatch.setattr(CacheHierarchy, "replay", corrupted)
+        with pytest.raises(BenchRegressionError):
+            run_cache_bench(quick_cache_config(iterations=1))
+
+
+class TestCacheBenchCLI:
+    def test_quick_cache_bench_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_cache.json"
+        code = main(
+            ["bench", "--suite", "cache", "--quick", "--out", str(out)]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["bench"] == "cache_replay"
+        assert payload["identical"] is True
+        assert "replay vs step" in capsys.readouterr().out

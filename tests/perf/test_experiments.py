@@ -217,3 +217,33 @@ class TestMedianOverSeeds:
         )
         matrix = speedup_matrix(profile)
         assert matrix[("epinion", "nq", "gorder")].cycles > 0
+
+
+class TestProfileCacheBackend:
+    def test_default_is_replay(self):
+        profile = Profile(name="d", datasets=("epinion",))
+        assert profile.cache_backend == "replay"
+
+    def test_replace_override(self):
+        from dataclasses import replace
+
+        base = Profile(name="d", datasets=("epinion",))
+        profile = replace(base, cache_backend="step")
+        assert profile.cache_backend == "step"
+
+    def test_matrix_identical_across_backends(self):
+        base = Profile(
+            name="parity",
+            datasets=("epinion",),
+            orderings=("gorder",),
+            algorithms=("nq",),
+        )
+        from dataclasses import replace
+
+        fast = speedup_matrix(base)
+        slow = speedup_matrix(
+            replace(base, cache_backend="step")
+        )
+        key = ("epinion", "nq", "gorder")
+        assert fast[key].cycles == slow[key].cycles
+        assert fast[key].stats == slow[key].stats

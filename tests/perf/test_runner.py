@@ -253,3 +253,24 @@ class TestRunnerConfiguration:
     def test_stats_refs_positive(self, graph):
         result = run_cell(graph, "bfs", "rcm")
         assert result.stats.l1_refs > graph.num_nodes
+
+
+class TestCacheBackendPlumbing:
+    """run_cell must produce one answer regardless of backend."""
+
+    def test_replay_matches_step(self, graph):
+        step = run_cell(graph, "pr", "gorder",
+                        params={"iterations": 2},
+                        cache_backend="step")
+        replay = run_cell(graph, "pr", "gorder",
+                          params={"iterations": 2},
+                          cache_backend="replay")
+        assert replay.cycles == step.cycles
+        assert replay.stats == step.stats
+
+    def test_invalid_backend_rejected(self, graph):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError, match="backend"):
+            run_cell(graph, "nq", "original",
+                     cache_backend="speculative")

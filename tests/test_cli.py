@@ -123,3 +123,29 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "F(pi)" in output
         assert "bits/edge" in output
+
+
+class TestCacheBackendFlag:
+    def test_parser_accepts_backends(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["run", "--dataset", "epinion", "--cache-backend", "step"]
+        )
+        assert args.cache_backend == "step"
+        with pytest.raises(SystemExit):
+            parser.parse_args(
+                ["run", "--dataset", "epinion",
+                 "--cache-backend", "magic"]
+            )
+
+    def test_run_backends_agree(self, capsys):
+        outputs = []
+        for backend in ("step", "replay"):
+            assert main(
+                ["run", "--dataset", "epinion",
+                 "--algorithm", "nq", "--ordering", "gorder",
+                 "--cache-backend", backend]
+            ) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+        assert "cycles" in outputs[0]
