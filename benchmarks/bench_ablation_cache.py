@@ -6,10 +6,10 @@ line size) and check the Gorder-vs-Random PageRank speedup survives
 every geometry.
 """
 
+from repro.algorithms import REGISTRY
 from repro.cache import CacheHierarchy, CacheLevel, Memory
 from repro.graph import datasets, relabel
 from repro.ordering import gorder_order, random_order
-from repro.algorithms import REGISTRY
 from repro.perf import render_table
 
 GEOMETRIES = {

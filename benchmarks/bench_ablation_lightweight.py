@@ -9,8 +9,8 @@ ratio (speedup achieved) / (ordering cost paid).
 
 import time
 
-from repro.cache import Memory
 from repro.algorithms import REGISTRY
+from repro.cache import Memory
 from repro.graph import datasets, relabel
 from repro.ordering import compute_ordering
 from repro.perf import render_table

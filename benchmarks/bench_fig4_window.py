@@ -7,7 +7,7 @@ within a few percent past w ~ 5), while the ordering cost grows with
 the window.
 """
 
-from repro.perf import window_sweep, render_table
+from repro.perf import render_table, window_sweep
 
 WINDOWS = (1, 2, 3, 5, 8, 16, 64, 256)
 

@@ -6,12 +6,13 @@ the headline claims — Gorder is the best or near-best ordering in
 every series, and Random is (near-)worst.
 """
 
-from benchmarks.conftest import ensure_matrix
 from repro.perf import (
     relative_to_gorder,
     render_speedup_series,
     save_results,
 )
+
+from benchmarks.conftest import ensure_matrix
 
 
 def test_fig5_speedup(benchmark, profile, record, matrix_holder,

@@ -7,8 +7,9 @@ paper's shape: Gorder collects the most first places; Random collects
 the most last places.
 """
 
-from benchmarks.conftest import ensure_matrix
 from repro.perf import rank_orderings, render_rank_histogram
+
+from benchmarks.conftest import ensure_matrix
 
 
 def test_fig6_ranking(benchmark, profile, record, matrix_holder):

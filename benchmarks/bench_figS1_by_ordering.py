@@ -5,8 +5,9 @@ ordering) pair and shows the relative runtime across datasets —
 emphasising each ordering's overall behaviour.
 """
 
-from benchmarks.conftest import ensure_matrix
 from repro.perf import relative_to_gorder, render_speedup_series
+
+from benchmarks.conftest import ensure_matrix
 
 
 def test_figS1_grouped_by_ordering(benchmark, profile, record,

@@ -7,7 +7,6 @@ rates are (near-)lowest, Random's are (near-)highest, and the
 miss-rate ranking explains the runtime ranking.
 """
 
-import pytest
 
 from repro.perf import cache_stats_table, render_cache_stats
 

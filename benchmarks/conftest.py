@@ -16,6 +16,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.ioutil import atomic_write_text
 from repro.perf import get_profile, speedup_matrix
 
 RESULTS_ROOT = Path(__file__).parent / "results"
@@ -42,7 +43,7 @@ def record(results_dir):
     def _record(name: str, text: str) -> None:
         print()
         print(text)
-        (results_dir / f"{name}.txt").write_text(text + "\n")
+        atomic_write_text(results_dir / f"{name}.txt", text + "\n")
 
     return _record
 

@@ -20,7 +20,7 @@ from repro.algorithms import (
     pagerank,
     strongly_connected_components,
 )
-from repro.graph import generators, invert_permutation, relabel
+from repro.graph import generators, relabel
 from repro.ordering import gorder_order
 
 

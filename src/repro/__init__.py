@@ -59,11 +59,11 @@ from repro.errors import (
 )
 from repro.graph import (
     CSRGraph,
+    datasets,
     from_edges,
     read_edge_list,
     relabel,
 )
-from repro.graph import datasets
 from repro.ordering import (
     compute_ordering,
     gorder_order,

@@ -25,6 +25,10 @@ from repro.algorithms.kcore import (
     core_decomposition,
     core_decomposition_traced,
 )
+from repro.algorithms.labelprop import (
+    label_propagation,
+    label_propagation_traced,
+)
 from repro.algorithms.nq import neighbor_query, neighbor_query_traced
 from repro.algorithms.pagerank import (
     DAMPING,
@@ -40,10 +44,6 @@ from repro.algorithms.sp import (
     INFINITY,
     shortest_paths,
     shortest_paths_traced,
-)
-from repro.algorithms.labelprop import (
-    label_propagation,
-    label_propagation_traced,
 )
 from repro.algorithms.traced_heap import TracedBinaryHeap
 from repro.algorithms.triangles import (

@@ -26,15 +26,15 @@ from repro.algorithms.kcore import (
     core_decomposition,
     core_decomposition_traced,
 )
+from repro.algorithms.labelprop import (
+    label_propagation,
+    label_propagation_traced,
+)
 from repro.algorithms.nq import neighbor_query, neighbor_query_traced
 from repro.algorithms.pagerank import pagerank, pagerank_traced
 from repro.algorithms.scc import (
     strongly_connected_components,
     strongly_connected_components_traced,
-)
-from repro.algorithms.labelprop import (
-    label_propagation,
-    label_propagation_traced,
 )
 from repro.algorithms.sp import shortest_paths, shortest_paths_traced
 from repro.algorithms.triangles import (

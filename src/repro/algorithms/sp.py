@@ -16,7 +16,7 @@ from collections import deque
 
 import numpy as np
 
-from repro.algorithms.common import NODE_BYTES, declare_graph, TracedGraph
+from repro.algorithms.common import NODE_BYTES, TracedGraph, declare_graph
 from repro.cache.layout import Memory, TracedArray
 from repro.errors import InvalidParameterError
 from repro.graph.csr import CSRGraph

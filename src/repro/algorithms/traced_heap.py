@@ -60,7 +60,10 @@ class TracedBinaryHeap:
         items = self._items
         touch = self._touch
         if not items:
-            raise IndexError("pop from an empty TracedBinaryHeap")
+            # Container protocol: empty-pop mirrors list.pop.
+            raise IndexError(  # repro: noqa[REP006]
+                "pop from an empty TracedBinaryHeap"
+            )
         touch(0)
         top = items[0]
         last = items.pop()

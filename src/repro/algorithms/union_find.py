@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.cache.layout import Memory, TracedArray
+from repro.cache.layout import Memory
 from repro.errors import InvalidParameterError
 
 

@@ -1,0 +1,127 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline lets the gate turn on *today* while pre-existing findings
+are paid down over time: every finding recorded in the baseline file
+is suppressed, anything new fails.  Entries match on
+``(rule, path, snippet)`` — deliberately **not** on line number — so
+unrelated edits that shift code around neither break the build nor
+resurrect grandfathered findings.
+
+Multiplicity is respected: a baseline entry suppresses as many
+findings as it was recorded with, no more.  Entries that no longer
+match anything are *stale*; ``--strict`` fails on them so the
+baseline only ever shrinks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.core import AnalysisError, Finding
+from repro.ioutil import atomic_write_text
+
+#: Format marker written into every baseline file.
+BASELINE_VERSION = 1
+
+
+@dataclass
+class BaselineMatch:
+    """Outcome of filtering findings through a baseline."""
+
+    new: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    #: ``(rule, path, snippet)`` keys with unused suppressions left.
+    stale: list[tuple[str, str, str]] = field(default_factory=list)
+
+
+class Baseline:
+    """A multiset of grandfathered finding identities."""
+
+    def __init__(
+        self, entries: list[dict] | None = None, path: str | None = None
+    ) -> None:
+        self.entries = list(entries or [])
+        self.path = path
+        self._counts: Counter[tuple[str, str, str]] = Counter(
+            (entry["rule"], entry["path"], entry.get("snippet", ""))
+            for entry in self.entries
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        entries = [
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "snippet": finding.snippet,
+            }
+            for finding in sorted(findings)
+        ]
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "Baseline":
+        """Read a baseline file; schema errors raise cleanly."""
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise AnalysisError(
+                f"cannot read baseline {path}: {exc}"
+            ) from exc
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != BASELINE_VERSION
+            or not isinstance(payload.get("findings"), list)
+        ):
+            raise AnalysisError(
+                f"{path}: not a version-{BASELINE_VERSION} lint "
+                "baseline (regenerate with --write-baseline)"
+            )
+        entries = []
+        for entry in payload["findings"]:
+            if (
+                not isinstance(entry, dict)
+                or not isinstance(entry.get("rule"), str)
+                or not isinstance(entry.get("path"), str)
+            ):
+                raise AnalysisError(
+                    f"{path}: malformed baseline entry {entry!r}"
+                )
+            entries.append(entry)
+        return cls(entries, path=str(path))
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Write the baseline atomically (it is a committed artifact)."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "comment": (
+                "Grandfathered findings; matched on (rule, path, "
+                "snippet), line numbers are informational.  "
+                "Regenerate with: repro-gorder lint --write-baseline"
+            ),
+            "findings": self.entries,
+        }
+        atomic_write_text(path, json.dumps(payload, indent=1) + "\n")
+
+    def apply(self, findings: list[Finding]) -> BaselineMatch:
+        """Split findings into new vs baselined; report stale entries."""
+        remaining = Counter(self._counts)
+        match = BaselineMatch()
+        for finding in sorted(findings):
+            if remaining.get(finding.key, 0) > 0:
+                remaining[finding.key] -= 1
+                match.suppressed.append(finding)
+            else:
+                match.new.append(finding)
+        match.stale = sorted(
+            key for key, count in remaining.items() if count > 0
+        )
+        return match

@@ -1,0 +1,85 @@
+"""Resolve names in one module back to the dotted paths they import.
+
+Rules need to know that ``np.random.rand`` means
+``numpy.random.rand`` and that ``default_rng`` came from
+``numpy.random`` — without executing the file.  :class:`ImportMap`
+records every ``import`` / ``from ... import`` binding in a parsed
+module and resolves attribute chains against them.
+
+Only static, top-level-style bindings are tracked (aliased modules
+and imported names); attribute chains rooted in local variables
+resolve to ``None``, which rules treat as "not the thing I police".
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+class ImportMap:
+    """Name bindings created by the import statements of one module."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        #: local alias -> module dotted path (``np`` -> ``numpy``).
+        self.modules: dict[str, str] = {}
+        #: local name -> imported dotted path
+        #: (``default_rng`` -> ``numpy.random.default_rng``).
+        self.names: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.modules[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".", 1)[0]
+                        self.modules[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports: outside our scope
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.names[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Dotted path of an attribute chain, or ``None``.
+
+        ``np.random.rand`` resolves to ``numpy.random.rand`` when the
+        module did ``import numpy as np``; chains rooted in anything
+        that is not an imported binding resolve to ``None``.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = node.id
+        if root in self.names:
+            base = self.names[root]
+        elif root in self.modules:
+            base = self.modules[root]
+        else:
+            return None
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+
+def attr_root(node: ast.AST) -> str | None:
+    """The root ``Name`` id of an attribute chain (``obs.span`` -> ``obs``)."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The final segment of the called expression (``x.y.f()`` -> ``f``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None

@@ -16,7 +16,7 @@ roughly implies an additional factor 4 latency".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.errors import InvalidParameterError

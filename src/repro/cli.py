@@ -512,6 +512,47 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        DEFAULT_BASELINE,
+        DEFAULT_PATHS,
+        AnalysisError,
+        Baseline,
+        run_lint,
+    )
+    from repro.ioutil import atomic_write_text
+
+    paths = tuple(args.paths) or DEFAULT_PATHS
+    baseline_path = None if args.no_baseline else (
+        args.baseline or DEFAULT_BASELINE
+    )
+    try:
+        if args.write_baseline:
+            report = run_lint(paths, baseline_path=None)
+            target = args.baseline or DEFAULT_BASELINE
+            Baseline.from_findings(report.findings).save(target)
+            print(
+                f"wrote {len(report.findings)} grandfathered "
+                f"finding(s) to {target}"
+            )
+            return 0
+        report = run_lint(
+            paths, baseline_path=baseline_path, strict=args.strict
+        )
+    except AnalysisError as exc:
+        print(f"lint error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    if args.out:
+        atomic_write_text(args.out, report.render_json() + "\n")
+    if args.exit_zero:
+        return 0
+    return report.exit_code()
+
+
 def _cmd_telemetry(args: argparse.Namespace) -> int:
     summary = obs.summarize_trace(args.trace)
     print(f"trace       : {summary.path}")
@@ -838,6 +879,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="timing repeats per kernel (best-of)")
     p.add_argument("--skip-partitioned", action="store_true",
                    help="skip the partitioned workers comparison")
+
+    p = add("lint", _cmd_lint,
+            help="repo-invariant static analysis (REP rules)")
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to lint (default src/repro)")
+    p.add_argument("--format", choices=("text", "json"),
+                   default="text", help="report format on stdout")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="also write the JSON report to PATH")
+    p.add_argument("--baseline", metavar="PATH", default=None,
+                   help="baseline file (default lint_baseline.json "
+                        "when present)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore any baseline file")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="grandfather current findings into the "
+                        "baseline and exit 0")
+    p.add_argument("--strict", action="store_true",
+                   help="fail on warnings and stale baseline entries "
+                        "too")
+    p.add_argument("--exit-zero", action="store_true",
+                   help="report findings but always exit 0")
 
     p = add("telemetry", _cmd_telemetry,
             help="summarise a --log-json JSONL trace")

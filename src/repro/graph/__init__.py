@@ -1,17 +1,15 @@
 """Graph substrate: CSR storage, construction, I/O, generators, datasets."""
 
 from repro.graph.builder import empty_graph, from_arrays, from_edges
-from repro.graph.csr import CSRGraph, NODE_DTYPE, OFFSET_DTYPE
+from repro.graph.csr import NODE_DTYPE, OFFSET_DTYPE, CSRGraph
 from repro.graph.io import (
     load_npz,
+    load_permutation,
     read_edge_list,
     save_npz,
+    save_permutation,
     write_edge_list,
 )
-from repro.graph.io import load_permutation, save_permutation
-from repro.graph.stats import GraphSummary, summarize
-from repro.graph.subgraph import induced_subgraph
-from repro.graph.validation import ValidationReport, validate_graph
 from repro.graph.permute import (
     compose,
     identity_permutation,
@@ -20,6 +18,9 @@ from repro.graph.permute import (
     relabel,
     validate_permutation,
 )
+from repro.graph.stats import GraphSummary, summarize
+from repro.graph.subgraph import induced_subgraph
+from repro.graph.validation import ValidationReport, validate_graph
 
 __all__ = [
     "CSRGraph",

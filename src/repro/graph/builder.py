@@ -18,7 +18,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.errors import GraphFormatError
-from repro.graph.csr import CSRGraph, NODE_DTYPE, OFFSET_DTYPE
+from repro.graph.csr import NODE_DTYPE, OFFSET_DTYPE, CSRGraph
 
 EdgeLike = tuple[int, int]
 

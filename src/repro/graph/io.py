@@ -18,6 +18,7 @@ import numpy as np
 from repro.errors import GraphFormatError
 from repro.graph.builder import from_arrays
 from repro.graph.csr import CSRGraph
+from repro.ioutil import atomic_open
 
 _COMMENT_PREFIXES = ("#", "%", "//")
 
@@ -74,9 +75,13 @@ def read_edge_list(
 
 
 def write_edge_list(graph: CSRGraph, path: str | os.PathLike) -> None:
-    """Write a graph as a ``# name n m`` header plus one edge per line."""
+    """Write a graph as a ``# name n m`` header plus one edge per line.
+
+    The write is atomic (:func:`repro.ioutil.atomic_open`): a kill
+    mid-write never leaves a truncated edge list behind.
+    """
     path = Path(path)
-    with open(path, "w", encoding="utf-8") as handle:
+    with atomic_open(path, "w", encoding="utf-8") as handle:
         handle.write(
             f"# {graph.name} nodes={graph.num_nodes} "
             f"edges={graph.num_edges}\n"
@@ -91,12 +96,12 @@ def save_permutation(
     """Write an arrangement as one new-index per line.
 
     Line ``u`` holds the new id of old node ``u`` — the format the
-    original Gorder tool and the CLI use.
+    original Gorder tool and the CLI use.  The write is atomic.
     """
     from repro.graph.permute import validate_permutation
 
     perm = validate_permutation(np.asarray(perm), len(perm))
-    with open(Path(path), "w", encoding="utf-8") as handle:
+    with atomic_open(Path(path), "w", encoding="utf-8") as handle:
         for value in perm:
             handle.write(f"{int(value)}\n")
 
@@ -143,22 +148,14 @@ def save_npz(graph: CSRGraph, path: str | os.PathLike) -> None:
         # Mirror numpy's implicit suffix so the final name is known
         # before the atomic rename.
         path = path.with_name(path.name + ".npz")
-    tmp = path.with_name(path.name + ".tmp")
-    try:
-        with open(tmp, "wb") as handle:
-            np.savez_compressed(
-                handle,
-                num_nodes=np.int64(graph.num_nodes),
-                offsets=graph.offsets,
-                adjacency=graph.adjacency,
-                name=np.str_(graph.name),
-            )
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-    except BaseException:
-        tmp.unlink(missing_ok=True)
-        raise
+    with atomic_open(path, "wb") as handle:
+        np.savez_compressed(
+            handle,
+            num_nodes=np.int64(graph.num_nodes),
+            offsets=graph.offsets,
+            adjacency=graph.adjacency,
+            name=np.str_(graph.name),
+        )
 
 
 def load_npz(path: str | os.PathLike) -> CSRGraph:

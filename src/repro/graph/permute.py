@@ -91,7 +91,9 @@ def compose(outer: np.ndarray, inner: np.ndarray) -> np.ndarray:
     return outer[inner]
 
 
-def relabel(graph: CSRGraph, perm: np.ndarray, name: str | None = None) -> CSRGraph:
+def relabel(
+    graph: CSRGraph, perm: np.ndarray, name: str | None = None
+) -> CSRGraph:
     """Return a copy of ``graph`` with node ``u`` renamed to ``perm[u]``.
 
     The relabeled graph is structurally isomorphic to the input; only

@@ -1,0 +1,72 @@
+"""Atomic file writes shared by every persistence path.
+
+One pattern, one implementation: write to a sibling ``*.tmp`` file in
+the target directory, fsync, then ``os.replace`` onto the final name.
+The replace is atomic on POSIX (same filesystem, because the temp file
+lives next to the target), so a kill mid-write leaves at worst a stray
+``*.tmp`` file — never a truncated target, and never a window where
+the old file is gone and the new one is incomplete.
+
+The static-analysis rule REP002 (:mod:`repro.analysis.rules`) flags
+truncating writes that bypass this module, so new persistence code is
+steered here mechanically.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterator
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Any
+
+from repro.errors import InvalidParameterError
+
+
+@contextmanager
+def atomic_open(
+    path: str | os.PathLike, mode: str = "w", **kwargs: Any
+) -> Iterator[IO]:
+    """Open ``path`` for writing through a temp file + ``os.replace``.
+
+    Usage mirrors ``open``::
+
+        with atomic_open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+    The handle targets ``<path>.tmp``; on a clean exit the temp file
+    is fsynced and renamed over ``path``.  If the body raises, the
+    temp file is removed and ``path`` is untouched.
+
+    ``mode`` must be a truncating write mode (``w``/``wb``/``x``/
+    ``xb``): append modes cannot be made atomic this way.
+    """
+    if "r" in mode or "a" in mode or "+" in mode:
+        raise InvalidParameterError(
+            f"atomic_open requires a truncating write mode, got {mode!r}"
+        )
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, mode, **kwargs) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def atomic_write_text(
+    path: str | os.PathLike, text: str, encoding: str = "utf-8"
+) -> None:
+    """Write ``text`` to ``path`` atomically."""
+    with atomic_open(path, "w", encoding=encoding) as handle:
+        handle.write(text)
+
+
+def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically."""
+    with atomic_open(path, "wb") as handle:
+        handle.write(data)

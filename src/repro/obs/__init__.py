@@ -32,9 +32,9 @@ from repro.obs.core import (
     LEVELS,
     LOGGER_NAME,
     NOOP_SPAN,
+    TELEMETRY,
     Span,
     SpanStats,
-    TELEMETRY,
     Telemetry,
     TelemetryError,
 )

@@ -15,19 +15,19 @@ from repro.ordering.compression import (
     elias_gamma_bits,
     gap_encoding_bits,
 )
+from repro.ordering.evaluation import (
+    OrderingEvaluation,
+    evaluate_all,
+    evaluate_ordering,
+)
 from repro.ordering.gorder import (
-    GORDER_BACKENDS,
     DEFAULT_WINDOW,
+    GORDER_BACKENDS,
     gorder_naive,
     gorder_order,
     gorder_sequence,
     window_scores,
     window_scores_reference,
-)
-from repro.ordering.evaluation import (
-    OrderingEvaluation,
-    evaluate_all,
-    evaluate_ordering,
 )
 from repro.ordering.gorder_lazy import (
     gorder_order_lazy,
@@ -40,7 +40,6 @@ from repro.ordering.lightweight import (
     hubcluster_order,
     hubsort_order,
 )
-from repro.ordering.parallel import gorder_partitioned, partition_nodes
 from repro.ordering.metrics import (
     average_gap,
     bandwidth,
@@ -51,6 +50,7 @@ from repro.ordering.metrics import (
     pair_score,
 )
 from repro.ordering.minla import minla_order, minloga_order
+from repro.ordering.parallel import gorder_partitioned, partition_nodes
 from repro.ordering.rcm import rcm_order
 from repro.ordering.simple import (
     chdfs_order,

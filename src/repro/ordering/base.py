@@ -26,8 +26,8 @@ from repro.ordering.lightweight import (
     hubcluster_order,
     hubsort_order,
 )
-from repro.ordering.parallel import gorder_partitioned
 from repro.ordering.minla import minla_order, minloga_order
+from repro.ordering.parallel import gorder_partitioned
 from repro.ordering.rcm import rcm_order
 from repro.ordering.simple import (
     chdfs_order,

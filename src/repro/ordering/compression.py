@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import InvalidParameterError
 from repro.graph.csr import CSRGraph
 from repro.graph.permute import relabel, validate_permutation
 
@@ -31,7 +32,9 @@ def elias_gamma_bits(values: np.ndarray) -> int:
     if values.size == 0:
         return 0
     if values.min() < 0:
-        raise ValueError("gamma codes are defined for values >= 0")
+        raise InvalidParameterError(
+            "gamma codes are defined for values >= 0"
+        )
     return int((2 * np.floor(np.log2(values + 1)) + 1).sum())
 
 

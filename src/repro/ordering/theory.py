@@ -12,7 +12,6 @@ Only use on tiny graphs (``n <= 9`` keeps the factorial tractable).
 from __future__ import annotations
 
 import itertools
-import math
 
 import numpy as np
 

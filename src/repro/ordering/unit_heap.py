@@ -361,7 +361,10 @@ class UnitHeap:
             If the heap is empty.
         """
         if self._size == 0:
-            raise IndexError("pop from an empty UnitHeap")
+            # Container protocol: empty-pop mirrors list.pop.
+            raise IndexError(  # repro: noqa[REP006]
+                "pop from an empty UnitHeap"
+            )
         self._flush_pending()
         runs = self._runs
         tails = self._tails
@@ -393,7 +396,10 @@ class UnitHeap:
     def peek_max_key(self) -> int:
         """Maximal key among present items (empty heap raises)."""
         if self._size == 0:
-            raise IndexError("peek on an empty UnitHeap")
+            # Container protocol: empty-peek mirrors list indexing.
+            raise IndexError(  # repro: noqa[REP006]
+                "peek on an empty UnitHeap"
+            )
         self._flush_pending()
         runs = self._runs
         tails = self._tails

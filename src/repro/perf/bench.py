@@ -71,6 +71,7 @@ import numpy as np
 from repro import obs
 from repro.errors import InvalidParameterError, ReproError
 from repro.graph.generators import social_graph
+from repro.ioutil import atomic_write_text
 from repro.ordering.gorder import DEFAULT_WINDOW, gorder_sequence
 from repro.ordering.parallel import gorder_partitioned
 
@@ -519,9 +520,9 @@ def render_cache_bench(payload: dict) -> str:
 
 
 def write_bench_json(payload: dict, path: str | Path) -> Path:
-    """Write the benchmark payload as pretty-printed JSON."""
+    """Write the benchmark payload as pretty-printed JSON (atomically)."""
     path = Path(path)
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
     return path
 
 

@@ -44,6 +44,7 @@ from pathlib import Path
 from repro import obs
 from repro.errors import ReproError
 from repro.graph import datasets
+from repro.ioutil import atomic_write_text
 from repro.ordering import base as ordering_base
 from repro.perf.experiments import Profile, algorithm_params
 from repro.perf.faults import FaultPlan
@@ -277,7 +278,7 @@ class SweepCheckpoint:
     ) -> None:
         """Truncate and write a fresh header."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.path.write_text("", encoding="utf-8")
+        atomic_write_text(self.path, "")
         self._append(
             {
                 "kind": "header",
@@ -374,7 +375,9 @@ def _isolated_cell_worker(conn, payload: dict) -> None:
             profile, cell, payload["attempt"], plan, cache=None
         )
         conn.send(("ok", result_to_dict(result)))
-    except BaseException as exc:  # report anything, then die quietly
+    except BaseException as exc:  # repro: noqa[REP003] — reported
+        # over the pipe as a structured record; the parent converts
+        # it into a CellFailure.
         conn.send(
             (
                 "error",
@@ -618,6 +621,16 @@ class SweepEngine:
                 )
                 last = ("CellTimeout", str(exc), "", True)
             except Exception as exc:
+                obs.event(
+                    "sweep.cell_error",
+                    level="warning",
+                    dataset=cell.dataset,
+                    algorithm=cell.algorithm,
+                    ordering=cell.ordering,
+                    seed=cell.seed,
+                    attempt=attempt,
+                    error=type(exc).__name__,
+                )
                 last = (
                     type(exc).__name__,
                     str(exc),
@@ -671,7 +684,8 @@ class SweepEngine:
                 box["result"] = _execute_cell_body(
                     profile, cell, attempt, self.plan, private_cache
                 )
-            except BaseException as exc:
+            except BaseException as exc:  # repro: noqa[REP003] —
+                # transported to the sweep thread, which re-raises.
                 box["error"] = exc
 
         worker = threading.Thread(

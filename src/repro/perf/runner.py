@@ -25,14 +25,15 @@ import numpy as np
 from repro import obs
 from repro.algorithms import base as algorithms
 from repro.cache import (
+    DEFAULT_COST_MODEL,
     CacheHierarchy,
     CacheStats,
     CostModel,
-    DEFAULT_COST_MODEL,
     Memory,
     RunCost,
     scaled_hierarchy,
 )
+from repro.errors import InvalidParameterError
 from repro.graph.csr import CSRGraph
 from repro.graph.permute import relabel
 from repro.ordering import base as orderings
@@ -110,9 +111,11 @@ class OrderingCache:
         max_bytes: int | None = None,
     ) -> None:
         if max_entries is not None and max_entries < 1:
-            raise ValueError("max_entries must be >= 1 or None")
+            raise InvalidParameterError(
+                "max_entries must be >= 1 or None"
+            )
         if max_bytes is not None and max_bytes < 1:
-            raise ValueError("max_bytes must be >= 1 or None")
+            raise InvalidParameterError("max_bytes must be >= 1 or None")
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self._entries: OrderedDict[

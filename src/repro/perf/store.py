@@ -34,6 +34,7 @@ from pathlib import Path
 
 from repro.cache import CacheStats, RunCost
 from repro.errors import ReproError
+from repro.ioutil import atomic_write_text
 from repro.obs.manifest import run_manifest
 from repro.perf.runner import RunResult
 
@@ -150,26 +151,6 @@ def failure_from_dict(payload: dict) -> CellFailure:
         raise ResultStoreError(
             f"malformed failure record: {exc}"
         ) from exc
-
-
-def atomic_write_text(path: str | os.PathLike, text: str) -> None:
-    """Write ``text`` to ``path`` atomically (tmp + ``os.replace``).
-
-    The temp file lives in the target directory so the replace stays
-    on one filesystem; a kill mid-write leaves at worst a stray
-    ``*.tmp`` file, never a truncated target.
-    """
-    path = Path(path)
-    tmp = path.with_name(path.name + ".tmp")
-    try:
-        with open(tmp, "w", encoding="utf-8") as handle:
-            handle.write(text)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-    except BaseException:
-        tmp.unlink(missing_ok=True)
-        raise
 
 
 def save_results(

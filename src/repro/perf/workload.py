@@ -14,15 +14,15 @@ run count.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 
-from repro.cache import CacheHierarchy, Memory, scaled_hierarchy
 from repro.algorithms import base as algorithms
+from repro.cache import Memory, scaled_hierarchy
 from repro.errors import InvalidParameterError
 from repro.graph.csr import CSRGraph
 from repro.graph.permute import relabel
 from repro.ordering import base as orderings
-import time
 
 #: Clock used to convert simulated cycles into seconds for break-even
 #: computations (a mid-range 2.6 GHz core, like the replication's).

@@ -11,7 +11,6 @@ import numpy as np
 import pytest
 
 from repro.algorithms import (
-    INFINITY,
     core_decomposition,
     diameter,
     dominating_set,
@@ -20,7 +19,7 @@ from repro.algorithms import (
     shortest_paths,
     strongly_connected_components,
 )
-from repro.graph import generators, invert_permutation, relabel
+from repro.graph import generators, relabel
 from repro.ordering import ORDERING_NAMES, compute_ordering
 
 

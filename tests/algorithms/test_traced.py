@@ -8,7 +8,7 @@ memory trace.
 import numpy as np
 import pytest
 
-from repro.algorithms import REGISTRY, pick_sources
+from repro.algorithms import REGISTRY
 from repro.cache import Memory, scaled_hierarchy
 from repro.graph import from_edges, generators, relabel
 from repro.ordering import gorder_order, random_order

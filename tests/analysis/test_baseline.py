@@ -1,0 +1,93 @@
+"""Baseline grandfathering: round-trip, multiplicity, staleness."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    BASELINE_VERSION,
+    AnalysisError,
+    Baseline,
+    Finding,
+)
+
+
+def make_finding(line=3, rule="REP001", snippet="x = rand()"):
+    return Finding(
+        path="src/x.py",
+        line=line,
+        rule=rule,
+        message="boom",
+        snippet=snippet,
+    )
+
+
+class TestRoundTrip:
+    def test_save_load_apply(self, tmp_path):
+        findings = [make_finding(), make_finding(rule="REP006")]
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).save(path)
+
+        match = Baseline.load(path).apply(findings)
+        assert match.new == []
+        assert sorted(match.suppressed) == sorted(findings)
+        assert match.stale == []
+
+    def test_saved_file_is_valid_versioned_json(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([make_finding()]).save(path)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == BASELINE_VERSION
+        assert len(payload["findings"]) == 1
+        assert not path.with_name(path.name + ".tmp").exists()
+
+    def test_matching_ignores_line_numbers(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([make_finding(line=3)]).save(path)
+        match = Baseline.load(path).apply([make_finding(line=120)])
+        assert match.new == []
+        assert len(match.suppressed) == 1
+
+
+class TestMultiplicity:
+    def test_one_entry_suppresses_one_occurrence(self):
+        baseline = Baseline.from_findings([make_finding()])
+        match = baseline.apply([make_finding(), make_finding(line=9)])
+        assert len(match.suppressed) == 1
+        assert len(match.new) == 1
+
+    def test_unmatched_entries_are_stale(self):
+        baseline = Baseline.from_findings(
+            [make_finding(snippet="gone()")]
+        )
+        match = baseline.apply([])
+        assert match.stale == [("REP001", "src/x.py", "gone()")]
+
+    def test_different_rule_same_line_is_new(self):
+        baseline = Baseline.from_findings([make_finding()])
+        match = baseline.apply([make_finding(rule="REP006")])
+        assert len(match.new) == 1
+        assert len(match.stale) == 1
+
+
+class TestSchemaValidation:
+    def test_unparseable_json_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(AnalysisError, match="cannot read"):
+            Baseline.load(path)
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(AnalysisError, match="not a version"):
+            Baseline.load(path)
+
+    def test_malformed_entry_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({
+            "version": BASELINE_VERSION,
+            "findings": [{"rule": 17}],
+        }))
+        with pytest.raises(AnalysisError, match="malformed"):
+            Baseline.load(path)

@@ -1,0 +1,121 @@
+"""The ``repro-gorder lint`` subcommand: exit codes, JSON, baseline."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+DIRTY = "import numpy as np\n\nx = np.random.rand(3)\n"
+CLEAN = "import numpy as np\n\nrng = np.random.default_rng(0)\n"
+
+
+@pytest.fixture()
+def dirty_file(tmp_path):
+    path = tmp_path / "dirty.py"
+    path.write_text(DIRTY)
+    return path
+
+
+@pytest.fixture()
+def clean_file(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text(CLEAN)
+    return path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, clean_file, capsys):
+        code = main(["lint", "--no-baseline", str(clean_file)])
+        assert code == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, dirty_file, capsys):
+        code = main(["lint", "--no-baseline", str(dirty_file)])
+        assert code == 1
+        assert "REP001" in capsys.readouterr().out
+
+    def test_analysis_failure_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(:\n")
+        code = main(["lint", "--no-baseline", str(bad)])
+        assert code == 2
+        assert "lint error" in capsys.readouterr().err
+
+    def test_exit_zero_overrides_findings(self, dirty_file):
+        code = main(
+            ["lint", "--no-baseline", "--exit-zero", str(dirty_file)]
+        )
+        assert code == 0
+
+
+class TestJsonOutput:
+    def test_json_format_prints_machine_readable_report(
+        self, dirty_file, capsys
+    ):
+        code = main([
+            "lint", "--no-baseline", "--format", "json",
+            str(dirty_file),
+        ])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 1
+        assert payload["findings"][0]["rule"] == "REP001"
+
+    def test_out_writes_json_report_file(
+        self, dirty_file, tmp_path, capsys
+    ):
+        out = tmp_path / "findings.json"
+        main([
+            "lint", "--no-baseline", "--out", str(out),
+            str(dirty_file),
+        ])
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        assert payload["findings"][0]["rule"] == "REP001"
+
+
+class TestBaselineWorkflow:
+    def test_write_then_lint_then_strict_stale(
+        self, dirty_file, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+
+        # 1. Grandfather today's findings.
+        code = main([
+            "lint", "--baseline", str(baseline), "--write-baseline",
+            str(dirty_file),
+        ])
+        assert code == 0
+        assert "wrote 1 grandfathered" in capsys.readouterr().out
+
+        # 2. The gate is green while the finding is baselined.
+        code = main([
+            "lint", "--baseline", str(baseline), str(dirty_file)
+        ])
+        assert code == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+        # 3. Fixing the code strands the entry; --strict flags it.
+        dirty_file.write_text(CLEAN)
+        code = main([
+            "lint", "--baseline", str(baseline), str(dirty_file)
+        ])
+        assert code == 0
+        code = main([
+            "lint", "--baseline", str(baseline), "--strict",
+            str(dirty_file),
+        ])
+        assert code == 1
+        assert "stale baseline" in capsys.readouterr().out
+
+    def test_no_baseline_ignores_baseline_file(
+        self, dirty_file, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+        main([
+            "lint", "--baseline", str(baseline), "--write-baseline",
+            str(dirty_file),
+        ])
+        code = main(["lint", "--no-baseline", str(dirty_file)])
+        assert code == 1

@@ -1,0 +1,162 @@
+"""Engine behaviour: file discovery, reports, exit-code contract."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    AnalysisError,
+    Baseline,
+    LintReport,
+    Severity,
+    analyze_file,
+    analyze_source,
+    iter_python_files,
+    run_lint,
+)
+
+DIRTY = "import numpy as np\n\nx = np.random.rand(3)\n"
+CLEAN = "import numpy as np\n\nrng = np.random.default_rng(0)\n"
+WARN_ONLY = "import numpy as np\n\ntotal = np.zeros(4, dtype=np.int32)\n"
+
+
+class TestFileDiscovery:
+    def test_expands_directories_sorted_and_deduplicated(
+        self, tmp_path
+    ):
+        (tmp_path / "b.py").write_text(CLEAN)
+        (tmp_path / "a.py").write_text(CLEAN)
+        sub = tmp_path / "pkg"
+        sub.mkdir()
+        (sub / "c.py").write_text(CLEAN)
+        files = iter_python_files(
+            [str(tmp_path), str(tmp_path / "a.py")]
+        )
+        assert [f.name for f in files] == ["a.py", "b.py", "c.py"]
+
+    def test_skips_cache_directories(self, tmp_path):
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "junk.py").write_text(DIRTY)
+        (tmp_path / "real.py").write_text(CLEAN)
+        files = iter_python_files([str(tmp_path)])
+        assert [f.name for f in files] == ["real.py"]
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(AnalysisError, match="no such file"):
+            iter_python_files([str(tmp_path / "absent")])
+
+
+class TestAnalyze:
+    def test_analyze_source_returns_sorted_findings(self):
+        source = (
+            "import numpy as np\n"
+            "\n"
+            "def f(path):\n"
+            "    with open(path, 'w') as handle:\n"
+            "        handle.write('x')\n"
+            "\n"
+            "x = np.random.rand(3)\n"
+        )
+        findings = analyze_source(source)
+        assert [f.rule for f in findings] == ["REP002", "REP001"]
+        assert findings == sorted(findings)
+
+    def test_analyze_file_reports_unreadable_files(self, tmp_path):
+        with pytest.raises(AnalysisError, match="cannot read"):
+            analyze_file(tmp_path / "absent.py")
+
+    def test_syntax_error_raises_with_location(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(:\n")
+        with pytest.raises(AnalysisError, match="cannot parse"):
+            analyze_file(bad)
+
+
+class TestExitCodeContract:
+    def test_errors_fail_regardless_of_strict(self):
+        finding = analyze_source(DIRTY)[0]
+        report = LintReport(findings=[finding])
+        assert report.exit_code() == 1
+
+    def test_warnings_pass_unless_strict(self):
+        finding = analyze_source(WARN_ONLY)[0]
+        assert finding.severity is Severity.WARNING
+        assert LintReport(findings=[finding]).exit_code() == 0
+        assert (
+            LintReport(findings=[finding], strict=True).exit_code()
+            == 1
+        )
+
+    def test_stale_baseline_fails_only_under_strict(self):
+        stale = [("REP001", "x.py", "gone()")]
+        assert LintReport(stale_baseline=stale).exit_code() == 0
+        assert (
+            LintReport(stale_baseline=stale, strict=True).exit_code()
+            == 1
+        )
+
+    def test_clean_report_passes_strict(self):
+        assert LintReport(strict=True).exit_code() == 0
+
+
+class TestRunLint:
+    def test_findings_without_baseline(self, tmp_path):
+        (tmp_path / "dirty.py").write_text(DIRTY)
+        report = run_lint([str(tmp_path)])
+        assert [f.rule for f in report.findings] == ["REP001"]
+        assert report.files_checked == 1
+        assert report.exit_code() == 1
+
+    def test_missing_baseline_file_means_empty(self, tmp_path):
+        (tmp_path / "clean.py").write_text(CLEAN)
+        report = run_lint(
+            [str(tmp_path)],
+            baseline_path=tmp_path / "absent.json",
+        )
+        assert report.exit_code() == 0
+
+    def test_baseline_suppresses_known_findings(self, tmp_path):
+        (tmp_path / "dirty.py").write_text(DIRTY)
+        findings = run_lint([str(tmp_path)]).findings
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).save(baseline_path)
+
+        report = run_lint(
+            [str(tmp_path)], baseline_path=baseline_path
+        )
+        assert report.findings == []
+        assert len(report.baselined) == 1
+        assert report.exit_code() == 0
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        (tmp_path / "clean.py").write_text(CLEAN)
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text("[]")
+        with pytest.raises(AnalysisError):
+            run_lint([str(tmp_path)], baseline_path=baseline_path)
+
+
+class TestReportRendering:
+    def test_text_report_lists_findings_and_summary(self, tmp_path):
+        (tmp_path / "dirty.py").write_text(DIRTY)
+        report = run_lint([str(tmp_path)])
+        text = report.render_text()
+        assert "REP001" in text
+        assert "1 file(s) checked" in text
+
+    def test_json_schema(self, tmp_path):
+        (tmp_path / "dirty.py").write_text(DIRTY)
+        report = run_lint([str(tmp_path)], strict=True)
+        payload = json.loads(report.render_json())
+        assert payload["version"] == 1
+        assert payload["files_checked"] == 1
+        assert payload["strict"] is True
+        assert payload["exit_code"] == 1
+        assert payload["stale_baseline"] == []
+        assert payload["baselined"] == []
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "REP001"
+        assert finding["severity"] == "error"
+        assert finding["snippet"] == "x = np.random.rand(3)"
+        assert "summary" in payload

@@ -1,0 +1,30 @@
+"""The repo passes its own gate: ``repro-gorder lint --strict``.
+
+This is the same check CI runs; keeping it in the suite means a
+violation fails fast locally instead of at review time.
+"""
+
+from pathlib import Path
+
+from repro.analysis import run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_library_lints_clean_under_strict():
+    report = run_lint(
+        [str(REPO_ROOT / "src" / "repro")],
+        baseline_path=REPO_ROOT / "lint_baseline.json",
+        strict=True,
+    )
+    assert report.exit_code() == 0, report.render_text()
+
+
+def test_benchmarks_and_examples_lint_clean():
+    report = run_lint(
+        [
+            str(REPO_ROOT / "benchmarks"),
+            str(REPO_ROOT / "examples"),
+        ],
+    )
+    assert report.exit_code() == 0, report.render_text()

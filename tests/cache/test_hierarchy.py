@@ -3,9 +3,9 @@
 import pytest
 
 from repro.cache import (
+    MEMORY_LEVEL,
     CacheHierarchy,
     CacheLevel,
-    MEMORY_LEVEL,
     paper_hierarchy,
     scaled_hierarchy,
 )

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.cache import (
     COLD,
-    CacheHierarchy,
     CacheLevel,
     Memory,
     RecordingHierarchy,

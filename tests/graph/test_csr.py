@@ -6,7 +6,7 @@ from hypothesis import given
 
 from repro.errors import GraphFormatError
 from repro.graph import from_edges
-from repro.graph.csr import CSRGraph, NODE_DTYPE, OFFSET_DTYPE
+from repro.graph.csr import NODE_DTYPE, OFFSET_DTYPE, CSRGraph
 
 from tests.conftest import graph_strategy
 

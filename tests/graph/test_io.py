@@ -6,7 +6,6 @@ from hypothesis import given, settings
 
 from repro.errors import GraphFormatError
 from repro.graph import (
-    from_edges,
     load_npz,
     read_edge_list,
     save_npz,

@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 from repro.errors import InvalidPermutationError
 from repro.graph import (
     compose,
-    from_edges,
     identity_permutation,
     invert_permutation,
     permutation_from_sequence,

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings
 
+from repro.errors import InvalidParameterError
 from repro.graph import from_edges, generators, identity_permutation
 from repro.ordering import (
     bits_per_edge,
@@ -30,7 +31,7 @@ class TestEliasGamma:
         assert elias_gamma_bits(np.array([], dtype=np.int64)) == 0
 
     def test_negative_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(InvalidParameterError):
             elias_gamma_bits(np.array([-1]))
 
     def test_additive(self):

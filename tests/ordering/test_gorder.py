@@ -7,7 +7,6 @@ from hypothesis import given, settings
 from repro.errors import InvalidParameterError
 from repro.graph import from_edges, generators, invert_permutation
 from repro.ordering import (
-    compute_ordering,
     gorder_naive,
     gorder_order,
     gorder_score,

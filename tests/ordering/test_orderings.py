@@ -9,6 +9,8 @@ from repro.graph import from_edges, generators
 from repro.ordering import (
     ORDERING_NAMES,
     REGISTRY,
+    bandwidth,
+    bisection_order,
     chdfs_order,
     compute_ordering,
     indegsort_order,
@@ -19,7 +21,6 @@ from repro.ordering import (
     slashburn_order,
     spec,
 )
-from repro.ordering import bandwidth, bisection_order
 
 from tests.conftest import assert_valid_permutation, graph_strategy
 

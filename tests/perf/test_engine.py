@@ -10,9 +10,9 @@ import json
 
 import pytest
 
+from repro import obs
 from repro.perf import (
     PROFILES,
-    CellTimeout,
     CheckpointError,
     FaultPlan,
     FaultSpec,
@@ -158,6 +158,42 @@ class TestGracefulDegradation:
         # surviving run rather than becoming a gap.
         assert ("epinion", "nq", "random") in outcome.matrix()
         assert not outcome.failed_cells()
+
+
+class TestCellErrorTelemetry:
+    def test_each_failed_attempt_emits_an_event(self):
+        """Regression: per-attempt errors used to be invisible in
+        traces — only the final CellFailure surfaced.  Every failed
+        attempt must now emit a ``sweep.cell_error`` event."""
+        plan = FaultPlan(
+            (FaultSpec("epinion", "nq", "rcm", kind="error"),)
+        )
+        obs.reset()
+        obs.configure(capture=True)
+        try:
+            engine = SweepEngine(
+                guards=SweepGuards(retries=1, backoff_seconds=0.0),
+                plan=plan,
+            )
+            outcome = engine.run(TINY)
+            events = [
+                event
+                for event in obs.captured()
+                if event["kind"] == "event"
+                and event["name"] == "sweep.cell_error"
+            ]
+        finally:
+            obs.reset()
+        assert len(outcome.failures) == 1
+        # First attempt plus one retry, each visible in the trace.
+        assert len(events) == 2
+        for attempt, event in enumerate(events):
+            assert event["level"] == "warning"
+            assert event["attrs"]["dataset"] == "epinion"
+            assert event["attrs"]["algorithm"] == "nq"
+            assert event["attrs"]["ordering"] == "rcm"
+            assert event["attrs"]["attempt"] == attempt
+            assert event["attrs"]["error"] == "InjectedFault"
 
 
 class TestRetries:

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.errors import InvalidParameterError
+from repro.graph import datasets
 from repro.perf import (
     PROFILES,
     Profile,
@@ -18,7 +19,6 @@ from repro.perf import (
     speedup_matrix,
     window_sweep,
 )
-from repro.graph import datasets
 
 
 @pytest.fixture(scope="module")

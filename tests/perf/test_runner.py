@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import InvalidParameterError
 from repro.graph import generators
 from repro.perf import OrderingCache, run_cell, time_ordering
 
@@ -179,9 +180,9 @@ class TestCacheBounds:
         assert cache._pin_counts[id(graph)] == 1
 
     def test_invalid_caps_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(InvalidParameterError):
             OrderingCache(max_entries=0)
-        with pytest.raises(ValueError):
+        with pytest.raises(InvalidParameterError):
             OrderingCache(max_bytes=0)
 
     def test_global_cache_is_bounded(self):

@@ -5,7 +5,6 @@ if either drifts, the identity breaks.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
