@@ -94,6 +94,8 @@ def test_micro_gorder_telemetry_disabled_overhead(pokec):
             pass
         with obs.span("bench.noop"):
             pass
+        with obs.profile("bench.noop"):
+            pass
         obs.inc("bench.noop")
     per_hook_site = (time.perf_counter() - start) / hook_rounds
 

@@ -477,13 +477,14 @@ class TelemetryDisciplineRule(Rule):
     title = "telemetry discipline violation"
     severity = Severity.ERROR
     rationale = (
-        "A span that is not used as a context manager never closes, "
-        "so traces report unclosed spans and aggregates go missing. "
-        "A second ``Telemetry()`` registry splits counters across "
-        "instances, and fully dynamic counter names cannot be "
-        "enumerated by the trace summariser.  Spans must be entered "
-        "with ``with``; counters live on ``repro.obs.TELEMETRY`` and "
-        "keep at least one literal name segment."
+        "A span (or profiled phase) that is not used as a context "
+        "manager never closes, so traces report unclosed spans and "
+        "aggregates go missing.  A second ``Telemetry()`` registry "
+        "splits counters across instances, and fully dynamic names "
+        "cannot be enumerated by the trace summariser.  Spans and "
+        "``obs.profile`` phases must be entered with ``with``; "
+        "counters live on ``repro.obs.TELEMETRY``; counter, event "
+        "and phase names keep at least one literal segment."
     )
 
     #: The registry implementation itself is exempt.
@@ -501,14 +502,20 @@ class TelemetryDisciplineRule(Rule):
                 continue
             if self._is_span_call(node, imports):
                 if id(node) not in managed and id(node) not in returned:
+                    called = call_name(node)
                     findings.append(
                         self.finding(
                             ctx,
                             node,
-                            "span not used as a context manager; it "
-                            "will never close (with obs.span(...):)",
+                            f"{called or 'span'} not used as a "
+                            "context manager; it will never close "
+                            f"(with obs.{called or 'span'}(...):)",
                         )
                     )
+                if self._is_obs_call(node, imports, "profile"):
+                    finding = self._check_phase_name(ctx, node)
+                    if finding is not None:
+                        findings.append(finding)
             elif self._is_registry_instantiation(node, imports):
                 findings.append(
                     self.finding(
@@ -559,7 +566,9 @@ class TelemetryDisciplineRule(Rule):
     def _is_span_call(
         self, node: ast.Call, imports: ImportMap
     ) -> bool:
-        return self._is_obs_call(node, imports, "span")
+        return self._is_obs_call(
+            node, imports, "span"
+        ) or self._is_obs_call(node, imports, "profile")
 
     def _is_registry_instantiation(
         self, node: ast.Call, imports: ImportMap
@@ -572,6 +581,33 @@ class TelemetryDisciplineRule(Rule):
             and node.func.id == "Telemetry"
         )
 
+    @staticmethod
+    def _has_literal_segment(name: ast.expr) -> bool:
+        """A literal string, or an f-string with a literal piece."""
+        if isinstance(name, ast.Constant) and isinstance(
+            name.value, str
+        ):
+            return True
+        return isinstance(name, ast.JoinedStr) and any(
+            isinstance(part, ast.Constant)
+            and isinstance(part.value, str)
+            and part.value.strip(". ")
+            for part in name.values
+        )  # a literal segment keeps the name greppable
+
+    def _check_phase_name(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Finding | None:
+        if not node.args or self._has_literal_segment(node.args[0]):
+            return None
+        return self.finding(
+            ctx,
+            node,
+            f"obs.{call_name(node)} name is fully dynamic; profiled "
+            "phase names need a literal segment so traces can be "
+            "summarised",
+        )
+
     def _check_counter_name(
         self, ctx: FileContext, node: ast.Call, imports: ImportMap
     ) -> Finding | None:
@@ -580,20 +616,8 @@ class TelemetryDisciplineRule(Rule):
                 break
         else:
             return None
-        if not node.args:
+        if not node.args or self._has_literal_segment(node.args[0]):
             return None
-        name = node.args[0]
-        if isinstance(name, ast.Constant) and isinstance(
-            name.value, str
-        ):
-            return None
-        if isinstance(name, ast.JoinedStr) and any(
-            isinstance(part, ast.Constant)
-            and isinstance(part.value, str)
-            and part.value.strip(". ")
-            for part in name.values
-        ):
-            return None  # literal segment keeps the name greppable
         return self.finding(
             ctx,
             node,

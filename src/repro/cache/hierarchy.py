@@ -116,18 +116,22 @@ class CacheHierarchy:
         origin = np.arange(
             n, dtype=np.int32 if n < (1 << 31) else np.int64
         )
-        for depth, level in enumerate(self.levels, start=1):
-            if stream.shape[0] == 0:
-                break
-            hits = hit_mask(
-                stream, level.num_sets, level.associativity
-            )
-            misses = ~hits
-            level.refs += int(stream.shape[0])
-            level.misses += int(misses.sum())
-            serving[origin[hits]] = depth
-            stream = stream[misses]
-            origin = origin[misses]
+        with obs.profile(
+            "cache.replay.levels", accesses=n,
+            levels=self.num_levels, hierarchy=self.name,
+        ):
+            for depth, level in enumerate(self.levels, start=1):
+                if stream.shape[0] == 0:
+                    break
+                hits = hit_mask(
+                    stream, level.num_sets, level.associativity
+                )
+                misses = ~hits
+                level.refs += int(stream.shape[0])
+                level.misses += int(misses.sum())
+                serving[origin[hits]] = depth
+                stream = stream[misses]
+                origin = origin[misses]
         return serving
 
     def step_trace(self, lines) -> np.ndarray:

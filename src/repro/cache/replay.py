@@ -61,6 +61,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import InvalidParameterError
 
 #: Stack distance reported for cold (first-ever) accesses — same
@@ -554,14 +555,22 @@ def hit_mask(lines, num_sets: int, associativity: int) -> np.ndarray:
             f"associativity must be positive, got {associativity}"
         )
     arr = np.ascontiguousarray(lines, dtype=np.int64)
-    if (
+    blocked = (
         associativity <= FAST_MAX_WAYS
         and arr.size > 0
         and 0 <= int(arr.min())
         and int(arr.max()) < FAST_LINE_LIMIT
+    )
+    # Profiled phase: the classifier is the replay backend's entire
+    # compute cost, so per-level wall/CPU attribution lands here.
+    with obs.profile(
+        "cache.replay.classify",
+        n=int(arr.shape[0]), sets=num_sets, ways=associativity,
+        path="blocked" if blocked else "reference",
     ):
-        return _blocked_hit_mask(arr, num_sets, associativity)
-    return lru_hit_mask(arr, num_sets, associativity)
+        if blocked:
+            return _blocked_hit_mask(arr, num_sets, associativity)
+        return lru_hit_mask(arr, num_sets, associativity)
 
 
 # ----------------------------------------------------------------------

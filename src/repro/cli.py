@@ -15,9 +15,18 @@ Subcommands map onto the paper's artifacts and common library tasks::
     repro-gorder annealing                # Figure 3 sweep
     repro-gorder bench --quick            # Gorder kernel benchmark
     repro-gorder bench --suite cache      # cache replay benchmark
-    repro-gorder telemetry trace.jsonl    # summarise a telemetry trace
+    repro-gorder bench --quick --append-history bench_history.jsonl
+    repro-gorder trends --check           # bench regression gate
+    repro-gorder telemetry summary trace.jsonl
+    repro-gorder telemetry tree trace.jsonl
+    repro-gorder telemetry critical-path trace.jsonl
+    repro-gorder telemetry diff a.jsonl b.jsonl
+    repro-gorder telemetry flamegraph trace.jsonl -o trace.folded
     repro-gorder sweep run --profile quick --checkpoint ck.jsonl
     repro-gorder sweep status ck.jsonl    # inspect a checkpoint
+
+``repro-gorder telemetry TRACE`` (no action) is kept as an alias for
+``telemetry summary TRACE``.
 
 Every subcommand accepts the telemetry flags ``--log-level LEVEL``
 (text events on stderr; ``-v`` is an alias for ``--log-level info``)
@@ -41,6 +50,7 @@ checkpoint is flushed; resume with ``--resume``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from dataclasses import replace
 
@@ -509,6 +519,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         out = args.out or "BENCH_gorder.json"
     path = perf.write_bench_json(payload, out)
     print(f"wrote       : {path}")
+    if args.append_history:
+        record = perf.append_history(payload, args.append_history)
+        quick = " quick" if record["quick"] else ""
+        print(
+            f"history     : {args.append_history} "
+            f"(+1 {record['bench']}{quick} record)"
+        )
     return 0
 
 
@@ -553,7 +570,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code()
 
 
-def _cmd_telemetry(args: argparse.Namespace) -> int:
+def _cmd_telemetry_summary(args: argparse.Namespace) -> int:
     summary = obs.summarize_trace(args.trace)
     print(f"trace       : {summary.path}")
     print(f"events      : {summary.num_events}")
@@ -605,6 +622,89 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         )
     if not summary.spans and not summary.counters:
         print("no spans or counters in this trace")
+    return 0
+
+
+def _cmd_telemetry_tree(args: argparse.Namespace) -> int:
+    from repro.obs.trace import build_span_tree, render_tree
+
+    tree = build_span_tree(args.trace)
+    print(
+        render_tree(
+            tree, max_depth=args.depth, min_seconds=args.min_seconds
+        )
+    )
+    return 0
+
+
+def _cmd_telemetry_critical_path(args: argparse.Namespace) -> int:
+    from repro.obs.trace import build_span_tree, render_critical_path
+
+    print(render_critical_path(build_span_tree(args.trace)))
+    return 0
+
+
+def _cmd_telemetry_diff(args: argparse.Namespace) -> int:
+    from repro.obs.trace import diff_traces, render_diff
+
+    print(render_diff(diff_traces(args.a, args.b), top=args.top))
+    return 0
+
+
+def _cmd_telemetry_flamegraph(args: argparse.Namespace) -> int:
+    from repro.obs.trace import (
+        build_span_tree,
+        folded_stacks,
+        render_folded,
+    )
+
+    tree = build_span_tree(args.trace)
+    folded = render_folded(folded_stacks(tree, weight=args.weight))
+    if args.output:
+        from repro.ioutil import atomic_write_text
+
+        atomic_write_text(args.output, folded + "\n" if folded else "")
+        stacks = folded.count("\n") + 1 if folded else 0
+        print(f"wrote       : {args.output} ({stacks} stack(s))")
+    elif folded:
+        print(folded)
+    return 0
+
+
+def _cmd_trends(args: argparse.Namespace) -> int:
+    import json
+
+    history_path = args.history or perf.DEFAULT_HISTORY
+    for bench_json in args.ingest or ():
+        try:
+            with open(bench_json, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(
+                f"error: cannot read {bench_json}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        record = perf.append_history(payload, history_path)
+        quick = " quick" if record["quick"] else ""
+        print(
+            f"ingested    : {bench_json} -> {history_path} "
+            f"({record['bench']}{quick})"
+        )
+    trend = perf.check_trends(
+        history_path,
+        threshold=(
+            args.threshold if args.threshold is not None
+            else perf.DEFAULT_TREND_THRESHOLD
+        ),
+        window=(
+            args.window if args.window is not None
+            else perf.DEFAULT_TREND_WINDOW
+        ),
+    )
+    print(perf.render_trends(trend))
+    if args.check and not trend.ok:
+        return 1
     return 0
 
 
@@ -879,6 +979,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="timing repeats per kernel (best-of)")
     p.add_argument("--skip-partitioned", action="store_true",
                    help="skip the partitioned workers comparison")
+    p.add_argument("--append-history", metavar="PATH", default=None,
+                   help="also append the result to this trend-history "
+                        "journal (see `trends`)")
+
+    p = add("trends", _cmd_trends,
+            help="bench trend report and regression gate")
+    p.add_argument("--history", metavar="PATH", default=None,
+                   help="history journal (default bench_history.jsonl)")
+    p.add_argument("--ingest", action="append", metavar="BENCH_JSON",
+                   default=None,
+                   help="append bench JSON payload(s) to the history "
+                        "before reporting (repeatable)")
+    p.add_argument("--check", action="store_true",
+                   help="exit 1 when any metric regresses past the "
+                        "gate")
+    p.add_argument("--threshold", type=float, default=None,
+                   help="regression gate as a fraction (default 0.20)")
+    p.add_argument("--window", type=int, default=None,
+                   help="rolling-baseline window (default 5 entries)")
 
     p = add("lint", _cmd_lint,
             help="repo-invariant static analysis (REP rules)")
@@ -902,11 +1021,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--exit-zero", action="store_true",
                    help="report findings but always exit 0")
 
-    p = add("telemetry", _cmd_telemetry,
-            help="summarise a --log-json JSONL trace")
+    p = add("telemetry", _cmd_telemetry_summary,
+            help="trace analytics: summary, span tree, critical "
+                 "path, diff, flamegraph")
+    tele_sub = p.add_subparsers(
+        dest="telemetry_command", required=True
+    )
+    p = tele_sub.add_parser(
+        "summary", parents=[telemetry_flags],
+        help="per-span totals and counter table",
+    )
+    p.set_defaults(func=_cmd_telemetry_summary)
     p.add_argument("trace", help="path to a JSONL trace file")
     p.add_argument("--top", type=int, default=15,
                    help="show this many spans (default 15)")
+    p = tele_sub.add_parser(
+        "tree", parents=[telemetry_flags],
+        help="reconstructed span tree with self/total time",
+    )
+    p.set_defaults(func=_cmd_telemetry_tree)
+    p.add_argument("trace", help="path to a JSONL trace file")
+    p.add_argument("--depth", type=int, default=None,
+                   help="only show spans this deep (default: all)")
+    p.add_argument("--min-seconds", type=float, default=0.0,
+                   help="hide spans with total time below this")
+    p = tele_sub.add_parser(
+        "critical-path", parents=[telemetry_flags],
+        help="heaviest root-to-leaf span chain",
+    )
+    p.set_defaults(func=_cmd_telemetry_critical_path)
+    p.add_argument("trace", help="path to a JSONL trace file")
+    p = tele_sub.add_parser(
+        "diff", parents=[telemetry_flags],
+        help="counter and span-time deltas between two traces",
+    )
+    p.set_defaults(func=_cmd_telemetry_diff)
+    p.add_argument("a", help="baseline JSONL trace")
+    p.add_argument("b", help="comparison JSONL trace")
+    p.add_argument("--top", type=int, default=15,
+                   help="show this many span deltas (default 15)")
+    p = tele_sub.add_parser(
+        "flamegraph", parents=[telemetry_flags],
+        help="folded stacks (flamegraph.pl / speedscope input)",
+    )
+    p.set_defaults(func=_cmd_telemetry_flamegraph)
+    p.add_argument("trace", help="path to a JSONL trace file")
+    p.add_argument("--weight", choices=("wall", "cpu"),
+                   default="wall",
+                   help="frame weight: wall-clock or CPU self time")
+    p.add_argument("-o", "--output", metavar="PATH", default=None,
+                   help="write folded stacks here instead of stdout")
 
     return parser
 
@@ -932,11 +1096,47 @@ def _configure_telemetry(args: argparse.Namespace) -> bool:
     return True
 
 
+_TELEMETRY_ACTIONS = frozenset(
+    ("summary", "tree", "critical-path", "diff", "flamegraph")
+)
+
+
+def _normalise_argv(argv: list[str]) -> list[str]:
+    """``telemetry TRACE`` still means ``telemetry summary TRACE``.
+
+    The analytics actions arrived after ``repro-gorder telemetry
+    trace.jsonl`` had shipped; when the first non-flag token after
+    ``telemetry`` is not a known action, ``summary`` is inserted so
+    recorded invocations keep working.
+    """
+    for position, token in enumerate(argv):
+        if token.startswith("-"):
+            continue
+        if token != "telemetry":
+            return argv
+        for following in argv[position + 1:]:
+            if following in ("-h", "--help"):
+                return argv
+            if following.startswith("-"):
+                continue
+            if following in _TELEMETRY_ACTIONS:
+                return argv
+            return (
+                argv[: position + 1]
+                + ["summary"]
+                + argv[position + 1:]
+            )
+        return argv
+    return argv
+
+
 def main(argv: list[str] | None = None) -> int:
     from repro.perf import SweepKill
 
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(_normalise_argv(
+        sys.argv[1:] if argv is None else list(argv)
+    ))
     configured = False
     try:
         configured = _configure_telemetry(args)
@@ -960,6 +1160,12 @@ def main(argv: list[str] | None = None) -> int:
         # Injected hard kill (fault-injection harness / CI smoke).
         print(f"sweep killed: {exc}", file=sys.stderr)
         return 137
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early.  Point
+        # stdout at devnull so the interpreter's shutdown flush does
+        # not raise a second time, and exit with the SIGPIPE code.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
     finally:
         if configured:
             obs.emit_counters()

@@ -33,12 +33,14 @@ from repro.obs.core import (
     LOGGER_NAME,
     NOOP_SPAN,
     TELEMETRY,
+    PhaseStats,
     Span,
     SpanStats,
     Telemetry,
     TelemetryError,
 )
 from repro.obs.manifest import git_sha, run_manifest
+from repro.obs.prof import PhaseSpan, profile
 from repro.obs.sinks import (
     CaptureHandler,
     JsonlHandler,
@@ -51,6 +53,15 @@ from repro.obs.summary import (
     iter_trace,
     summarize_trace,
 )
+from repro.obs.trace import (
+    SpanNode,
+    SpanTree,
+    TraceDiff,
+    build_span_tree,
+    critical_path,
+    diff_traces,
+    folded_stacks,
+)
 
 __all__ = [
     "configure",
@@ -58,11 +69,13 @@ __all__ = [
     "reset",
     "enabled",
     "span",
+    "profile",
     "event",
     "progress",
     "inc",
     "counters",
     "span_stats",
+    "phase_stats",
     "emit_counters",
     "emit_manifest",
     "captured",
@@ -70,11 +83,20 @@ __all__ = [
     "git_sha",
     "summarize_trace",
     "iter_trace",
+    "build_span_tree",
+    "critical_path",
+    "diff_traces",
+    "folded_stacks",
     "Telemetry",
     "TelemetryError",
     "TELEMETRY",
     "Span",
     "SpanStats",
+    "PhaseSpan",
+    "PhaseStats",
+    "SpanNode",
+    "SpanTree",
+    "TraceDiff",
     "SpanSummary",
     "TraceSummary",
     "CaptureHandler",
@@ -165,6 +187,11 @@ def enabled() -> bool:
 def span(name: str, **attrs):
     """A timed, attributed section: ``with obs.span("x", n=5): ...``."""
     return TELEMETRY.span(name, **attrs)
+
+
+def phase_stats() -> dict[str, PhaseStats]:
+    """Snapshot of per-phase wall/CPU aggregates (``obs.profile``)."""
+    return TELEMETRY.phase_stats()
 
 
 def event(name: str, level: str = "info", **attrs) -> None:

@@ -50,6 +50,28 @@ class SpanStats:
     max_seconds: float = 0.0
 
 
+@dataclass
+class PhaseStats:
+    """In-process wall/CPU aggregate of one profiled phase name.
+
+    Recorded by :class:`repro.obs.prof.PhaseSpan` — the ``obs.profile``
+    context manager — alongside the ordinary :class:`SpanStats` entry
+    the same phase contributes to.
+    """
+
+    count: int = 0
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    max_wall_seconds: float = 0.0
+
+    @property
+    def cpu_fraction(self) -> float:
+        """CPU seconds per wall second (1.0 = fully CPU-bound)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.cpu_seconds / self.wall_seconds
+
+
 class Span:
     """One timed, attributed section of work (context manager).
 
@@ -144,6 +166,7 @@ class Telemetry:
         self._span_ids = itertools.count(1)
         self._counters: dict[str, int] = {}
         self._span_stats: dict[str, SpanStats] = {}
+        self._phase_stats: dict[str, PhaseStats] = {}
         self._handlers: list[logging.Handler] = []
         self._logger = logging.getLogger(LOGGER_NAME)
         self._logger.propagate = False
@@ -178,6 +201,7 @@ class Telemetry:
         with self._lock:
             self._counters.clear()
             self._span_stats.clear()
+            self._phase_stats.clear()
         self._local = threading.local()
         self._span_ids = itertools.count(1)
 
@@ -197,6 +221,18 @@ class Telemetry:
             stats.total_seconds += seconds
             stats.max_seconds = max(stats.max_seconds, seconds)
 
+    def _record_phase(
+        self, name: str, wall: float, cpu: float
+    ) -> None:
+        with self._lock:
+            stats = self._phase_stats.get(name)
+            if stats is None:
+                stats = self._phase_stats[name] = PhaseStats()
+            stats.count += 1
+            stats.wall_seconds += wall
+            stats.cpu_seconds += cpu
+            stats.max_wall_seconds = max(stats.max_wall_seconds, wall)
+
     def inc(self, name: str, amount: int = 1) -> None:
         """Add ``amount`` to counter ``name`` (no-op while disabled)."""
         if not self.enabled:
@@ -215,6 +251,19 @@ class Telemetry:
             return {
                 name: SpanStats(s.count, s.total_seconds, s.max_seconds)
                 for name, s in self._span_stats.items()
+            }
+
+    def phase_stats(self) -> dict[str, PhaseStats]:
+        """Snapshot of per-phase wall/CPU aggregates."""
+        with self._lock:
+            return {
+                name: PhaseStats(
+                    s.count,
+                    s.wall_seconds,
+                    s.cpu_seconds,
+                    s.max_wall_seconds,
+                )
+                for name, s in self._phase_stats.items()
             }
 
     # -- emission ------------------------------------------------------

@@ -1,0 +1,95 @@
+"""Phase profiler: wall *and* CPU accounting on the span API.
+
+The paper's argument is a cost-attribution story — ordering time
+trades against memory-stall time per workload — so the replication's
+own phases need the same treatment: not just "how long did the greedy
+loop take" (a span answers that) but "was that time compute or
+waiting".  :func:`repro.obs.profile` is the span context manager with
+CPU accounting bolted on:
+
+* ``dur_s`` — wall-clock duration, exactly like a plain span;
+* ``cpu_s`` — process CPU time over the same interval
+  (:func:`time.process_time`: user + system, summed over every thread
+  of this process; child processes report their own phases).
+
+A profiled phase emits ordinary ``span_start``/``span_end`` events
+(the end event carries the extra ``cpu_s`` field), so every trace
+tool — the summary, the span tree, the critical path, flamegraphs —
+sees phases and spans uniformly.  In-process, phases additionally
+aggregate into the registry's :meth:`~repro.obs.core.Telemetry.
+phase_stats` table (:class:`~repro.obs.core.PhaseStats`: count, wall,
+CPU, max), the deterministic accounting later amortisation models
+read.
+
+Discipline (enforced by analysis rule REP005): ``obs.profile`` is
+**context-manager-only** — a phase that is never exited reports
+nothing — and phase names keep a literal, greppable segment.
+
+Overhead: while telemetry is disabled ``profile()`` returns the
+shared no-op span, so a hook site costs one enabled-check plus one
+no-op context manager — the same budget (<5% per hundred sites,
+guarded by ``bench_micro.py``) as plain spans.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs.core import NOOP_SPAN, TELEMETRY, Span, Telemetry
+
+
+class PhaseSpan(Span):
+    """A span that also accounts process CPU time.
+
+    Entered exactly like a span; on exit it records wall + CPU
+    duration into the registry's phase table and emits a ``span_end``
+    event carrying both ``dur_s`` and ``cpu_s``.
+    """
+
+    __slots__ = ("cpu_seconds", "_cpu_start")
+
+    def __init__(
+        self, telemetry: Telemetry, name: str, attrs: dict
+    ) -> None:
+        super().__init__(telemetry, name, attrs)
+        self.cpu_seconds: float | None = None
+
+    def __enter__(self) -> "PhaseSpan":
+        super().__enter__()
+        # CPU clock read last so the span_start emission (a sink
+        # write) is not attributed to the phase's CPU account.
+        self._cpu_start = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        cpu = time.process_time() - self._cpu_start
+        self.duration = time.perf_counter() - self._start
+        self.cpu_seconds = cpu
+        telemetry = self._telemetry
+        stack = telemetry._span_stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        telemetry._record_span(self.name, self.duration)
+        telemetry._record_phase(self.name, self.duration, cpu)
+        telemetry._emit(
+            "span_end",
+            self.name,
+            attrs=self.attrs or None,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            dur_s=self.duration,
+            cpu_s=cpu,
+            ok=exc_type is None,
+        )
+        return False
+
+
+def profile(name: str, **attrs):
+    """A profiled phase: ``with obs.profile("x.phase", n=5): ...``.
+
+    Returns the shared no-op span while telemetry is disabled, so the
+    call site pays the same near-zero cost as :func:`repro.obs.span`.
+    """
+    if not TELEMETRY.enabled:
+        return NOOP_SPAN
+    return PhaseSpan(TELEMETRY, name, attrs)

@@ -46,17 +46,40 @@ class TraceSummary:
 
 
 def iter_trace(path: str | os.PathLike):
-    """Yield the payload dicts of one JSONL trace, validating as it goes."""
+    """Yield the payload dicts of one JSONL trace, validating as it goes.
+
+    A torn **final** line — a run killed mid-append leaves half a JSON
+    object, the same failure mode as the sweep checkpoint journal —
+    is discarded with a warning event rather than raised, so partial
+    traces from crashed runs still summarise.  Corruption anywhere
+    else in the file still raises :class:`TelemetryError`.
+    """
     try:
         text = Path(path).read_text(encoding="utf-8")
     except OSError as exc:
         raise TelemetryError(f"cannot read trace {path}: {exc}") from exc
-    for lineno, line in enumerate(text.splitlines(), start=1):
+    lines = text.splitlines()
+    while lines and not lines[-1].strip():
+        lines.pop()
+    for lineno, line in enumerate(lines, start=1):
         if not line.strip():
             continue
         try:
             payload = json.loads(line)
         except json.JSONDecodeError as exc:
+            if lineno == len(lines):
+                # Torn tail: the writer died mid-append.  Same
+                # semantics as the sweep checkpoint reader — drop the
+                # partial record, keep everything before it.
+                from repro.obs.core import TELEMETRY
+
+                TELEMETRY.event(
+                    "obs.trace_torn_tail",
+                    level="warning",
+                    path=str(path),
+                    line=lineno,
+                )
+                return
             raise TelemetryError(
                 f"{path}:{lineno}: not valid JSON ({exc.msg})"
             ) from exc

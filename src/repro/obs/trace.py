@@ -1,0 +1,431 @@
+"""Trace analytics: span trees, critical paths, diffs, flamegraphs.
+
+Where :mod:`repro.obs.summary` aggregates a JSONL trace by span
+*name*, this module reconstructs the actual execution structure from
+the ``span_id``/``parent_id`` links every span event carries:
+
+* :func:`build_span_tree` — the forest of :class:`SpanNode` objects,
+  with per-node total and self time (tolerant of interleaved
+  multi-thread events, out-of-order lines, and unclosed spans from
+  crashed runs);
+* :func:`critical_path` — the chain of heaviest descendants from the
+  heaviest root: "where did the run's wall clock actually go";
+* :func:`diff_traces` — per-counter and per-span-name deltas between
+  two traces ("did the replay backend get slower since the last
+  recorded run");
+* :func:`folded_stacks` — semicolon-folded stacks weighted by self
+  time in microseconds, the input format of ``flamegraph.pl`` and
+  speedscope's "folded stacks" importer.
+
+Reconstruction matches events by ``span_id`` (unique per process),
+never by nesting order, so a trace whose lines interleave across
+threads — or arrive shuffled — builds the same tree.  A ``span_end``
+without a ``span_start`` (torn head) still creates a node; a
+``span_start`` without an end (crashed run) keeps ``duration=None``
+and contributes only its children's time.
+
+Surfaced as ``repro-gorder telemetry tree|critical-path|diff|
+flamegraph``; see ``docs/observability.md`` for the cookbook.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import InvalidParameterError
+from repro.obs.summary import iter_trace
+
+
+@dataclass
+class SpanNode:
+    """One reconstructed span (or profiled phase) of a trace."""
+
+    span_id: int
+    name: str
+    attrs: dict = field(default_factory=dict)
+    parent_id: int | None = None
+    start_ts: float | None = None
+    #: Wall duration from the ``span_end`` event; ``None`` when the
+    #: span never closed (crashed or still-running when killed).
+    duration: float | None = None
+    #: CPU seconds (``obs.profile`` phases only; ``None`` for spans).
+    cpu_seconds: float | None = None
+    ok: bool | None = None
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def closed(self) -> bool:
+        return self.duration is not None
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall time of this span; children's sum when unclosed."""
+        if self.duration is not None:
+            return self.duration
+        return sum(child.total_seconds for child in self.children)
+
+    @property
+    def self_seconds(self) -> float:
+        """Wall time not accounted to any child span."""
+        if self.duration is None:
+            return 0.0
+        children = sum(c.total_seconds for c in self.children)
+        return max(0.0, self.duration - children)
+
+    @property
+    def self_cpu_seconds(self) -> float | None:
+        """CPU time not accounted to any profiled child phase."""
+        if self.cpu_seconds is None:
+            return None
+        children = sum(
+            c.cpu_seconds or 0.0 for c in self.children
+        )
+        return max(0.0, self.cpu_seconds - children)
+
+
+@dataclass
+class SpanTree:
+    """The reconstructed forest of one trace, plus trace context."""
+
+    path: str
+    roots: list[SpanNode] = field(default_factory=list)
+    nodes: dict[int, SpanNode] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+    manifest: dict | None = None
+    num_events: int = 0
+    #: Spans that started but never ended (crashed run).
+    unclosed: int = 0
+
+    @property
+    def num_spans(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(root.total_seconds for root in self.roots)
+
+
+def _sort_key(node: SpanNode) -> tuple[float, int]:
+    ts = node.start_ts if node.start_ts is not None else float("inf")
+    return (ts, node.span_id)
+
+
+def build_span_tree(
+    path: str | os.PathLike | None = None,
+    events: Iterable[dict] | None = None,
+) -> SpanTree:
+    """Reconstruct the span forest of one trace.
+
+    Reads ``path`` (a ``--log-json`` JSONL trace) or, for callers that
+    already hold payload dicts (tests, capture sinks), ``events``.
+    """
+    if events is None:
+        if path is None:
+            raise InvalidParameterError(
+                "build_span_tree needs a path or events"
+            )
+        events = iter_trace(path)
+    tree = SpanTree(path=str(path) if path is not None else "<events>")
+    started: set[int] = set()
+    ended: set[int] = set()
+    for payload in events:
+        tree.num_events += 1
+        kind = payload.get("kind")
+        if kind not in ("span_start", "span_end"):
+            if kind == "counters":
+                tree.counters = dict(payload.get("counters", {}))
+            elif kind == "manifest" and tree.manifest is None:
+                tree.manifest = payload.get("manifest", {})
+            continue
+        span_id = payload.get("span_id")
+        if not isinstance(span_id, int):
+            continue  # hand-written or foreign event; nothing to link
+        node = tree.nodes.get(span_id)
+        if node is None:
+            node = tree.nodes[span_id] = SpanNode(
+                span_id=span_id, name=str(payload.get("name", "?"))
+            )
+            node.parent_id = payload.get("parent_id")
+        if payload.get("attrs"):
+            node.attrs.update(payload["attrs"])
+        if kind == "span_start":
+            started.add(span_id)
+            ts = payload.get("ts")
+            if isinstance(ts, (int, float)):
+                node.start_ts = float(ts)
+        else:
+            ended.add(span_id)
+            dur = payload.get("dur_s")
+            if isinstance(dur, (int, float)):
+                node.duration = float(dur)
+            cpu = payload.get("cpu_s")
+            if isinstance(cpu, (int, float)):
+                node.cpu_seconds = float(cpu)
+            if "ok" in payload:
+                node.ok = bool(payload["ok"])
+    tree.unclosed = len(started - ended)
+    # Link children after the full pass so out-of-order lines (a
+    # child's events before its parent's start) still attach.
+    for node in tree.nodes.values():
+        parent = (
+            tree.nodes.get(node.parent_id)
+            if node.parent_id is not None
+            else None
+        )
+        if parent is None or parent is node:
+            tree.roots.append(node)
+        else:
+            parent.children.append(node)
+    for node in tree.nodes.values():
+        node.children.sort(key=_sort_key)
+    tree.roots.sort(key=_sort_key)
+    return tree
+
+
+def critical_path(tree: SpanTree) -> list[SpanNode]:
+    """The heaviest root-to-leaf chain of the span forest.
+
+    At every level the child with the largest total time is followed
+    (ties break to the earliest-started, then smallest span id — the
+    sort order of ``children``), so the returned chain is the single
+    call path that dominated the run's wall clock.
+    """
+    if not tree.roots:
+        return []
+    node = max(tree.roots, key=lambda n: (n.total_seconds, -n.span_id))
+    chain = [node]
+    while node.children:
+        node = max(
+            node.children,
+            key=lambda n: (n.total_seconds, -n.span_id),
+        )
+        chain.append(node)
+    return chain
+
+
+def _frame(node: SpanNode) -> str:
+    """The flamegraph frame label of one span.
+
+    The stable ``part=`` attribute (partitioned-Gorder workers) is
+    folded into the label so per-part cost stays attributable after
+    stacks merge.  Semicolons separate frames in the folded format,
+    so any in the name are replaced.
+    """
+    label = node.name
+    if "part" in node.attrs:
+        label = f"{label} part={node.attrs['part']}"
+    return label.replace(";", ",")
+
+
+def folded_stacks(
+    tree: SpanTree, weight: str = "wall"
+) -> list[tuple[str, int]]:
+    """Semicolon-folded stacks weighted by self time in microseconds.
+
+    One ``(stack, weight)`` pair per distinct stack, stacks sorted
+    lexicographically (deterministic output for golden tests); zero
+    self-time stacks are dropped, exactly as ``flamegraph.pl``
+    expects.  ``weight`` selects wall self time (``"wall"``) or CPU
+    self time (``"cpu"``, profiled phases only — spans without a CPU
+    account weigh 0).
+    """
+    if weight not in ("wall", "cpu"):
+        raise InvalidParameterError(
+            f"unknown flamegraph weight {weight!r}; "
+            "expected 'wall' or 'cpu'"
+        )
+    merged: dict[str, int] = {}
+
+    def visit(node: SpanNode, prefix: str) -> None:
+        stack = f"{prefix};{_frame(node)}" if prefix else _frame(node)
+        if weight == "wall":
+            self_seconds: float | None = node.self_seconds
+        else:
+            self_seconds = node.self_cpu_seconds
+        micros = int(round((self_seconds or 0.0) * 1e6))
+        if micros > 0:
+            merged[stack] = merged.get(stack, 0) + micros
+        for child in node.children:
+            visit(child, stack)
+
+    for root in tree.roots:
+        visit(root, "")
+    return sorted(merged.items())
+
+
+def render_folded(stacks: list[tuple[str, int]]) -> str:
+    """The folded stacks as ``flamegraph.pl`` input text."""
+    return "\n".join(f"{stack} {count}" for stack, count in stacks)
+
+
+# ----------------------------------------------------------------------
+# Trace diffing
+# ----------------------------------------------------------------------
+@dataclass
+class DiffRow:
+    """One counter or span-name comparison between two traces."""
+
+    name: str
+    a: float
+    b: float
+
+    @property
+    def delta(self) -> float:
+        return self.b - self.a
+
+    @property
+    def ratio(self) -> float | None:
+        if self.a == 0:
+            return None
+        return self.b / self.a
+
+
+@dataclass
+class TraceDiff:
+    """Counter and per-span-name deltas between two traces."""
+
+    path_a: str
+    path_b: str
+    counters: list[DiffRow] = field(default_factory=list)
+    spans: list[DiffRow] = field(default_factory=list)
+
+
+def diff_traces(
+    path_a: str | os.PathLike, path_b: str | os.PathLike
+) -> TraceDiff:
+    """Compare two traces: counter totals and per-name span time.
+
+    Rows cover the union of names; a name absent from one trace
+    contributes 0 on that side.  Span rows compare total seconds per
+    span name, sorted by the magnitude of the change.
+    """
+    from repro.obs.summary import summarize_trace
+
+    a = summarize_trace(path_a)
+    b = summarize_trace(path_b)
+    diff = TraceDiff(path_a=a.path, path_b=b.path)
+    for name in sorted(set(a.counters) | set(b.counters)):
+        diff.counters.append(
+            DiffRow(
+                name,
+                float(a.counters.get(name, 0)),
+                float(b.counters.get(name, 0)),
+            )
+        )
+    spans_a = {s.name: s.total_seconds for s in a.spans}
+    spans_b = {s.name: s.total_seconds for s in b.spans}
+    for name in set(spans_a) | set(spans_b):
+        diff.spans.append(
+            DiffRow(name, spans_a.get(name, 0.0), spans_b.get(name, 0.0))
+        )
+    diff.spans.sort(key=lambda row: (-abs(row.delta), row.name))
+    return diff
+
+
+# ----------------------------------------------------------------------
+# Rendering (the ``telemetry tree|critical-path|diff`` subcommands)
+# ----------------------------------------------------------------------
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    return f"{1e3 * seconds:.2f}ms"
+
+
+def render_tree(
+    tree: SpanTree,
+    max_depth: int | None = None,
+    min_seconds: float = 0.0,
+) -> str:
+    """Indented span tree with total/self time per node."""
+    lines = [
+        f"trace       : {tree.path}",
+        f"spans       : {tree.num_spans} in {len(tree.roots)} root(s)"
+        + (f", {tree.unclosed} unclosed" if tree.unclosed else ""),
+    ]
+
+    def visit(node: SpanNode, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        if node.total_seconds < min_seconds:
+            return
+        label = "  " * depth + node.name
+        suffix = ""
+        if node.cpu_seconds is not None:
+            suffix = f"  cpu {_fmt_seconds(node.cpu_seconds)}"
+        if not node.closed:
+            suffix += "  [unclosed]"
+        lines.append(
+            f"{label:<44} total {_fmt_seconds(node.total_seconds):>9}"
+            f"  self {_fmt_seconds(node.self_seconds):>9}{suffix}"
+        )
+        for child in node.children:
+            visit(child, depth + 1)
+
+    for root in tree.roots:
+        visit(root, 0)
+    return "\n".join(lines)
+
+
+def render_critical_path(tree: SpanTree) -> str:
+    """The critical path, one numbered hop per line."""
+    chain = critical_path(tree)
+    if not chain:
+        return "no spans in this trace"
+    total = chain[0].total_seconds
+    lines = [
+        f"critical path: {_fmt_seconds(total)} "
+        f"across {len(chain)} span(s)"
+    ]
+    for step, node in enumerate(chain, start=1):
+        share = (
+            100.0 * node.self_seconds / total if total > 0 else 0.0
+        )
+        attrs = "".join(
+            f" {key}={value}"
+            for key, value in sorted(node.attrs.items())
+            if key in ("part", "dataset", "algorithm", "ordering",
+                       "backend", "n", "m")
+        )
+        lines.append(
+            f"{step:>3}. {node.name:<32} "
+            f"total {_fmt_seconds(node.total_seconds):>9}  "
+            f"self {_fmt_seconds(node.self_seconds):>9} "
+            f"({share:.0f}%){attrs}"
+        )
+    return "\n".join(lines)
+
+
+def render_diff(diff: TraceDiff, top: int = 15) -> str:
+    """Counter and span deltas, heaviest span changes first."""
+    lines = [
+        f"trace A     : {diff.path_a}",
+        f"trace B     : {diff.path_b}",
+    ]
+    span_rows = [row for row in diff.spans if row.delta != 0][:top]
+    if span_rows:
+        lines.append("")
+        lines.append("span time (seconds, B - A):")
+        for row in span_rows:
+            ratio = (
+                f" ({row.ratio:.2f}x)" if row.ratio is not None else ""
+            )
+            lines.append(
+                f"  {row.name:<32} {row.a:>10.4f} -> {row.b:>10.4f}  "
+                f"{row.delta:+.4f}{ratio}"
+            )
+    counter_rows = [
+        row for row in diff.counters if row.delta != 0
+    ]
+    if counter_rows:
+        lines.append("")
+        lines.append("counters (B - A):")
+        for row in counter_rows:
+            lines.append(
+                f"  {row.name:<32} {int(row.a):>12,} -> "
+                f"{int(row.b):>12,}  {int(row.delta):+,}"
+            )
+    if not span_rows and not counter_rows:
+        lines.append("no differences in spans or counters")
+    return "\n".join(lines)

@@ -133,7 +133,7 @@ def _gorder_sequence_loop(
 
     # Seed with the highest in-degree node (deterministic hub start).
     start = int(np.argmax(graph.in_degrees())) if n > 1 else 0
-    with obs.span(
+    with obs.profile(
         "gorder.greedy", n=n, m=graph.num_edges, window=window,
         backend="loop",
     ):
@@ -183,41 +183,46 @@ def _gorder_sequence_batched(
     # then drop u itself from its own chunks.
     # int32 throughout: node ids and edge positions both fit, and the
     # expansion arrays are the largest the kernel touches.
-    owners = np.repeat(
-        np.arange(n, dtype=np.int32), graph.in_degrees()
-    )
-    expand = in_adjacency
-    if hub_threshold is not None:
-        kept = out_degrees[expand] <= hub_threshold
-        expand = expand[kept]
-        owners = owners[kept]
-    chunk_starts = out_offsets[expand].astype(np.int32)
-    chunk_lengths = out_degrees[expand].astype(np.int32)
-    sibling_owners = np.repeat(owners, chunk_lengths)
-    total = int(chunk_lengths.sum(dtype=np.int64))
-    # int64 only when the expansion itself overflows 32-bit indexing.
-    count_dtype = (
-        np.int32 if total <= np.iinfo(np.int32).max else np.int64
-    )
-    index = np.arange(total, dtype=count_dtype)
-    index += np.repeat(
-        chunk_starts - (
-            np.cumsum(chunk_lengths, dtype=count_dtype) - chunk_lengths
-        ),
-        chunk_lengths,
-    )
-    siblings = out_adjacency[index]
-    not_self = siblings != sibling_owners
-    siblings = siblings[not_self]
-    sib_offsets = np.zeros(n + 1, dtype=np.int64)
-    np.cumsum(
-        np.bincount(sibling_owners[not_self], minlength=n),
-        out=sib_offsets[1:],
-    )
-    # Python-int offset lists make the per-step slicing cheap.
-    out_bounds = out_offsets.tolist()
-    in_bounds = in_offsets.tolist()
-    sib_bounds = sib_offsets.tolist()
+    with obs.profile(
+        "gorder.phase.expand", n=n, m=graph.num_edges,
+    ) as expand_phase:
+        owners = np.repeat(
+            np.arange(n, dtype=np.int32), graph.in_degrees()
+        )
+        expand = in_adjacency
+        if hub_threshold is not None:
+            kept = out_degrees[expand] <= hub_threshold
+            expand = expand[kept]
+            owners = owners[kept]
+        chunk_starts = out_offsets[expand].astype(np.int32)
+        chunk_lengths = out_degrees[expand].astype(np.int32)
+        sibling_owners = np.repeat(owners, chunk_lengths)
+        total = int(chunk_lengths.sum(dtype=np.int64))
+        # int64 only when the expansion overflows 32-bit indexing.
+        count_dtype = (
+            np.int32 if total <= np.iinfo(np.int32).max else np.int64
+        )
+        index = np.arange(total, dtype=count_dtype)
+        index += np.repeat(
+            chunk_starts - (
+                np.cumsum(chunk_lengths, dtype=count_dtype)
+                - chunk_lengths
+            ),
+            chunk_lengths,
+        )
+        siblings = out_adjacency[index]
+        not_self = siblings != sibling_owners
+        siblings = siblings[not_self]
+        sib_offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(sibling_owners[not_self], minlength=n),
+            out=sib_offsets[1:],
+        )
+        # Python-int offset lists make the per-step slicing cheap.
+        out_bounds = out_offsets.tolist()
+        in_bounds = in_offsets.tolist()
+        sib_bounds = sib_offsets.tolist()
+        expand_phase.set(events=int(siblings.shape[0]))
 
     def gather(u: int) -> np.ndarray:
         """All unit score events of u's window entry/exit, duplicates kept."""
@@ -228,7 +233,7 @@ def _gorder_sequence_batched(
         ))
 
     start = int(np.argmax(graph.in_degrees())) if n > 1 else 0
-    with obs.span(
+    with obs.profile(
         "gorder.greedy", n=n, m=graph.num_edges, window=window,
         backend="batched",
     ):

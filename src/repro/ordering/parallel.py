@@ -15,9 +15,11 @@ partition order, so the output is **identical for every worker
 count** — ``workers=4`` is a wall-clock optimisation, never a
 different arrangement.  Workers are spawned (not forked) so they start
 from a clean interpreter without inheriting telemetry sinks; per-part
-timings are reported back to the parent, which emits them as
-``gorder.partition`` telemetry (spans when inline, events when the
-part ran in a worker process, since spans cannot cross processes).
+timings and counter deltas are reported back to the parent, which
+merges the counters into its own registry and emits them as
+``gorder.partition`` telemetry (profiled spans when inline, events
+when the part ran in a worker process, since spans cannot cross
+processes).  Both carry a stable ``part=`` attribute.
 
 Partitions come from the BFS bisection of
 :mod:`repro.ordering.bisect` so parts are locality-coherent.
@@ -65,20 +67,30 @@ def partition_nodes(
     ]
 
 
-def _order_part(task: tuple) -> tuple[int, np.ndarray, float]:
+def _order_part(
+    task: tuple,
+) -> tuple[int, np.ndarray, float, dict[str, int]]:
     """Order one induced-subgraph part (runs in a worker process).
 
     The subgraph travels as raw CSR arrays (cheap to pickle) and is
     rebuilt without validation — it came from ``induced_subgraph`` on
-    an already-valid graph.
+    an already-valid graph.  When ``collect`` is set the worker turns
+    on a registry-only telemetry session around the kernel and ships
+    the counter *deltas* back to the parent, which merges them into
+    its own registry (spans cannot cross processes, counters can).
     """
-    index, num_nodes, offsets, adjacency, window, hub_threshold, backend = (
-        task
-    )
+    (
+        index, num_nodes, offsets, adjacency,
+        window, hub_threshold, backend, collect,
+    ) = task
     subgraph = CSRGraph(
         num_nodes, offsets, adjacency,
         name=f"part-{index}", validate=False,
     )
+    owns_telemetry = collect and not obs.enabled()
+    if owns_telemetry:
+        obs.configure()  # registry only: no sinks in the worker
+    before = obs.counters() if collect else {}
     start = time.perf_counter()
     sequence = gorder_sequence(
         subgraph,
@@ -86,7 +98,18 @@ def _order_part(task: tuple) -> tuple[int, np.ndarray, float]:
         hub_threshold=hub_threshold,
         backend=backend,
     )
-    return index, sequence, time.perf_counter() - start
+    seconds = time.perf_counter() - start
+    counters: dict[str, int] = {}
+    if collect:
+        after = obs.counters()
+        counters = {
+            name: after[name] - before.get(name, 0)
+            for name in sorted(after)
+            if after[name] != before.get(name, 0)
+        }
+    if owns_telemetry:
+        obs.reset()
+    return index, sequence, seconds, counters
 
 
 def gorder_partitioned(
@@ -114,14 +137,16 @@ def gorder_partitioned(
     if n == 0:
         return np.zeros(0, dtype=np.int64)
     parts = partition_nodes(graph, num_parts)
+    effective_workers = min(workers, len(parts))
+    collect = obs.enabled() and effective_workers > 1
     tasks = []
     for index, part in enumerate(parts):
         subgraph, _ = induced_subgraph(graph, part)
         tasks.append((
             index, subgraph.num_nodes, subgraph.offsets,
             subgraph.adjacency, window, hub_threshold, backend,
+            collect,
         ))
-    effective_workers = min(workers, len(tasks))
     pieces: list[np.ndarray] = [None] * len(tasks)  # type: ignore[list-item]
     with obs.span(
         "gorder.partitioned", n=n, m=graph.num_edges,
@@ -129,23 +154,31 @@ def gorder_partitioned(
     ):
         if effective_workers == 1:
             for task in tasks:
-                with obs.span(
+                with obs.profile(
                     "gorder.partition", part=task[0], n=task[1],
                 ):
-                    index, local_sequence, _ = _order_part(task)
+                    index, local_sequence, _, _ = _order_part(task)
                 pieces[index] = parts[index][local_sequence]
         else:
             context = multiprocessing.get_context("spawn")
             with ProcessPoolExecutor(
                 max_workers=effective_workers, mp_context=context
             ) as pool:
-                for index, local_sequence, seconds in pool.map(
-                    _order_part, tasks
+                for index, local_sequence, seconds, counters in (
+                    pool.map(_order_part, tasks)
                 ):
-                    obs.event(
-                        "gorder.partition", part=index,
-                        n=tasks[index][1],
-                        seconds=round(seconds, 6),
-                    )
+                    for counter_name, delta in counters.items():
+                        obs.inc(  # repro: noqa[REP005] — the merged
+                            # names were literal in the worker.
+                            counter_name, delta,
+                        )
+                    attrs: dict = {
+                        "part": index,
+                        "n": tasks[index][1],
+                        "seconds": round(seconds, 6),
+                    }
+                    if counters:
+                        attrs["counters"] = counters
+                    obs.event("gorder.partition", **attrs)
                     pieces[index] = parts[index][local_sequence]
     return permutation_from_sequence(np.concatenate(pieces))

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.errors import InvalidParameterError
 
 
@@ -177,23 +178,32 @@ class UnitHeap:
         """Rebuild the runs from the authoritative key vector.
 
         Drops every stale entry in one vectorised pass; the result is
-        a single sorted run of exactly the live items.
+        a single sorted run of exactly the live items.  Compaction is
+        the heap's single heaviest internal operation (an O(n) rebuild
+        triggered by garbage growth), so it is a profiled phase —
+        amortisation cost attribution needs it visible; when telemetry
+        is off the hook is one no-op context manager per compaction
+        (rare: garbage must exceed 4x the live size).
         """
-        self._pending.clear()
-        items = np.flatnonzero(self._present)
-        self._entries = int(items.shape[0])
-        if not items.shape[0]:
-            self._runs = []
-            self._tails = []
-            self._ladder = 0
-            return
-        codes = self._keys[items] * self._span + (
-            self._span - 1 - items
-        )
-        codes.sort()
-        self._runs = [codes]
-        self._tails = [int(codes[-1])]
-        self._ladder = 1
+        with obs.profile(
+            "gorder.heap_compact",
+            entries=self._entries, live=self._size,
+        ):
+            self._pending.clear()
+            items = np.flatnonzero(self._present)
+            self._entries = int(items.shape[0])
+            if not items.shape[0]:
+                self._runs = []
+                self._tails = []
+                self._ladder = 0
+                return
+            codes = self._keys[items] * self._span + (
+                self._span - 1 - items
+            )
+            codes.sort()
+            self._runs = [codes]
+            self._tails = [int(codes[-1])]
+            self._ladder = 1
 
     # ------------------------------------------------------------------
     # Scalar updates

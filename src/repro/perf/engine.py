@@ -449,7 +449,10 @@ class SweepEngine:
     ) -> None:
         self.guards = guards or SweepGuards()
         self.plan = plan or FaultPlan()
-        self.cache = cache or GLOBAL_ORDERING_CACHE
+        # Explicit None check: an *empty* OrderingCache is falsy
+        # (len() == 0), and ``cache or GLOBAL`` would silently swap a
+        # caller's fresh private cache for the shared one.
+        self.cache = GLOBAL_ORDERING_CACHE if cache is None else cache
 
     # -- public API ----------------------------------------------------
     def run(
@@ -605,7 +608,15 @@ class SweepEngine:
                     attempt=attempt,
                 )
             try:
-                return self._attempt(profile, cell, attempt), None
+                with obs.profile(
+                    "sweep.cell",
+                    dataset=cell.dataset,
+                    algorithm=cell.algorithm,
+                    ordering=cell.ordering,
+                    seed=cell.seed,
+                    attempt=attempt,
+                ):
+                    return self._attempt(profile, cell, attempt), None
             except (KeyboardInterrupt, SystemExit):
                 raise
             except CellTimeout as exc:

@@ -167,7 +167,8 @@ def speedup_matrix(
     """
     if engine is not None:
         return engine.run(profile).matrix()
-    cache = cache or GLOBAL_ORDERING_CACHE
+    # None check, not truthiness: an empty OrderingCache is falsy.
+    cache = GLOBAL_ORDERING_CACHE if cache is None else cache
     results: dict[tuple[str, str, str], RunResult] = {}
     total = (
         len(profile.datasets)

@@ -268,7 +268,8 @@ def run_cell(
     stepping, ``"replay"`` recorded-trace vectorised replay with
     byte-identical counters for all-LRU hierarchies.
     """
-    cache = cache or GLOBAL_ORDERING_CACHE
+    # None check, not truthiness: an empty OrderingCache is falsy.
+    cache = GLOBAL_ORDERING_CACHE if cache is None else cache
     algorithm_spec = algorithms.spec(algorithm)
     relabeled, perm, ordering_seconds = cache.relabeled(
         graph, ordering, seed, ordering_params

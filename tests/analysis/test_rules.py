@@ -405,6 +405,60 @@ class TestRep005TelemetryDiscipline:
         """
         assert rule_ids(source, path="src/repro/obs/core.py") == []
 
+    def test_unmanaged_profile_fires(self):
+        assert rule_ids(
+            """
+            from repro import obs
+
+            def work():
+                phase = obs.profile("gorder.phase")
+                phase.close()
+            """
+        ) == ["REP005"]
+
+    def test_with_profile_is_clean(self):
+        assert rule_ids(
+            """
+            from repro import obs
+
+            def work():
+                with obs.profile("gorder.phase", n=5):
+                    pass
+            """
+        ) == []
+
+    def test_returned_profile_is_clean(self):
+        assert rule_ids(
+            """
+            from repro import obs
+
+            def timed(n):
+                return obs.profile("gorder.phase", n=n)
+            """
+        ) == []
+
+    def test_fully_dynamic_profile_name_fires(self):
+        assert rule_ids(
+            """
+            from repro import obs
+
+            def work(name):
+                with obs.profile(name):
+                    pass
+            """
+        ) == ["REP005"]
+
+    def test_profile_fstring_literal_segment_is_clean(self):
+        assert rule_ids(
+            """
+            from repro import obs
+
+            def work(part):
+                with obs.profile(f"gorder.part.{part}"):
+                    pass
+            """
+        ) == []
+
 
 class TestRep006ForeignException:
     def test_builtin_raise_fires(self):

@@ -1,0 +1,88 @@
+"""Golden-file tests on a recorded acceptance trace.
+
+``data/acceptance_trace.jsonl`` is a committed trace from a real
+``repro-gorder run --dataset epinion --algorithm nq --ordering gorder``
+invocation.  Because the trace (and therefore every duration in it) is
+frozen, the flamegraph and critical-path renderings are byte-stable:
+the goldens pin the folded-stack format, the weight arithmetic and the
+path selection against accidental drift.  Regenerate with::
+
+    repro-gorder telemetry flamegraph tests/obs/data/acceptance_trace.jsonl
+    repro-gorder telemetry critical-path tests/obs/data/acceptance_trace.jsonl
+"""
+
+import pathlib
+
+from repro.cli import main
+from repro.obs.trace import (
+    build_span_tree,
+    critical_path,
+    folded_stacks,
+    render_critical_path,
+    render_folded,
+)
+
+DATA = pathlib.Path(__file__).parent / "data"
+TRACE = DATA / "acceptance_trace.jsonl"
+
+
+def golden(name):
+    return (DATA / name).read_text(encoding="utf-8")
+
+
+class TestFlamegraphGolden:
+    def test_api_matches_golden(self):
+        tree = build_span_tree(path=TRACE)
+        folded = render_folded(folded_stacks(tree))
+        assert folded + "\n" == golden("acceptance_flamegraph.txt")
+
+    def test_cli_matches_golden(self, capsys):
+        assert main(["telemetry", "flamegraph", str(TRACE)]) == 0
+        out = capsys.readouterr().out
+        assert out == golden("acceptance_flamegraph.txt")
+
+    def test_cli_writes_output_file(self, tmp_path, capsys):
+        target = tmp_path / "flame.folded"
+        assert main([
+            "telemetry", "flamegraph", str(TRACE),
+            "--output", str(target),
+        ]) == 0
+        assert (
+            target.read_text(encoding="utf-8")
+            == golden("acceptance_flamegraph.txt")
+        )
+
+
+class TestCriticalPathGolden:
+    def test_api_matches_golden(self):
+        tree = build_span_tree(path=TRACE)
+        assert critical_path(tree)[0].name == "ordering.compute"
+        rendered = render_critical_path(tree)
+        assert rendered + "\n" == golden("acceptance_critical_path.txt")
+
+    def test_cli_matches_golden(self, capsys):
+        assert main(["telemetry", "critical-path", str(TRACE)]) == 0
+        out = capsys.readouterr().out
+        assert out == golden("acceptance_critical_path.txt")
+
+
+class TestTraceShape:
+    """The committed trace still looks like a real run's trace."""
+
+    def test_contains_kernel_phases(self):
+        tree = build_span_tree(path=TRACE)
+        names = set()
+
+        def walk(nodes):
+            for node in nodes:
+                names.add(node.name)
+                walk(node.children)
+
+        walk(tree.roots)
+        assert "ordering.compute" in names
+        assert "gorder.greedy" in names
+        assert "cache.replay.levels" in names
+
+    def test_summary_cli_still_reads_it(self, capsys):
+        assert main(["telemetry", "summary", str(TRACE)]) == 0
+        assert "Top spans by total time" in capsys.readouterr().out

@@ -1,0 +1,187 @@
+"""Phase profiler: obs.profile() spans, CPU accounting, overhead."""
+
+import time
+
+import pytest
+
+from repro import obs
+
+
+class TestDisabled:
+    def test_disabled_profile_is_noop_singleton(self):
+        assert obs.profile("a") is obs.NOOP_SPAN
+
+    def test_disabled_records_nothing(self):
+        with obs.profile("x", n=1):
+            pass
+        assert obs.phase_stats() == {}
+        assert obs.span_stats() == {}
+
+    def test_disabled_overhead_is_bounded(self):
+        """Guard: a disabled profile() hook must stay trivially cheap.
+
+        The kernels pay one of these per *call* (hot loops hoist the
+        ``enabled()`` check), so a microsecond-scale bound leaves the
+        <5% budget of bench_micro.py untouched.
+        """
+        rounds = 20_000
+        start = time.perf_counter()
+        for _ in range(rounds):
+            with obs.profile("bench.noop"):
+                pass
+        per_hook = (time.perf_counter() - start) / rounds
+        assert per_hook < 20e-6, (
+            f"disabled obs.profile costs {per_hook * 1e6:.2f}us"
+        )
+
+
+class TestEnabled:
+    def test_phase_records_wall_and_cpu(self):
+        obs.configure(capture=True)
+        with obs.profile("phase.test", n=3):
+            sum(range(50_000))
+        stats = obs.phase_stats()
+        assert set(stats) == {"phase.test"}
+        entry = stats["phase.test"]
+        assert entry.count == 1
+        assert entry.wall_seconds > 0.0
+        assert entry.cpu_seconds >= 0.0
+        assert entry.max_wall_seconds == entry.wall_seconds
+
+    def test_phase_emits_span_events_with_cpu(self):
+        obs.configure(capture=True)
+        with obs.profile("phase.test", n=3):
+            pass
+        kinds = [
+            (event["kind"], event["name"]) for event in obs.captured()
+        ]
+        assert ("span_start", "phase.test") in kinds
+        assert ("span_end", "phase.test") in kinds
+        end = [
+            event
+            for event in obs.captured()
+            if event["kind"] == "span_end"
+        ][0]
+        assert "cpu_s" in end
+        assert end["ok"] is True
+        assert end["attrs"] == {"n": 3}
+
+    def test_phase_also_feeds_span_stats(self):
+        """Phases are spans: the summary tooling sees them as such."""
+        obs.configure()
+        with obs.profile("phase.test"):
+            pass
+        assert "phase.test" in obs.span_stats()
+
+    def test_nested_phase_parent_linkage(self):
+        obs.configure(capture=True)
+        with obs.profile("phase.outer"):
+            with obs.profile("phase.inner"):
+                pass
+        events = {
+            event["name"]: event
+            for event in obs.captured()
+            if event["kind"] == "span_end"
+        }
+        outer = events["phase.outer"]
+        inner = events["phase.inner"]
+        assert inner["parent_id"] == outer["span_id"]
+
+    def test_phase_mixes_with_plain_spans(self):
+        obs.configure(capture=True)
+        with obs.span("outer"):
+            with obs.profile("phase.inner"):
+                pass
+        events = {
+            event["name"]: event
+            for event in obs.captured()
+            if event["kind"] == "span_end"
+        }
+        assert (
+            events["phase.inner"]["parent_id"]
+            == events["outer"]["span_id"]
+        )
+
+    def test_exception_closes_phase_with_ok_false(self):
+        obs.configure(capture=True)
+        with pytest.raises(RuntimeError):
+            with obs.profile("phase.fails"):
+                raise RuntimeError("boom")
+        end = [
+            event
+            for event in obs.captured()
+            if event["kind"] == "span_end"
+        ][0]
+        assert end["ok"] is False
+        assert obs.phase_stats()["phase.fails"].count == 1
+
+    def test_aggregation_across_calls(self):
+        obs.configure()
+        for _ in range(4):
+            with obs.profile("phase.repeat"):
+                pass
+        entry = obs.phase_stats()["phase.repeat"]
+        assert entry.count == 4
+        assert entry.wall_seconds >= entry.max_wall_seconds
+
+    def test_cpu_fraction(self):
+        from repro.obs.core import PhaseStats
+
+        assert PhaseStats().cpu_fraction == 0.0
+        busy = PhaseStats(
+            count=1, wall_seconds=2.0, cpu_seconds=1.0,
+            max_wall_seconds=2.0,
+        )
+        assert busy.cpu_fraction == 0.5
+
+    def test_reset_clears_phase_stats(self):
+        obs.configure()
+        with obs.profile("phase.reset"):
+            pass
+        obs.reset()
+        assert obs.phase_stats() == {}
+
+
+class TestKernelHooks:
+    """The hot paths named by the tentpole actually emit phases."""
+
+    def test_gorder_batched_emits_phases(self):
+        from repro.graph.generators import erdos_renyi
+        from repro.ordering import gorder_order
+
+        obs.configure()
+        gorder_order(erdos_renyi(300, 2000, seed=1))
+        stats = obs.phase_stats()
+        assert "gorder.greedy" in stats
+        assert "gorder.phase.expand" in stats
+
+    def test_cache_replay_emits_phases(self):
+        import numpy as np
+
+        from repro.cache import scaled_hierarchy
+
+        obs.configure()
+        hierarchy = scaled_hierarchy()
+        rng = np.random.default_rng(0)
+        hierarchy.replay(rng.integers(0, 512, size=4000))
+        stats = obs.phase_stats()
+        assert "cache.replay.levels" in stats
+        assert "cache.replay.classify" in stats
+
+    def test_sweep_cell_emits_phase(self):
+        from repro import perf
+
+        obs.configure()
+        # A private ordering memo: warming the global cache here would
+        # make later tests skip their ordering.compute spans.
+        engine = perf.SweepEngine(cache=perf.OrderingCache())
+        profile = perf.Profile(
+            name="tiny",
+            datasets=("epinion",),
+            orderings=("original", "gorder"),
+            algorithms=("nq",),
+        )
+        engine.run(profile)
+        stats = obs.phase_stats()
+        assert "sweep.cell" in stats
+        assert stats["sweep.cell"].count == 2

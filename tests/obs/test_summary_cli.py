@@ -65,10 +65,35 @@ class TestSummarizeTrace:
         assert summarize_trace(path).num_events == 1
 
     def test_invalid_json_names_the_line(self, tmp_path):
+        # Mid-file corruption is a real problem and still raises; only
+        # a torn *final* line (a killed writer) is tolerated.
         path = tmp_path / "t.jsonl"
-        path.write_text('{"kind": "event", "name": "e"}\n{oops\n')
+        path.write_text(
+            '{"kind": "event", "name": "e"}\n'
+            "{oops\n"
+            '{"kind": "event", "name": "f"}\n'
+        )
         with pytest.raises(obs.TelemetryError, match=r":2: not valid"):
             summarize_trace(path)
+
+    def test_torn_final_line_is_discarded(self, tmp_path):
+        # The journal-tail contract of the sweep checkpoint reader: a
+        # process killed mid-write leaves half a line, which must not
+        # make the whole trace unreadable.
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"kind": "event", "name": "e"}\n{"kind": "spa'
+        )
+        summary = summarize_trace(path)
+        assert summary.num_events == 1
+
+    def test_torn_final_line_with_trailing_blank(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"kind": "event", "name": "e"}\n{"kind": "spa\n\n'
+        )
+        summary = summarize_trace(path)
+        assert summary.num_events == 1
 
     def test_non_object_line_rejected(self, tmp_path):
         path = tmp_path / "t.jsonl"

@@ -1,0 +1,318 @@
+"""Trace analytics: span trees, critical paths, diffs, flamegraphs."""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.errors import InvalidParameterError
+from repro.obs.trace import (
+    build_span_tree,
+    critical_path,
+    diff_traces,
+    folded_stacks,
+    render_critical_path,
+    render_diff,
+    render_folded,
+    render_tree,
+)
+
+
+def span_events(
+    span_id,
+    name,
+    parent_id=None,
+    ts=0.0,
+    dur=1.0,
+    attrs=None,
+    cpu=None,
+):
+    """The (start, end) event pair one span writes to a trace."""
+    start = {
+        "kind": "span_start",
+        "name": name,
+        "ts": ts,
+        "span_id": span_id,
+        "parent_id": parent_id,
+    }
+    end = {
+        "kind": "span_end",
+        "name": name,
+        "ts": ts + dur,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "dur_s": dur,
+        "ok": True,
+    }
+    if attrs:
+        start["attrs"] = dict(attrs)
+        end["attrs"] = dict(attrs)
+    if cpu is not None:
+        end["cpu_s"] = cpu
+    return [start, end]
+
+
+def nested_trace():
+    """root(4s) -> child_a(2s) -> leaf(0.5s); root -> child_b(1s)."""
+    return (
+        span_events(1, "root", ts=0.0, dur=4.0)
+        + span_events(2, "child_a", parent_id=1, ts=0.1, dur=2.0)
+        + span_events(3, "leaf", parent_id=2, ts=0.2, dur=0.5)
+        + span_events(4, "child_b", parent_id=1, ts=2.5, dur=1.0)
+    )
+
+
+class TestBuildSpanTree:
+    def test_reconstructs_nesting(self):
+        tree = build_span_tree(events=nested_trace())
+        assert tree.num_spans == 4
+        assert [r.name for r in tree.roots] == ["root"]
+        root = tree.roots[0]
+        assert [c.name for c in root.children] == [
+            "child_a", "child_b",
+        ]
+        assert root.children[0].children[0].name == "leaf"
+
+    def test_self_and_total_time(self):
+        tree = build_span_tree(events=nested_trace())
+        root = tree.roots[0]
+        assert root.total_seconds == 4.0
+        assert root.self_seconds == pytest.approx(1.0)  # 4 - 2 - 1
+        child_a = root.children[0]
+        assert child_a.self_seconds == pytest.approx(1.5)
+
+    def test_shuffled_lines_build_the_same_tree(self):
+        events = nested_trace()
+        shuffled = [
+            events[i] for i in (5, 0, 7, 2, 6, 1, 4, 3)
+        ]
+        straight = build_span_tree(events=nested_trace())
+        reordered = build_span_tree(events=shuffled)
+        assert render_tree(straight).splitlines()[1:] == (
+            render_tree(reordered).splitlines()[1:]
+        )
+
+    def test_interleaved_multithread_trace(self):
+        """Two threads' span events interleave in one JSONL file."""
+        obs.configure(capture=True)
+
+        def work(name):
+            with obs.span(name):
+                with obs.span(f"{name}.inner"):
+                    pass
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i}",))
+            for i in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        tree = build_span_tree(events=obs.captured())
+        assert len(tree.roots) == 3
+        for root in tree.roots:
+            assert [c.name for c in root.children] == [
+                f"{root.name}.inner"
+            ]
+        assert tree.unclosed == 0
+
+    def test_unclosed_span_counts_children_only(self):
+        events = nested_trace()[:-3]  # drop child_a/leaf/child_b ends
+        events = [
+            e for e in nested_trace()
+            if not (e["kind"] == "span_end" and e["span_id"] == 1)
+        ]
+        tree = build_span_tree(events=events)
+        assert tree.unclosed == 1
+        root = tree.roots[0]
+        assert not root.closed
+        assert root.total_seconds == pytest.approx(3.0)  # 2 + 1
+        assert root.self_seconds == 0.0
+
+    def test_end_without_start_still_creates_node(self):
+        events = nested_trace()[1:]  # torn head: root start lost
+        tree = build_span_tree(events=events)
+        assert tree.num_spans == 4
+        assert tree.roots[0].duration == 4.0
+
+    def test_orphan_parent_id_becomes_root(self):
+        events = span_events(7, "orphan", parent_id=99)
+        tree = build_span_tree(events=events)
+        assert [r.name for r in tree.roots] == ["orphan"]
+
+    def test_counters_and_manifest_captured(self):
+        events = nested_trace() + [
+            {"kind": "counters", "name": "counters",
+             "counters": {"c.hits": 3}},
+            {"kind": "manifest", "name": "manifest",
+             "manifest": {"git_sha": "abc"}},
+        ]
+        tree = build_span_tree(events=events)
+        assert tree.counters == {"c.hits": 3}
+        assert tree.manifest == {"git_sha": "abc"}
+
+    def test_reads_jsonl_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(e) for e in nested_trace()) + "\n"
+        )
+        tree = build_span_tree(path)
+        assert tree.num_spans == 4
+        assert tree.path == str(path)
+
+    def test_needs_path_or_events(self):
+        with pytest.raises(InvalidParameterError):
+            build_span_tree()
+
+
+class TestCriticalPath:
+    def test_follows_heaviest_children(self):
+        tree = build_span_tree(events=nested_trace())
+        chain = critical_path(tree)
+        assert [n.name for n in chain] == ["root", "child_a", "leaf"]
+
+    def test_empty_trace(self):
+        assert critical_path(build_span_tree(events=[])) == []
+        assert "no spans" in render_critical_path(
+            build_span_tree(events=[])
+        )
+
+    def test_heaviest_root_wins(self):
+        events = (
+            span_events(1, "light", ts=0.0, dur=1.0)
+            + span_events(2, "heavy", ts=5.0, dur=3.0)
+        )
+        chain = critical_path(build_span_tree(events=events))
+        assert [n.name for n in chain] == ["heavy"]
+
+    def test_render_lists_key_attrs(self):
+        events = span_events(
+            1, "sweep.cell", dur=2.0,
+            attrs={"dataset": "epinion", "seed": 3, "part": 1},
+        )
+        text = render_critical_path(build_span_tree(events=events))
+        assert "dataset=epinion" in text
+        assert "part=1" in text
+        assert "seed" not in text  # not in the surfaced subset
+
+
+class TestFoldedStacks:
+    def test_golden_folded_output(self):
+        tree = build_span_tree(events=nested_trace())
+        assert render_folded(folded_stacks(tree)) == (
+            "root 1000000\n"
+            "root;child_a 1500000\n"
+            "root;child_a;leaf 500000\n"
+            "root;child_b 1000000"
+        )
+
+    def test_part_attribute_reaches_the_frame(self):
+        events = span_events(1, "gorder.partitioned", dur=2.0)
+        events += span_events(
+            2, "gorder.partition", parent_id=1, ts=0.1, dur=0.5,
+            attrs={"part": 0},
+        )
+        stacks = folded_stacks(build_span_tree(events=events))
+        assert (
+            "gorder.partitioned;gorder.partition part=0",
+            500000,
+        ) in stacks
+
+    def test_semicolons_in_names_are_sanitised(self):
+        events = span_events(1, "odd;name", dur=1.0)
+        stacks = folded_stacks(build_span_tree(events=events))
+        assert stacks == [("odd,name", 1000000)]
+
+    def test_zero_weight_stacks_dropped(self):
+        events = span_events(1, "outer", dur=1.0) + span_events(
+            2, "inner", parent_id=1, ts=0.0, dur=1.0
+        )
+        stacks = folded_stacks(build_span_tree(events=events))
+        assert stacks == [("outer;inner", 1000000)]
+
+    def test_cpu_weight_uses_profiled_phases_only(self):
+        events = span_events(1, "outer", dur=3.0) + span_events(
+            2, "phase", parent_id=1, ts=0.0, dur=1.0, cpu=0.75
+        )
+        stacks = folded_stacks(
+            build_span_tree(events=events), weight="cpu"
+        )
+        assert stacks == [("outer;phase", 750000)]
+
+    def test_same_stack_merges(self):
+        events = span_events(1, "root", dur=3.0)
+        events += span_events(
+            2, "rep", parent_id=1, ts=0.1, dur=1.0
+        )
+        events += span_events(
+            3, "rep", parent_id=1, ts=1.5, dur=1.0
+        )
+        stacks = folded_stacks(build_span_tree(events=events))
+        assert ("root;rep", 2000000) in stacks
+
+    def test_unknown_weight_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            folded_stacks(build_span_tree(events=[]), weight="gpu")
+
+
+class TestDiff:
+    def write(self, tmp_path, name, events):
+        path = tmp_path / name
+        path.write_text(
+            "\n".join(json.dumps(e) for e in events) + "\n"
+        )
+        return path
+
+    def test_span_and_counter_deltas(self, tmp_path):
+        a = self.write(
+            tmp_path, "a.jsonl",
+            nested_trace()
+            + [{"kind": "counters", "name": "counters",
+                "counters": {"hits": 10, "same": 5}}],
+        )
+        b_events = (
+            span_events(1, "root", ts=0.0, dur=6.0)
+            + [{"kind": "counters", "name": "counters",
+                "counters": {"hits": 25, "same": 5}}]
+        )
+        b = self.write(tmp_path, "b.jsonl", b_events)
+        diff = diff_traces(a, b)
+        rows = {row.name: row for row in diff.spans}
+        assert rows["root"].delta == pytest.approx(2.0)
+        assert rows["child_a"].delta == pytest.approx(-2.0)
+        counter_rows = {row.name: row for row in diff.counters}
+        assert counter_rows["hits"].delta == 15
+        text = render_diff(diff)
+        assert "root" in text and "hits" in text
+        assert "same" not in text  # unchanged counters are elided
+
+    def test_spans_sorted_by_change_magnitude(self, tmp_path):
+        a = self.write(tmp_path, "a.jsonl", nested_trace())
+        b = self.write(
+            tmp_path, "b.jsonl",
+            span_events(1, "root", dur=4.0)
+            + span_events(2, "child_a", parent_id=1, ts=0.1, dur=3.5),
+        )
+        diff = diff_traces(a, b)
+        assert diff.spans[0].name == "child_a"
+
+    def test_identical_traces_render_no_differences(self, tmp_path):
+        a = self.write(tmp_path, "a.jsonl", nested_trace())
+        b = self.write(tmp_path, "b.jsonl", nested_trace())
+        assert "no differences" in render_diff(diff_traces(a, b))
+
+
+class TestRenderTree:
+    def test_depth_and_threshold_filters(self):
+        tree = build_span_tree(events=nested_trace())
+        assert "leaf" not in render_tree(tree, max_depth=1)
+        assert "leaf" in render_tree(tree, max_depth=2)
+        assert "leaf" not in render_tree(tree, min_seconds=0.6)
+
+    def test_unclosed_marker(self):
+        events = [e for e in nested_trace() if e["span_id"] == 1][:1]
+        text = render_tree(build_span_tree(events=events))
+        assert "[unclosed]" in text
+        assert "1 unclosed" in text

@@ -149,6 +149,62 @@ class TestPartitionedWorkers:
         assert_valid_permutation(parallel, graph.num_nodes)
 
 
+class TestPartitionedTelemetry:
+    """Per-part attribution: stable part= attrs, merged counters."""
+
+    def test_inline_parts_profiled_with_part_attr(self, small_social):
+        from repro import obs
+
+        obs.configure(capture=True)
+        try:
+            gorder_partitioned(small_social, num_parts=3, workers=1)
+            stats = obs.phase_stats()
+            assert stats["gorder.partition"].count == 3
+            parts = sorted(
+                event["attrs"]["part"]
+                for event in obs.captured()
+                if event["kind"] == "span_end"
+                and event["name"] == "gorder.partition"
+            )
+            assert parts == [0, 1, 2]
+        finally:
+            obs.reset()
+
+    @pytest.mark.slow
+    def test_worker_counters_merge_into_parent(self):
+        """workers=2 must leave the same counter totals as workers=1.
+
+        The spawned workers ship their ``gorder.*`` counter deltas
+        home; after the merge the parent registry is indistinguishable
+        from having run every part inline.
+        """
+        from repro import obs
+
+        graph = generators.social_graph(400, edges_per_node=5, seed=3)
+        obs.configure()
+        try:
+            gorder_partitioned(graph, num_parts=3, workers=1)
+            inline_counters = obs.counters()
+            obs.reset()
+            obs.configure(capture=True)
+            gorder_partitioned(graph, num_parts=3, workers=2)
+            assert obs.counters() == inline_counters
+            events = [
+                event
+                for event in obs.captured()
+                if event["kind"] == "event"
+                and event["name"] == "gorder.partition"
+            ]
+            assert sorted(
+                event["attrs"]["part"] for event in events
+            ) == [0, 1, 2]
+            for event in events:
+                assert event["attrs"]["seconds"] >= 0.0
+                assert event["attrs"]["counters"]
+        finally:
+            obs.reset()
+
+
 class TestWindowScoresVectorised:
     @pytest.mark.parametrize("window", WINDOWS)
     def test_matches_reference_on_gorder_sequence(self, graphs, window):
