@@ -24,6 +24,8 @@ Subcommands map onto the paper's artifacts and common library tasks::
     repro-gorder telemetry flamegraph trace.jsonl -o trace.folded
     repro-gorder sweep run --profile quick --checkpoint ck.jsonl
     repro-gorder sweep status ck.jsonl    # inspect a checkpoint
+    repro-gorder serve --port 8571 --store-root /var/lib/repro
+    repro-gorder serve --socket /tmp/repro.sock --workers 4
 
 ``repro-gorder telemetry TRACE`` (no action) is kept as an alias for
 ``telemetry summary TRACE``.
@@ -304,6 +306,36 @@ def _cmd_sweep_status(args: argparse.Namespace) -> int:
             report.render_failures("Failed cells", status.failures)
         )
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeConfig, serve
+
+    specs = tuple(
+        perf.parse_fault_spec(text)
+        for text in (getattr(args, "inject", None) or ())
+    )
+    preload = tuple(
+        part.strip()
+        for part in (args.preload or "").split(",")
+        if part.strip()
+    )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket,
+        workers=args.serve_workers,
+        queue_capacity=args.queue_capacity,
+        default_deadline_seconds=args.default_deadline,
+        max_deadline_seconds=args.max_deadline,
+        retries=args.retries,
+        backoff_seconds=args.backoff,
+        store_root=args.store_root,
+        drain_timeout_seconds=args.drain_timeout,
+        plan=perf.FaultPlan(specs),
+        preload=preload,
+    )
+    return serve(config)
 
 
 def _cmd_stall(args: argparse.Namespace) -> int:
@@ -892,6 +924,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_sweep_status)
     p.add_argument("checkpoint", help="path to a checkpoint journal")
+
+    p = add("serve", _cmd_serve,
+            help="ordering-as-a-service daemon (see docs/serving.md)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (default 0 = ephemeral, printed)")
+    p.add_argument("--socket", metavar="PATH", default=None,
+                   help="serve on a unix socket instead of TCP")
+    p.add_argument("--workers", dest="serve_workers", type=int,
+                   default=2, metavar="N",
+                   help="compute worker threads (default 2)")
+    p.add_argument("--queue-capacity", type=int, default=8,
+                   metavar="N",
+                   help="waiting requests before 429 (default 8)")
+    p.add_argument("--default-deadline", type=float, default=30.0,
+                   metavar="SEC",
+                   help="deadline when a request names none")
+    p.add_argument("--max-deadline", type=float, default=300.0,
+                   metavar="SEC",
+                   help="ceiling on any request deadline")
+    p.add_argument("--retries", type=int, default=1, metavar="N",
+                   help="re-attempts after transient worker failures")
+    p.add_argument("--backoff", type=float, default=0.05,
+                   metavar="SEC",
+                   help="base backoff between retries (doubles)")
+    p.add_argument("--store-root", metavar="DIR", default=None,
+                   help="ordering spill directory (crash-safe warm "
+                        "set; default: memory only)")
+    p.add_argument("--drain-timeout", type=float, default=5.0,
+                   metavar="SEC",
+                   help="drain wait before cancelling in-flight work")
+    p.add_argument("--preload", metavar="DATASETS", default=None,
+                   help="comma-separated datasets to load at startup")
+    p.add_argument("--inject", action="append", metavar="SPEC",
+                   default=None,
+                   help="inject a deterministic fault (testing; see "
+                        "docs/robustness.md)")
 
     p = sub.add_parser(
         "stall", parents=[telemetry_flags, cache_flags],

@@ -1,11 +1,15 @@
 """Atomic file writes shared by every persistence path.
 
 One pattern, one implementation: write to a sibling ``*.tmp`` file in
-the target directory, fsync, then ``os.replace`` onto the final name.
-The replace is atomic on POSIX (same filesystem, because the temp file
-lives next to the target), so a kill mid-write leaves at worst a stray
-``*.tmp`` file — never a truncated target, and never a window where
-the old file is gone and the new one is incomplete.
+the target directory, fsync, then ``os.replace`` onto the final name,
+then fsync the containing directory.  The replace is atomic on POSIX
+(same filesystem, because the temp file lives next to the target), so
+a kill mid-write leaves at worst a stray ``*.tmp`` file — never a
+truncated target, and never a window where the old file is gone and
+the new one is incomplete.  The directory fsync makes the *rename
+itself* durable: without it a power loss shortly after ``os.replace``
+can roll the directory entry back to the old file even though the new
+data blocks were flushed.
 
 The static-analysis rule REP002 (:mod:`repro.analysis.rules`) flags
 truncating writes that bypass this module, so new persistence code is
@@ -21,6 +25,25 @@ from pathlib import Path
 from typing import IO, Any
 
 from repro.errors import InvalidParameterError
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory's entry table (durability of renames).
+
+    Some filesystems do not support opening a directory for fsync
+    (and Windows has no equivalent); failing to harden the rename is
+    not worth failing the write, so errors are swallowed deliberately.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # repro: noqa[REP003] — best-effort durability
+        pass
+    finally:
+        os.close(fd)
 
 
 @contextmanager
@@ -53,6 +76,7 @@ def atomic_open(
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)
+        _fsync_dir(path.parent)
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise

@@ -8,7 +8,7 @@ This module injects failures *deterministically*: a
 what should go wrong there, so a test (or the CI smoke job) can
 reproduce an OOM at cell 7 or a kill at cell 3 on every run.
 
-Three fault kinds are supported:
+Four fault kinds are supported:
 
 * ``error`` — the cell raises :class:`InjectedFault` (or any
   exception type given via ``error_type``) for its first ``times``
@@ -16,6 +16,12 @@ Three fault kinds are supported:
   cell.
 * ``delay`` — the cell sleeps ``delay_seconds`` before running, for
   exercising the ``cell_timeout`` budget.
+* ``hang`` — the cell sleeps *past any deadline*: a long cancellable
+  sleep (``delay_seconds`` when given, else effectively forever)
+  polled in small increments through an optional ``cancel_check``
+  callback.  This is how the serve daemon's deadline enforcement is
+  proven: a hung worker must be cancelled by its request deadline,
+  never waited out.
 * ``kill`` — the whole sweep dies (a :class:`SweepKill`, derived from
   ``BaseException`` so the engine's failure isolation cannot catch
   it) immediately *after* the matching cell is checkpointed — the
@@ -29,12 +35,21 @@ trigger in the sweep process itself.
 from __future__ import annotations
 
 import time
+from collections.abc import Callable
 from dataclasses import asdict, dataclass
 
 from repro.errors import InvalidParameterError, ReproError
 
 #: Fault kinds a :class:`FaultSpec` may name.
-FAULT_KINDS = ("error", "delay", "kill")
+FAULT_KINDS = ("error", "delay", "hang", "kill")
+
+#: ``hang`` duration when the spec gives no ``delay_seconds``; long
+#: enough to outlive any reasonable deadline without trapping a test
+#: run forever if cancellation is broken.
+DEFAULT_HANG_SECONDS = 300.0
+
+#: Poll interval of the cancellable ``hang`` sleep.
+HANG_POLL_SECONDS = 0.01
 
 
 class InjectedFault(ReproError):
@@ -98,6 +113,20 @@ class FaultSpec:
         return exc_type(self.message)
 
 
+def _cancellable_sleep(
+    seconds: float, cancel_check: Callable[[], None] | None
+) -> None:
+    """Sleep ``seconds``, polling ``cancel_check`` every few ms."""
+    end = time.monotonic() + seconds
+    while True:
+        if cancel_check is not None:
+            cancel_check()
+        remaining = end - time.monotonic()
+        if remaining <= 0:
+            return
+        time.sleep(min(HANG_POLL_SECONDS, remaining))
+
+
 def _resolve_error_type(name: str) -> type[BaseException]:
     if name == "InjectedFault":
         return InjectedFault
@@ -146,13 +175,26 @@ class FaultPlan:
         ordering: str,
         seed: int,
         attempt: int,
+        cancel_check: Callable[[], None] | None = None,
     ) -> None:
-        """Fire delay/error faults for one cell attempt (in order)."""
+        """Fire delay/error/hang faults for one cell attempt (in order).
+
+        ``cancel_check`` is a callable that raises when the caller's
+        deadline has expired or the request was cancelled; ``hang``
+        faults poll it between short sleeps so deadline enforcement
+        can interrupt them.  Without one a hang sleeps its full
+        duration (``delay_seconds`` or :data:`DEFAULT_HANG_SECONDS`).
+        """
         for spec in self._matching(dataset, algorithm, ordering, seed):
             if not spec.triggers(attempt):
                 continue
             if spec.kind == "delay":
                 time.sleep(spec.delay_seconds)
+            elif spec.kind == "hang":
+                _cancellable_sleep(
+                    spec.delay_seconds or DEFAULT_HANG_SECONDS,
+                    cancel_check,
+                )
             elif spec.kind == "error":
                 raise spec.exception()
 

@@ -16,8 +16,10 @@ full-profile sweeps cannot grow memory without limit.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections import OrderedDict
+from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
@@ -103,6 +105,15 @@ class OrderingCache:
     grow memory without limit.  Evictions only cost a recompute and
     are counted on the ``runner.ordering_cache_evictions`` telemetry
     counter.  Either cap may be ``None`` (unbounded).
+
+    The cache is **thread-safe**: every structural mutation (insert,
+    LRU move-to-end, eviction, pin bookkeeping, clear) happens under
+    one reentrant lock, so the serve daemon's worker threads can
+    share :data:`GLOBAL_ORDERING_CACHE` without corrupting the LRU
+    order or double-evicting pins.  Ordering computation and graph
+    relabeling run *outside* the lock — two threads missing on the
+    same key may both compute, and the first insert wins; that costs
+    a duplicate compute, never a corrupted cache.
     """
 
     def __init__(
@@ -118,6 +129,7 @@ class OrderingCache:
             raise InvalidParameterError("max_bytes must be >= 1 or None")
         self.max_entries = max_entries
         self.max_bytes = max_bytes
+        self._lock = threading.RLock()
         self._entries: OrderedDict[
             tuple[int, str, int, tuple], _CacheEntry
         ] = OrderedDict()
@@ -125,11 +137,15 @@ class OrderingCache:
         self._pin_counts: dict[int, int] = {}
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def nbytes(self) -> int:
         """Approximate bytes held by memoised arrays."""
-        return sum(entry.nbytes for entry in self._entries.values())
+        with self._lock:
+            return sum(
+                entry.nbytes for entry in self._entries.values()
+            )
 
     def _pin(self, graph: CSRGraph) -> None:
         graph_id = id(graph)
@@ -187,28 +203,61 @@ class OrderingCache:
         different knobs never share a cached arrangement.
         """
         key = (id(graph), ordering, seed, _params_key(params))
-        entry = self._lookup(key)
-        if entry is None:
-            obs.inc("runner.ordering_memo_misses")
-            with obs.span(
-                "ordering.compute",
-                ordering=ordering,
-                dataset=graph.name,
-                n=graph.num_nodes,
-                seed=seed,
-            ):
-                start = time.perf_counter()
-                perm = orderings.compute_ordering(
-                    ordering, graph, seed=seed, **(params or {})
-                )
-                seconds = time.perf_counter() - start
-            entry = _CacheEntry(perm=perm, seconds=seconds)
+        with self._lock:
+            entry = self._lookup(key)
+        if entry is not None:
+            obs.inc("runner.ordering_memo_hits")
+            return entry.perm, entry.seconds
+        obs.inc("runner.ordering_memo_misses")
+        with obs.span(
+            "ordering.compute",
+            ordering=ordering,
+            dataset=graph.name,
+            n=graph.num_nodes,
+            seed=seed,
+        ):
+            start = time.perf_counter()
+            perm = orderings.compute_ordering(
+                ordering, graph, seed=seed, **(params or {})
+            )
+            seconds = time.perf_counter() - start
+        entry = _CacheEntry(perm=perm, seconds=seconds)
+        with self._lock:
+            existing = self._lookup(key)
+            if existing is not None:
+                # Another thread computed and inserted first; its
+                # entry (and pin) stands, ours is discarded.
+                return existing.perm, existing.seconds
             self._entries[key] = entry
             self._pin(graph)
             self._evict_over_caps()
-        else:
-            obs.inc("runner.ordering_memo_hits")
         return entry.perm, entry.seconds
+
+    def insert(
+        self,
+        graph: CSRGraph,
+        ordering: str,
+        seed: int,
+        perm: np.ndarray,
+        seconds: float,
+        params: dict | None = None,
+    ) -> None:
+        """Pre-seed the memo with an externally computed arrangement.
+
+        The serve daemon's shared :class:`~repro.serve.store.\
+OrderingStore` computes (or disk-loads) orderings once per logical
+        key; inserting them here lets :func:`run_cell` reuse them
+        without recomputing.  An existing entry is kept.
+        """
+        key = (id(graph), ordering, seed, _params_key(params))
+        with self._lock:
+            if key in self._entries:
+                return
+            self._entries[key] = _CacheEntry(
+                perm=perm, seconds=seconds
+            )
+            self._pin(graph)
+            self._evict_over_caps()
 
     def relabeled(
         self,
@@ -220,16 +269,28 @@ class OrderingCache:
         """Relabeled graph, arrangement and ordering compute time."""
         key = (id(graph), ordering, seed, _params_key(params))
         perm, seconds = self.permutation(graph, ordering, seed, params)
-        entry = self._entries[key]
-        if entry.graph is None:
-            entry.graph = relabel(graph, perm)
-            self._evict_over_caps()
-        return entry.graph, perm, seconds
+        with self._lock:
+            entry = self._entries.get(key)
+            cached = entry.graph if entry is not None else None
+        if cached is not None:
+            return cached, perm, seconds
+        relabeled = relabel(graph, perm)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                # Evicted while relabeling: return the fresh graph
+                # uncached rather than resurrect the entry.
+                return relabeled, perm, seconds
+            if entry.graph is None:
+                entry.graph = relabeled
+                self._evict_over_caps()
+            return entry.graph, perm, seconds
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._pinned.clear()
-        self._pin_counts.clear()
+        with self._lock:
+            self._entries.clear()
+            self._pinned.clear()
+            self._pin_counts.clear()
 
 
 #: Default shared cache (cleared freely; it is only a memoisation).
@@ -253,6 +314,7 @@ def run_cell(
     dataset_name: str | None = None,
     ordering_params: dict | None = None,
     cache_backend: str = "step",
+    cancel_check: Callable[[], None] | None = None,
 ) -> RunResult:
     """Execute one experiment cell and return its :class:`RunResult`.
 
@@ -267,13 +329,22 @@ def run_cell(
     (:data:`repro.cache.layout.CACHE_BACKENDS`): ``"step"`` scalar
     stepping, ``"replay"`` recorded-trace vectorised replay with
     byte-identical counters for all-LRU hierarchies.
+    ``cancel_check`` is a cooperative cancellation hook (the serve
+    daemon's deadline enforcement): it is invoked at the phase
+    boundaries of the run — before the ordering is computed, after
+    relabeling, and before the simulation — and should raise to
+    abandon the run.
     """
     # None check, not truthiness: an empty OrderingCache is falsy.
     cache = GLOBAL_ORDERING_CACHE if cache is None else cache
     algorithm_spec = algorithms.spec(algorithm)
+    if cancel_check is not None:
+        cancel_check()
     relabeled, perm, ordering_seconds = cache.relabeled(
         graph, ordering, seed, ordering_params
     )
+    if cancel_check is not None:
+        cancel_check()
     run_params = dict(params or {})
     for key in algorithm_spec.source_params:
         if key in run_params:
@@ -286,6 +357,8 @@ def run_cell(
     memory = Memory(
         hierarchy, cost_model=cost_model, cache_backend=cache_backend
     )
+    if cancel_check is not None:
+        cancel_check()
     with obs.span(
         "run.simulate",
         dataset=dataset_name or graph.name,

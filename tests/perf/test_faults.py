@@ -82,6 +82,63 @@ class TestFaultPlan:
         plan.apply_in_cell(*CELL, attempt=0)
         assert time.perf_counter() - start >= 0.04
 
+    def test_hang_bounded_sleep_without_cancel(self):
+        plan = FaultPlan(
+            (FaultSpec("epinion", "nq", "gorder", kind="hang",
+                       delay_seconds=0.05),)
+        )
+        start = time.perf_counter()
+        plan.apply_in_cell(*CELL, attempt=0)
+        assert time.perf_counter() - start >= 0.04
+
+    def test_hang_interrupted_by_cancel_check(self):
+        """The serve-daemon contract: a hang that would outlive any
+        deadline is cut short at the next cancellation poll."""
+        plan = FaultPlan(
+            (FaultSpec("epinion", "nq", "gorder", kind="hang"),)
+        )  # no delay_seconds: sleeps DEFAULT_HANG_SECONDS uncancelled
+        start = time.perf_counter()
+
+        def cancel_check():
+            if time.perf_counter() - start > 0.05:
+                raise InjectedFault("deadline fired")
+
+        with pytest.raises(InjectedFault, match="deadline fired"):
+            plan.apply_in_cell(
+                *CELL, attempt=0, cancel_check=cancel_check
+            )
+        assert time.perf_counter() - start < 5
+
+    def test_hang_polls_cancel_promptly(self):
+        """Cancellation latency is bounded by the poll interval, not
+        the hang duration."""
+        plan = FaultPlan(
+            (FaultSpec("epinion", "nq", "gorder", kind="hang",
+                       delay_seconds=30.0),)
+        )
+        calls = []
+
+        def cancel_check():
+            calls.append(time.perf_counter())
+            if len(calls) >= 3:
+                raise InjectedFault("stop")
+
+        with pytest.raises(InjectedFault):
+            plan.apply_in_cell(
+                *CELL, attempt=0, cancel_check=cancel_check
+            )
+        # Three polls happen within a few poll intervals.
+        assert calls[-1] - calls[0] < 1.0
+
+    def test_hang_respects_times(self):
+        plan = FaultPlan(
+            (FaultSpec("epinion", "nq", "gorder", kind="hang",
+                       delay_seconds=0.05, times=1),)
+        )
+        start = time.perf_counter()
+        plan.apply_in_cell(*CELL, attempt=1)  # beyond times: no-op
+        assert time.perf_counter() - start < 0.04
+
     def test_kill_fires_post_cell(self):
         plan = FaultPlan(
             (FaultSpec("epinion", "nq", "gorder", kind="kill"),)

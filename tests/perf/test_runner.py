@@ -1,5 +1,8 @@
 """Unit tests for the experiment runner."""
 
+import threading
+
+import numpy as np
 import pytest
 
 from repro.errors import InvalidParameterError
@@ -189,6 +192,101 @@ class TestCacheBounds:
         from repro.perf import GLOBAL_ORDERING_CACHE
 
         assert GLOBAL_ORDERING_CACHE.max_entries is not None
+
+
+class TestCacheContention:
+    """Regression tests for thread-safety under eviction pressure.
+
+    Before the lock, concurrent workers could corrupt the LRU dict
+    mid-eviction (RuntimeError from a mutated OrderedDict) or strand
+    pins after a double-evict.  These tests hammer a tiny cache from
+    many threads; they must never raise and must leave the pin
+    bookkeeping consistent with the surviving entries.
+    """
+
+    ORDERINGS = ("original", "indegsort", "hubsort", "random")
+
+    def test_eviction_under_contention(self, graph):
+        cache = OrderingCache(max_entries=2)
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(8)
+
+        def worker(index: int) -> None:
+            try:
+                barrier.wait(timeout=10)
+                for step in range(30):
+                    ordering = self.ORDERINGS[
+                        (index + step) % len(self.ORDERINGS)
+                    ]
+                    perm, seconds = cache.permutation(
+                        graph, ordering, seed=step % 2
+                    )
+                    assert sorted(perm) == list(
+                        range(graph.num_nodes)
+                    )
+                    assert seconds >= 0
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(index,))
+            for index in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+        assert len(cache) <= 2
+        # Pin accounting matches the surviving entries exactly.
+        assert sum(cache._pin_counts.values()) == len(cache)
+
+    def test_concurrent_same_key_converges(self, graph):
+        """Racing misses on one key may compute twice but must agree
+        and leave exactly one entry (first insert wins)."""
+        cache = OrderingCache(max_entries=8)
+        barrier = threading.Barrier(6)
+        results = []
+
+        def worker() -> None:
+            barrier.wait(timeout=10)
+            results.append(
+                cache.permutation(graph, "indegsort", 0)[0]
+            )
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert len(results) == 6
+        first = results[0]
+        for perm in results[1:]:
+            assert (perm == first).all()
+        assert len(cache) == 1
+
+    def test_insert_preseeds_the_memo(self, graph):
+        cache = OrderingCache(max_entries=4)
+        perm = np.arange(graph.num_nodes, dtype=np.int64)
+        cache.insert(graph, "original", 0, perm, 0.125)
+        got, seconds = cache.permutation(graph, "original", 0)
+        assert got is perm
+        assert seconds == 0.125
+
+    def test_insert_never_clobbers(self, graph):
+        cache = OrderingCache(max_entries=4)
+        first, _ = cache.permutation(graph, "original", 0)
+        cache.insert(
+            graph,
+            "original",
+            0,
+            np.zeros(graph.num_nodes, dtype=np.int64),
+            9.0,
+        )
+        again, _ = cache.permutation(graph, "original", 0)
+        assert again is first
 
 
 class TestTimeOrdering:

@@ -1,0 +1,76 @@
+"""The atomic-write layer: durability and failure cleanup."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.ioutil import (
+    atomic_open,
+    atomic_write_bytes,
+    atomic_write_text,
+)
+
+
+class TestAtomicOpen:
+    def test_roundtrip(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with atomic_open(target, "w") as handle:
+            handle.write("payload")
+        assert target.read_text() == "payload"
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_binary_roundtrip(self, tmp_path):
+        target = tmp_path / "out.bin"
+        with atomic_open(target, "wb") as handle:
+            handle.write(b"\x00\x01\x02")
+        assert target.read_bytes() == b"\x00\x01\x02"
+
+    def test_temp_removed_when_body_raises(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("original")
+        with pytest.raises(RuntimeError, match="boom"):
+            with atomic_open(target, "w") as handle:
+                handle.write("partial garbage")
+                raise RuntimeError("boom")
+        # The failed write left no temp file behind and never
+        # touched the target.
+        assert not list(tmp_path.glob("*.tmp"))
+        assert target.read_text() == "original"
+
+    def test_new_target_absent_after_failed_write(self, tmp_path):
+        target = tmp_path / "fresh.txt"
+        with pytest.raises(ValueError):
+            with atomic_open(target, "w") as handle:
+                handle.write("half")
+                raise ValueError("interrupted")
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    @pytest.mark.parametrize("mode", ["r", "a", "w+", "rb", "ab"])
+    def test_non_truncating_modes_rejected(self, tmp_path, mode):
+        with pytest.raises(InvalidParameterError):
+            with atomic_open(tmp_path / "out", mode):
+                pass
+
+    def test_replace_is_durable_visible(self, tmp_path):
+        # Overwrite path: the old content stays readable right up to
+        # the atomic replace.
+        target = tmp_path / "state.json"
+        atomic_write_text(target, "v1")
+        with atomic_open(target, "w") as handle:
+            handle.write("v2")
+            assert target.read_text() == "v1"
+        assert target.read_text() == "v2"
+
+
+class TestHelpers:
+    def test_atomic_write_text(self, tmp_path):
+        target = tmp_path / "t.txt"
+        atomic_write_text(target, "héllo")
+        assert target.read_text(encoding="utf-8") == "héllo"
+
+    def test_atomic_write_bytes(self, tmp_path):
+        target = tmp_path / "t.bin"
+        atomic_write_bytes(target, b"abc")
+        assert target.read_bytes() == b"abc"
