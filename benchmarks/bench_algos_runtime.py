@@ -1,0 +1,67 @@
+"""Frontier-runtime benchmark — the traced algorithms' perf gate.
+
+Runs :func:`repro.perf.run_algos_bench` at the profile-selected scale:
+every runtime-ported traced algorithm executes twice over the same
+dataset — once through its scalar per-touch oracle, once through the
+vectorised frontier runtime (:mod:`repro.algorithms.runtime`) — and
+the harness asserts what the runtime must never trade away: identical
+results *and* identical per-level cache counters for every algorithm
+(``run_algos_bench`` itself raises ``BenchRegressionError`` on any
+divergence).  ``BENCH_algos.json`` is recorded under
+``benchmarks/results/<profile>/``.
+
+The headline ratio covers trace *materialisation* (algorithm body +
+touch recording + buffer freeze); the downstream LRU simulation is
+identical work for both emitters and is reported separately in the
+payload's ``with_simulation`` section.
+
+Scale (via ``REPRO_PROFILE``):
+
+* ``quick``    — epinion, 2 PR/LP sweeps, the CI smoke size
+* ``standard`` — sdarc with 2 sweeps
+* ``full``     — the acceptance workload: sdarc, 5 sweeps, where the
+  runtime must hold its >= 3x emission advantage
+"""
+
+import json
+
+from repro.perf import (
+    AlgosBenchConfig,
+    quick_algos_config,
+    render_algos_bench,
+    run_algos_bench,
+    write_bench_json,
+)
+
+#: Per-profile benchmark shapes (full == the acceptance configuration).
+CONFIGS = {
+    "quick": quick_algos_config(),
+    "standard": AlgosBenchConfig(iterations=2, num_sources=2),
+    "full": AlgosBenchConfig(),
+}
+
+#: Emission speedup floors.  The quick dataset is too small to fully
+#: amortise per-sweep numpy pass costs, so it guards against the
+#: runtime *losing*; the acceptance bar applies at full scale.
+SPEEDUP_FLOORS = {"quick": 1.0, "standard": 2.0, "full": 3.0}
+
+
+def test_algos_runtime_bench(profile, results_dir, record):
+    config = CONFIGS[profile.name]
+    payload = run_algos_bench(config)
+
+    # Correctness gates (run_algos_bench itself raises on divergence;
+    # asserted again so the recorded artifact is self-certifying).
+    assert payload["identical"] is True
+    for name, entry in payload["algorithms"].items():
+        assert entry["identical"] is True, name
+
+    speedup = payload["speedup_runtime_vs_scalar"]
+    assert speedup >= SPEEDUP_FLOORS[profile.name], (
+        f"frontier runtime regressed: {speedup:.2f}x vs scalar "
+        f"(floor {SPEEDUP_FLOORS[profile.name]}x at {profile.name})"
+    )
+
+    path = write_bench_json(payload, results_dir / "BENCH_algos.json")
+    record("bench_algos_runtime", render_algos_bench(payload))
+    assert json.loads(path.read_text())["bench"] == "algos_runtime"

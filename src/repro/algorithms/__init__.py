@@ -1,15 +1,23 @@
 """The paper's nine benchmark graph algorithms (pure + traced)."""
 
 from repro.algorithms.base import (
+    ALGO_BACKENDS,
     ALGORITHM_NAMES,
     REGISTRY,
     AlgorithmSpec,
     spec,
+    traced_fn,
 )
 from repro.algorithms.bfs import (
     UNVISITED,
     breadth_first_search,
     breadth_first_search_traced,
+    breadth_first_search_traced_scalar,
+)
+from repro.algorithms.deltastep import (
+    delta_stepping,
+    delta_stepping_traced,
+    edge_weights,
 )
 from repro.algorithms.dfs import (
     depth_first_search,
@@ -18,6 +26,7 @@ from repro.algorithms.dfs import (
 from repro.algorithms.diameter import (
     diameter,
     diameter_traced,
+    diameter_traced_scalar,
     pick_sources,
 )
 from repro.algorithms.domset import dominating_set, dominating_set_traced
@@ -28,13 +37,24 @@ from repro.algorithms.kcore import (
 from repro.algorithms.labelprop import (
     label_propagation,
     label_propagation_traced,
+    label_propagation_traced_scalar,
 )
-from repro.algorithms.nq import neighbor_query, neighbor_query_traced
+from repro.algorithms.nq import (
+    neighbor_query,
+    neighbor_query_traced,
+    neighbor_query_traced_scalar,
+)
 from repro.algorithms.pagerank import (
     DAMPING,
     PAPER_ITERATIONS,
     pagerank,
     pagerank_traced,
+    pagerank_traced_scalar,
+)
+from repro.algorithms.runtime import (
+    BucketQueue,
+    Frontier,
+    TraceEmitter,
 )
 from repro.algorithms.scc import (
     strongly_connected_components,
@@ -44,6 +64,7 @@ from repro.algorithms.sp import (
     INFINITY,
     shortest_paths,
     shortest_paths_traced,
+    shortest_paths_traced_scalar,
 )
 from repro.algorithms.traced_heap import TracedBinaryHeap
 from repro.algorithms.triangles import (
@@ -55,12 +76,18 @@ from repro.algorithms.wcc import (
     weakly_connected_components,
     weakly_connected_components_traced,
 )
+from repro.algorithms.wkcore import (
+    weighted_core_decomposition,
+    weighted_core_decomposition_traced,
+)
 
 __all__ = [
+    "ALGO_BACKENDS",
     "ALGORITHM_NAMES",
     "REGISTRY",
     "AlgorithmSpec",
     "spec",
+    "traced_fn",
     "neighbor_query",
     "neighbor_query_traced",
     "breadth_first_search",
@@ -92,4 +119,18 @@ __all__ = [
     "triangle_count_traced",
     "label_propagation",
     "label_propagation_traced",
+    "label_propagation_traced_scalar",
+    "neighbor_query_traced_scalar",
+    "breadth_first_search_traced_scalar",
+    "shortest_paths_traced_scalar",
+    "pagerank_traced_scalar",
+    "diameter_traced_scalar",
+    "delta_stepping",
+    "delta_stepping_traced",
+    "edge_weights",
+    "weighted_core_decomposition",
+    "weighted_core_decomposition_traced",
+    "BucketQueue",
+    "Frontier",
+    "TraceEmitter",
 ]

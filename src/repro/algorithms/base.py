@@ -15,12 +15,21 @@ from typing import Any, Callable
 from repro.algorithms.bfs import (
     breadth_first_search,
     breadth_first_search_traced,
+    breadth_first_search_traced_scalar,
+)
+from repro.algorithms.deltastep import (
+    delta_stepping,
+    delta_stepping_traced,
 )
 from repro.algorithms.dfs import (
     depth_first_search,
     depth_first_search_traced,
 )
-from repro.algorithms.diameter import diameter, diameter_traced
+from repro.algorithms.diameter import (
+    diameter,
+    diameter_traced,
+    diameter_traced_scalar,
+)
 from repro.algorithms.domset import dominating_set, dominating_set_traced
 from repro.algorithms.kcore import (
     core_decomposition,
@@ -29,14 +38,31 @@ from repro.algorithms.kcore import (
 from repro.algorithms.labelprop import (
     label_propagation,
     label_propagation_traced,
+    label_propagation_traced_scalar,
 )
-from repro.algorithms.nq import neighbor_query, neighbor_query_traced
-from repro.algorithms.pagerank import pagerank, pagerank_traced
+from repro.algorithms.nq import (
+    neighbor_query,
+    neighbor_query_traced,
+    neighbor_query_traced_scalar,
+)
+from repro.algorithms.pagerank import (
+    pagerank,
+    pagerank_traced,
+    pagerank_traced_scalar,
+)
 from repro.algorithms.scc import (
     strongly_connected_components,
     strongly_connected_components_traced,
 )
-from repro.algorithms.sp import shortest_paths, shortest_paths_traced
+from repro.algorithms.sp import (
+    shortest_paths,
+    shortest_paths_traced,
+    shortest_paths_traced_scalar,
+)
+from repro.algorithms.wkcore import (
+    weighted_core_decomposition,
+    weighted_core_decomposition_traced,
+)
 from repro.algorithms.triangles import (
     triangle_count,
     triangle_count_traced,
@@ -45,7 +71,7 @@ from repro.algorithms.wcc import (
     weakly_connected_components,
     weakly_connected_components_traced,
 )
-from repro.errors import UnknownAlgorithmError
+from repro.errors import InvalidParameterError, UnknownAlgorithmError
 
 
 @dataclass(frozen=True)
@@ -62,6 +88,11 @@ class AlgorithmSpec:
     scale_params: tuple[str, ...] = field(default=())
     #: Whether the algorithm belongs to the paper's benchmark nine.
     headline: bool = True
+    #: Scalar-loop trace emitter kept as the runtime port's oracle.
+    #: ``None`` when ``traced`` *is* the scalar implementation (the
+    #: algorithm has no vectorised frontier port) or when the traced
+    #: variant has no touch-sequence twin (DSSSP, WKcore).
+    traced_scalar: Callable[..., Any] | None = None
 
 
 #: The nine algorithms, in the paper's figure order.
@@ -69,11 +100,13 @@ REGISTRY: dict[str, AlgorithmSpec] = {
     spec.name: spec
     for spec in [
         AlgorithmSpec(
-            "nq", "NQ", neighbor_query, neighbor_query_traced
+            "nq", "NQ", neighbor_query, neighbor_query_traced,
+            traced_scalar=neighbor_query_traced_scalar,
         ),
         AlgorithmSpec(
             "bfs", "BFS", breadth_first_search,
             breadth_first_search_traced,
+            traced_scalar=breadth_first_search_traced_scalar,
         ),
         AlgorithmSpec(
             "dfs", "DFS", depth_first_search, depth_first_search_traced
@@ -85,10 +118,12 @@ REGISTRY: dict[str, AlgorithmSpec] = {
         AlgorithmSpec(
             "sp", "SP", shortest_paths, shortest_paths_traced,
             source_params=("source",),
+            traced_scalar=shortest_paths_traced_scalar,
         ),
         AlgorithmSpec(
             "pr", "PR", pagerank, pagerank_traced,
             scale_params=("iterations",),
+            traced_scalar=pagerank_traced_scalar,
         ),
         AlgorithmSpec(
             "ds", "DS", dominating_set, dominating_set_traced
@@ -100,6 +135,7 @@ REGISTRY: dict[str, AlgorithmSpec] = {
         AlgorithmSpec(
             "diam", "Diam", diameter, diameter_traced,
             source_params=("sources",),
+            traced_scalar=diameter_traced_scalar,
         ),
         # Extension algorithms (beyond the paper's nine) — the
         # replication suggests Gorder "could speed up other graph
@@ -115,6 +151,15 @@ REGISTRY: dict[str, AlgorithmSpec] = {
         AlgorithmSpec(
             "lp", "LP", label_propagation, label_propagation_traced,
             scale_params=("iterations",), headline=False,
+            traced_scalar=label_propagation_traced_scalar,
+        ),
+        AlgorithmSpec(
+            "dsssp", "DSSSP", delta_stepping, delta_stepping_traced,
+            source_params=("source",), headline=False,
+        ),
+        AlgorithmSpec(
+            "wkcore", "WKcore", weighted_core_decomposition,
+            weighted_core_decomposition_traced, headline=False,
         ),
     ]
 }
@@ -123,6 +168,27 @@ REGISTRY: dict[str, AlgorithmSpec] = {
 ALGORITHM_NAMES: tuple[str, ...] = tuple(
     name for name, algorithm in REGISTRY.items() if algorithm.headline
 )
+
+#: Trace-emitter selection: ``"runtime"`` is the vectorised frontier
+#: runtime (the default), ``"scalar"`` forces the scalar-loop oracle
+#: where one exists (algorithms without a port run their only traced
+#: implementation either way).
+ALGO_BACKENDS: tuple[str, ...] = ("runtime", "scalar")
+
+
+def traced_fn(
+    algorithm: AlgorithmSpec, algo_backend: str = "runtime"
+) -> Callable[..., Any]:
+    """The trace emitter for ``algorithm`` under ``algo_backend``."""
+    if algo_backend not in ALGO_BACKENDS:
+        known = ", ".join(ALGO_BACKENDS)
+        raise InvalidParameterError(
+            f"algo_backend must be one of {known}, "
+            f"got {algo_backend!r}"
+        )
+    if algo_backend == "scalar" and algorithm.traced_scalar is not None:
+        return algorithm.traced_scalar
+    return algorithm.traced
 
 
 def spec(name: str) -> AlgorithmSpec:

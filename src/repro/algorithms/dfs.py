@@ -61,28 +61,29 @@ def depth_first_search_traced(
     touch_visited = traced_visited.touch
     touch_stack = traced_stack.touch
     for root in range(n):
-        touch_visited(root)  # restart scan probes the visited flag
+        # Restart scan probes the visited flag.
+        touch_visited(root)  # repro: noqa[REP007]
         if visited[root]:
             continue
         visited[root] = True
         stack = [root]
-        touch_stack(0)
+        touch_stack(0)  # repro: noqa[REP007]
         while stack:
-            touch_stack(len(stack) - 1)
+            touch_stack(len(stack) - 1)  # repro: noqa[REP007]
             u = stack.pop()
-            traced_preorder.touch(u)
+            traced_preorder.touch(u)  # repro: noqa[REP007]
             preorder[u] = counter
             counter += 1
-            traced.offsets.touch(u)
+            traced.offsets.touch(u)  # repro: noqa[REP007]
             start = int(offsets[u])
             end = int(offsets[u + 1])
             traced.adjacency.touch_run(start, end - start)
             neighbors = adjacency[start:end]
             for i in range(neighbors.shape[0] - 1, -1, -1):
                 v = int(neighbors[i])
-                touch_visited(v)
+                touch_visited(v)  # repro: noqa[REP007]
                 if not visited[v]:
                     visited[v] = True
                     stack.append(v)
-                    touch_stack(len(stack) - 1)
+                    touch_stack(len(stack) - 1)  # repro: noqa[REP007]
     return preorder

@@ -63,27 +63,27 @@ def _peel(graph: CSRGraph, memory: Memory | None) -> np.ndarray:
     for _ in range(n):
         while True:
             key, u = heap.pop()
-            touch_removed(u)
+            touch_removed(u)  # repro: noqa[REP007]
             if removed[u]:
                 continue  # lazily invalidated entry
-            touch_degree(u)
+            touch_degree(u)  # repro: noqa[REP007]
             if key == int(degrees[u]):
                 break
         removed[u] = True
         if key > level:
             level = key
         core[u] = level
-        touch_core(u)
+        touch_core(u)  # repro: noqa[REP007]
         if traced_offsets is not None:
-            traced_offsets.touch(u)
+            traced_offsets.touch(u)  # repro: noqa[REP007]
         start = int(offsets[u])
         end = int(offsets[u + 1])
         if traced_adjacency is not None:
             traced_adjacency.touch_run(start, end - start)
         for v in adjacency[start:end].tolist():
-            touch_removed(v)
+            touch_removed(v)  # repro: noqa[REP007]
             if not removed[v]:
-                touch_degree(v)
+                touch_degree(v)  # repro: noqa[REP007]
                 degrees[v] -= 1
                 heap.push(int(degrees[v]), v)
     return core

@@ -101,59 +101,59 @@ def strongly_connected_components_traced(
     touch_stack = traced_stack.touch
     touch_adjacency = traced.adjacency.touch
     for root in range(n):
-        touch_disc(root)  # restart scan
+        touch_disc(root)  # restart scan  # repro: noqa[REP007]
         if disc[root] != _UNSET:
             continue
         work: list[list[int]] = [[root, 0]]
         while work:
             u, edge_index = work[-1]
             if edge_index == 0:
-                touch_disc(u)
-                touch_low(u)
+                touch_disc(u)  # repro: noqa[REP007]
+                touch_low(u)  # repro: noqa[REP007]
                 disc[u] = low[u] = counter
                 counter += 1
                 tarjan_stack.append(u)
-                touch_stack(len(tarjan_stack) - 1)
+                touch_stack(len(tarjan_stack) - 1)  # repro: noqa[REP007]
                 on_stack[u] = True
-                touch_on_stack(u)
-                traced.offsets.touch(u)
+                touch_on_stack(u)  # repro: noqa[REP007]
+                traced.offsets.touch(u)  # repro: noqa[REP007]
             start = int(offsets[u])
             end = int(offsets[u + 1])
             descended = False
             i = start + edge_index
             while i < end:
-                touch_adjacency(i)
+                touch_adjacency(i)  # repro: noqa[REP007]
                 v = int(adjacency[i])
                 i += 1
-                touch_disc(v)
+                touch_disc(v)  # repro: noqa[REP007]
                 if disc[v] == _UNSET:
                     work[-1][1] = i - start
                     work.append([v, 0])
                     descended = True
                     break
-                touch_on_stack(v)
+                touch_on_stack(v)  # repro: noqa[REP007]
                 if on_stack[v] and disc[v] < low[u]:
-                    touch_low(u)
+                    touch_low(u)  # repro: noqa[REP007]
                     low[u] = disc[v]
             if descended:
                 continue
-            touch_low(u)
-            touch_disc(u)
+            touch_low(u)  # repro: noqa[REP007]
+            touch_disc(u)  # repro: noqa[REP007]
             if low[u] == disc[u]:
                 while True:
-                    touch_stack(len(tarjan_stack) - 1)
+                    touch_stack(len(tarjan_stack) - 1)  # repro: noqa[REP007]
                     w = tarjan_stack.pop()
                     on_stack[w] = False
-                    touch_on_stack(w)
+                    touch_on_stack(w)  # repro: noqa[REP007]
                     component[w] = components
-                    traced_component.touch(w)
+                    traced_component.touch(w)  # repro: noqa[REP007]
                     if w == u:
                         break
                 components += 1
             work.pop()
             if work:
                 parent = work[-1][0]
-                touch_low(parent)
+                touch_low(parent)  # repro: noqa[REP007]
                 if low[u] < low[parent]:
                     low[parent] = low[u]
     return component

@@ -17,6 +17,13 @@ from collections import deque
 import numpy as np
 
 from repro.algorithms.common import NODE_BYTES, TracedGraph, declare_graph
+from repro.algorithms.runtime import (
+    Frontier,
+    TraceEmitter,
+    interleave_fields,
+    run_field,
+    segment_sums,
+)
 from repro.cache.layout import Memory, TracedArray
 from repro.errors import InvalidParameterError
 from repro.graph.csr import CSRGraph
@@ -92,7 +99,27 @@ def _check_weights(
 def shortest_paths_traced(
     graph: CSRGraph, memory: Memory, source: int = 0
 ) -> np.ndarray:
-    """SPFA with traced memory accesses."""
+    """SPFA with traced memory accesses.
+
+    Runtime-backed: the traced variant is unweighted, and unweighted
+    SPFA from a FIFO queue is level-synchronous — a node's distance
+    improves exactly once (from :data:`INFINITY` to its hop depth), it
+    is never re-queued, and the queue holds each depth contiguously —
+    so each depth advances as one frontier with one assembled access
+    block.  Touch-sequence identical to
+    :func:`shortest_paths_traced_scalar`.
+    """
+    _check_source(graph, source)
+    traced = declare_graph(memory, graph)
+    n = graph.num_nodes
+    arrays = _declare_sp_arrays(memory, n, suffix="")
+    return _sp_runtime_core(graph, traced, arrays, source, memory)
+
+
+def shortest_paths_traced_scalar(
+    graph: CSRGraph, memory: Memory, source: int = 0
+) -> np.ndarray:
+    """Scalar-loop SPFA emitter: the runtime port's oracle."""
     _check_source(graph, source)
     traced = declare_graph(memory, graph)
     n = graph.num_nodes
@@ -118,13 +145,88 @@ def _declare_sp_arrays(
     }
 
 
+def _sp_runtime_core(
+    graph: CSRGraph,
+    traced: TracedGraph,
+    arrays: dict[str, TracedArray],
+    source: int,
+    memory: Memory,
+) -> np.ndarray:
+    """One runtime-backed SPFA run over pre-declared arrays.
+
+    Emits, per depth, one block holding for every frontier node the
+    queue pop (modulo-``n`` slot), the ``in_queue`` clear, the
+    ``distance`` read and the ``offsets`` touch, then the adjacency
+    ``touch_run`` span, then per edge the ``distance`` probe and — on
+    improvement, which in the unweighted run means first discovery —
+    the ``in_queue`` set and queue push.
+    """
+    n = graph.num_nodes
+    offsets = graph.offsets
+    adjacency = graph.adjacency
+    t_distance = arrays["distance"]
+    t_in_queue = arrays["in_queue"]
+    t_queue = arrays["queue"]
+    emitter = TraceEmitter(memory)
+    distance = np.full(n, INFINITY, dtype=np.int64)
+    distance[source] = 0
+    source_idx = np.array([source], dtype=np.int64)
+    emitter.flush(np.concatenate([
+        t_distance.element_lines(source_idx),
+        t_in_queue.element_lines(source_idx),
+        t_queue.element_lines(np.zeros(1, dtype=np.int64)),
+    ]))
+    frontier = Frontier(source_idx, n)
+    head, tail, depth = 0, 1, 0
+    while frontier.size:
+        edges = frontier.advance(offsets, adjacency)
+        targets = edges.targets
+        # candidate < distance[v] with candidate = depth + 1 holds
+        # exactly for still-infinite targets; the first improving edge
+        # claims the node (later same-level edges see depth + 1).
+        newly = frontier.first_claims(
+            edges, distance[targets] == INFINITY
+        )
+        discovered = targets[newly]
+        num_discovered = int(discovered.shape[0])
+        size = frontier.size
+        ones = np.ones(size, dtype=np.int64)
+        runs = run_field(traced.adjacency, edges.starts, edges.degrees)
+        push_at = (tail + np.cumsum(newly) - 1) % n
+        edge_lines, edge_demand = interleave_fields([
+            (np.ones(edges.total, dtype=np.int64),
+             t_distance.element_lines(targets), None),
+            (newly.astype(np.int64),
+             t_in_queue.element_lines(discovered), None),
+            (newly.astype(np.int64),
+             t_queue.element_lines(push_at[newly]), None),
+        ])
+        lines, demand = interleave_fields([
+            (ones, t_queue.element_lines(
+                (head + np.arange(size, dtype=np.int64)) % n), None),
+            (ones, t_in_queue.element_lines(frontier.nodes), None),
+            (ones, t_distance.element_lines(frontier.nodes), None),
+            (ones, traced.offsets.element_lines(frontier.nodes), None),
+            runs.as_field(),
+            (edges.degrees + 2 * segment_sums(newly, edges.degrees),
+             edge_lines, edge_demand),
+        ])
+        emitter.flush(lines, demand, runs.extra_l1, runs.prefetched)
+        depth += 1
+        distance[discovered] = depth
+        head += size
+        tail += num_discovered
+        frontier = Frontier(discovered, n)
+    return distance
+
+
 def _sp_traced_core(
     graph: CSRGraph,
     traced: TracedGraph,
     arrays: dict[str, TracedArray],
     source: int,
 ) -> np.ndarray:
-    """One traced SPFA run over pre-declared arrays."""
+    """One traced SPFA run over pre-declared arrays (scalar oracle)."""
     n = graph.num_nodes
     offsets = graph.offsets
     adjacency = graph.adjacency
@@ -142,25 +244,25 @@ def _sp_traced_core(
     tail = 1
     touch_queue(0)
     while queue:
-        touch_queue(head % n)
+        touch_queue(head % n)  # repro: noqa[REP007] — scalar oracle
         head += 1
         u = queue.popleft()
         in_queue[u] = False
-        touch_in_queue(u)
-        touch_distance(u)
+        touch_in_queue(u)  # repro: noqa[REP007] — scalar oracle
+        touch_distance(u)  # repro: noqa[REP007] — scalar oracle
         candidate = distance[u] + 1
-        traced.offsets.touch(u)
+        traced.offsets.touch(u)  # repro: noqa[REP007] — scalar oracle
         start = int(offsets[u])
         end = int(offsets[u + 1])
         traced.adjacency.touch_run(start, end - start)
         for v in adjacency[start:end].tolist():
-            touch_distance(v)
+            touch_distance(v)  # repro: noqa[REP007] — scalar oracle
             if candidate < distance[v]:
                 distance[v] = candidate
-                touch_in_queue(v)
+                touch_in_queue(v)  # repro: noqa[REP007] — scalar oracle
                 if not in_queue[v]:
                     in_queue[v] = True
                     queue.append(v)
-                    touch_queue(tail % n)
+                    touch_queue(tail % n)  # repro: noqa[REP007] — oracle
                     tail += 1
     return distance

@@ -38,7 +38,7 @@ def _wcc(graph: CSRGraph, memory: Memory | None) -> np.ndarray:
         start = int(offsets[u])
         end = int(offsets[u + 1])
         if traced is not None:
-            traced.offsets.touch(u)
+            traced.offsets.touch(u)  # repro: noqa[REP007]
             traced.adjacency.touch_run(start, end - start)
         for v in adjacency[start:end].tolist():
             dsu.union(u, v)

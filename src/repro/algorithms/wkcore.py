@@ -1,0 +1,164 @@
+"""WKcore — weighted core decomposition (extension algorithm).
+
+Weighted coreness on the undirected view: a node's weighted degree is
+the sum of its incident edge weights (synthesised deterministically,
+see :func:`repro.algorithms.deltastep.edge_weights`), and peeling
+removes minimum-weighted-degree nodes, clamping every decrement at the
+current peel level so coreness is monotone — the standard weighted
+generalisation of k-core.
+
+Batch peeling is *order-independent*: removing the whole minimum
+bucket at once applies, per surviving neighbour, the same clamped
+total decrement as removing its members one at a time (the clamp
+commutes with the subtraction because degrees never sit below the
+level).  That makes the bucket runtime a drop-in: the traced variant
+peels bucket-by-bucket through a
+:class:`~repro.algorithms.runtime.BucketQueue` while the pure oracle
+peels one node at a time from a binary heap, and both must produce
+identical coreness.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.algorithms.common import NODE_BYTES, OFFSET_BYTES
+from repro.algorithms.deltastep import edge_weights
+from repro.algorithms.runtime import (
+    BucketQueue,
+    TraceEmitter,
+    interleave_fields,
+    run_field,
+    segment_sums,
+)
+from repro.cache.layout import Memory
+from repro.graph.csr import CSRGraph
+
+
+def weighted_core_decomposition(graph: CSRGraph) -> np.ndarray:
+    """Weighted coreness per node (heap peel; the traced oracle)."""
+    undirected = graph.undirected()
+    n = undirected.num_nodes
+    offsets = undirected.offsets
+    adjacency = undirected.adjacency
+    weights = edge_weights(undirected)
+    degree = np.zeros(n, dtype=np.int64)
+    np.add.at(degree, np.repeat(
+        np.arange(n), np.diff(offsets).astype(np.int64)
+    ), weights)
+    coreness = np.zeros(n, dtype=np.int64)
+    removed = np.zeros(n, dtype=bool)
+    heap = [(int(degree[u]), u) for u in range(n)]
+    heapq.heapify(heap)
+    level = 0
+    while heap:
+        deg_u, u = heapq.heappop(heap)
+        if removed[u] or deg_u != degree[u]:
+            continue  # stale heap entry
+        level = max(level, deg_u)
+        coreness[u] = level
+        removed[u] = True
+        start = int(offsets[u])
+        end = int(offsets[u + 1])
+        for i, v in enumerate(adjacency[start:end].tolist()):
+            if removed[v]:
+                continue
+            lowered = max(int(degree[v]) - int(weights[start + i]), level)
+            if lowered != degree[v]:
+                degree[v] = lowered
+                heapq.heappush(heap, (lowered, v))
+    return coreness
+
+
+def weighted_core_decomposition_traced(
+    graph: CSRGraph, memory: Memory
+) -> np.ndarray:
+    """Weighted coreness with traced memory accesses.
+
+    Runtime-backed batch peel: pop the minimum weighted-degree bucket,
+    peel every still-valid node in it as one frontier, apply the
+    clamped decrements to surviving neighbours in one scatter, and
+    push the lowered neighbours into their new buckets.  Emits per
+    round one block: per peeled node the ``degree`` read, ``coreness``
+    write and ``offsets`` touch, the adjacency and ``weights`` spans,
+    then per edge the surviving neighbour's ``degree`` update.
+
+    Coreness equals :func:`weighted_core_decomposition` (the
+    sequential heap oracle); like DSSSP there is no scalar trace twin
+    — the touch sequence is the batch peel's own.
+    """
+    undirected = graph.undirected()
+    n = undirected.num_nodes
+    m = undirected.num_edges
+    offsets = undirected.offsets
+    adjacency = undirected.adjacency.astype(np.int64, copy=False)
+    weights = edge_weights(undirected)
+    traced_offsets = memory.array("u_offsets", n + 1, OFFSET_BYTES)
+    traced_adjacency = memory.array("u_adjacency", m, NODE_BYTES)
+    traced_weights = memory.array("weights", m, NODE_BYTES)
+    traced_degree = memory.array("degree", n, NODE_BYTES)
+    traced_coreness = memory.array("coreness", n, NODE_BYTES)
+    starts_all = offsets[:-1].astype(np.int64, copy=False)
+    degrees_all = (
+        offsets[1:].astype(np.int64, copy=False) - starts_all
+    )
+    degree = np.zeros(n, dtype=np.int64)
+    np.add.at(degree, np.repeat(np.arange(n), degrees_all), weights)
+    emitter = TraceEmitter(memory)
+    if n:
+        # Initial weighted-degree build: one sequential sweep.
+        traced_degree.touch_runs(
+            np.zeros(1, dtype=np.int64), np.array([n], dtype=np.int64)
+        )
+    coreness = np.zeros(n, dtype=np.int64)
+    removed = np.zeros(n, dtype=bool)
+    queue = BucketQueue()
+    queue.push(degree, np.arange(n, dtype=np.int64))
+    level = 0
+    while not queue.empty:
+        key, popped = queue.pop_bucket()
+        valid = popped[~removed[popped] & (degree[popped] == key)]
+        if valid.shape[0] == 0:
+            continue
+        valid = np.unique(valid)
+        level = max(level, key)
+        coreness[valid] = level
+        removed[valid] = True
+        starts = starts_all[valid]
+        degs = degrees_all[valid]
+        total = int(degs.sum())
+        flat = np.repeat(starts, degs) + (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(np.cumsum(degs) - degs, degs)
+        )
+        targets = adjacency[flat]
+        survives = ~removed[targets]
+        drop = np.zeros(n, dtype=np.int64)
+        np.add.at(drop, targets[survives], weights[flat[survives]])
+        touched = np.flatnonzero(drop)
+        lowered = np.maximum(degree[touched] - drop[touched], level)
+        changed = touched[lowered != degree[touched]]
+        degree[touched] = lowered
+        num_valid = int(valid.shape[0])
+        ones = np.ones(num_valid, dtype=np.int64)
+        adj_runs = run_field(traced_adjacency, starts, degs)
+        weight_runs = run_field(traced_weights, starts, degs)
+        lines, demand = interleave_fields([
+            (ones, traced_degree.element_lines(valid), None),
+            (ones, traced_coreness.element_lines(valid), None),
+            (ones, traced_offsets.element_lines(valid), None),
+            adj_runs.as_field(),
+            weight_runs.as_field(),
+            (segment_sums(survives, degs),
+             traced_degree.element_lines(targets[survives]), None),
+        ])
+        emitter.flush(
+            lines, demand,
+            adj_runs.extra_l1 + weight_runs.extra_l1,
+            adj_runs.prefetched + weight_runs.prefetched,
+        )
+        if changed.shape[0]:
+            queue.push(degree[changed], changed)
+    return coreness

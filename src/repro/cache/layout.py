@@ -43,10 +43,13 @@ class TracedArray:
     """A declared array whose element accesses hit the simulator.
 
     Create via :meth:`Memory.array`.  ``touch(i)`` models reading or
-    writing element ``i``; ``touch_all(indices)`` models one reference
-    per index, in order; ``touch_run(start, count)`` models a
-    sequential scan and exploits the guarantee that consecutive
-    elements on one line hit L1 after the line is first referenced.
+    writing element ``i``; ``touch_many(indices)`` models one reference
+    per index, in order (``touch_all`` is a retained alias);
+    ``touch_run(start, count)`` models a sequential scan and exploits
+    the guarantee that consecutive elements on one line hit L1 after
+    the line is first referenced; ``touch_runs(starts, lengths)`` is
+    its batched form.  ``element_lines(indices)`` exposes the
+    element-to-line mapping for the frontier runtime's block emitter.
     """
 
     __slots__ = ("name", "length", "itemsize", "_base", "_memory")
@@ -86,7 +89,7 @@ class TracedArray:
         else:
             memory._level_counts[memory._hierarchy.access(line)] += 1
 
-    def touch_all(self, indices) -> None:
+    def touch_many(self, indices) -> None:
         """Model one reference per element of ``indices``, in order.
 
         Semantically ``for i in indices: self.touch(i)``; in replay
@@ -97,12 +100,12 @@ class TracedArray:
         idx = np.asarray(indices)
         if idx.ndim != 1:
             raise InvalidParameterError(
-                f"touch_all expects a 1-D index array, got shape "
+                f"touch_many expects a 1-D index array, got shape "
                 f"{idx.shape}"
             )
         if idx.dtype.kind not in "iu":
             raise InvalidParameterError(
-                f"touch_all expects integer indices, got dtype {idx.dtype}"
+                f"touch_many expects integer indices, got dtype {idx.dtype}"
             )
         if idx.shape[0] == 0:
             return
@@ -118,7 +121,7 @@ class TracedArray:
         idx = idx.astype(np.int64, copy=False)
         if int(idx.min()) < 0 or int(idx.max()) >= self.length:
             raise InvalidParameterError(
-                f"touch_all indices outside array {self.name!r} "
+                f"touch_many indices outside array {self.name!r} "
                 f"of length {self.length}"
             )
         lines = (self._base + idx * self.itemsize) >> memory._line_shift
@@ -126,6 +129,10 @@ class TracedArray:
         access = memory._hierarchy.access
         for line in lines.tolist():
             counts[access(line)] += 1
+
+    def touch_all(self, indices) -> None:
+        """Alias of :meth:`touch_many` (the original spelling)."""
+        self.touch_many(indices)
 
     def touch_run(self, start: int, count: int) -> None:
         """Model a sequential scan of ``count`` elements from ``start``.
@@ -180,6 +187,73 @@ class TracedArray:
             remaining -= on_line
             line += 1
         memory._prefetched_refs += prefetched
+
+    def touch_runs(self, starts, lengths) -> None:
+        """Model a batch of sequential scans, in order.
+
+        Semantically ``for s, c in zip(starts, lengths):
+        self.touch_run(s, c)`` — zero-length runs are skipped, bounds
+        are checked per run.  In replay mode the whole batch lands in
+        the trace buffer with one vectorised append instead of one
+        Python call per run.
+        """
+        s = np.asarray(starts)
+        c = np.asarray(lengths)
+        if s.ndim != 1 or c.ndim != 1 or s.shape != c.shape:
+            raise InvalidParameterError(
+                f"touch_runs expects aligned 1-D arrays, got shapes "
+                f"{s.shape} and {c.shape}"
+            )
+        if s.dtype.kind not in "iu" or c.dtype.kind not in "iu":
+            raise InvalidParameterError(
+                f"touch_runs expects integer arrays, got dtypes "
+                f"{s.dtype} and {c.dtype}"
+            )
+        s = s.astype(np.int64, copy=False)
+        c = c.astype(np.int64, copy=False)
+        live = c > 0
+        if not live.all():
+            s = s[live]
+            c = c[live]
+        if s.shape[0] == 0:
+            return
+        if int(s.min()) < 0 or int((s + c).max()) > self.length:
+            raise InvalidParameterError(
+                f"touch_runs spans outside array {self.name!r} "
+                f"of length {self.length}"
+            )
+        memory = self._memory
+        if memory._record:
+            shift = memory._line_shift
+            first = (self._base + s * self.itemsize) >> np.int64(shift)
+            last = (
+                self._base + (s + c - 1) * self.itemsize
+            ) >> np.int64(shift)
+            memory._trace.record_runs(first, last - first + 1, c)
+            memory._dirty = True
+            return
+        for start, count in zip(s.tolist(), c.tolist()):
+            self.touch_run(start, count)
+
+    def element_lines(self, indices) -> np.ndarray:
+        """Cache line ids of ``indices`` (vectorised, bounds-checked).
+
+        The building block of the frontier runtime's batched emission:
+        algorithms resolve whole per-iteration index vectors to line
+        ids here and hand the assembled access stream to
+        :meth:`Memory.touch_block` in one call.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.shape[0] and (
+            int(idx.min()) < 0 or int(idx.max()) >= self.length
+        ):
+            raise InvalidParameterError(
+                f"element_lines indices outside array {self.name!r} "
+                f"of length {self.length}"
+            )
+        return (
+            self._base + idx * self.itemsize
+        ) >> np.int64(self._memory._line_shift)
 
     def line_of(self, index: int) -> int:
         """Cache line id of element ``index`` (for tests)."""
@@ -301,6 +375,49 @@ class Memory:
     def work(self, cycles: float) -> None:
         """Account pure-CPU work that performs no data reference."""
         self.extra_work += cycles
+
+    def touch_block(
+        self,
+        lines: np.ndarray,
+        demand: np.ndarray,
+        extra_l1: int = 0,
+        prefetched: int = 0,
+    ) -> None:
+        """Drive a pre-resolved access block through the simulator.
+
+        The frontier runtime's ingestion point: ``lines`` are int64
+        cache line ids in exact emission order (resolved via
+        :meth:`TracedArray.element_lines`, so they are valid by
+        construction), ``demand`` marks which of them are demand
+        accesses (``False`` = prefetched fill of a sequential scan:
+        updates cache state but is not charged to ``level_counts``).
+        ``extra_l1`` counts run-compressed element references that are
+        L1 hits by construction; ``prefetched`` counts the ``False``
+        entries for :attr:`prefetched_refs`.
+
+        In replay mode the block is appended to the trace buffer by
+        reference (one Python call per block); in step mode it is
+        stepped scalar — exactly the accesses the scalar emitters
+        would make, so backends stay counter-identical.
+        """
+        if lines.ndim != 1 or demand.shape != lines.shape:
+            raise InvalidParameterError(
+                f"touch_block expects aligned 1-D arrays, got shapes "
+                f"{lines.shape} and {demand.shape}"
+            )
+        if self._record:
+            self._trace.record_block(lines, demand, extra_l1, prefetched)
+            self._dirty = True
+            return
+        counts = self._level_counts
+        access = self._hierarchy.access
+        for line, dem in zip(lines.tolist(), demand.tolist()):
+            if dem:
+                counts[access(line)] += 1
+            else:
+                access(line)
+        counts[1] += extra_l1
+        self._prefetched_refs += prefetched
 
     # ------------------------------------------------------------------
     # Results

@@ -12,7 +12,11 @@ record now, compute later, array-wise.
   touch batches *by reference* — index conversion, bounds checking
   and line arithmetic are all deferred to ``freeze()``, which
   interleaves everything back into one flat line-id access stream in
-  a handful of numpy passes.
+  a handful of numpy passes.  The frontier runtime
+  (:mod:`repro.algorithms.runtime`) bypasses even the deferred
+  channels: it pre-resolves whole per-iteration access vectors to
+  line ids and demand flags and appends them via ``record_block`` —
+  one Python call per frontier advance instead of one per access.
 * :func:`hit_mask` classifies every access of a line stream against
   one set-associative LRU level — **exactly**, not approximately.
   ``CacheHierarchy.replay`` chains it level by level (each level's
@@ -614,7 +618,7 @@ _EMPTY = np.zeros(0, dtype=np.int64)
 class TraceBuffer:
     """Growable record of touches, cheap to append and cheap to freeze.
 
-    Three channels, interleaved by position at freeze time:
+    Four channels, interleaved by position at freeze time:
 
     * ``touches`` — a plain list of single demand line ids
       (``list.append`` is the hottest record-mode operation);
@@ -627,10 +631,15 @@ class TraceBuffer:
       caller must not mutate an index array between ``record_many``
       and ``freeze`` (the traced algorithms never do — they pass
       adjacency slices that stay untouched).
+    * blocks — pre-resolved interleaved access vectors from the
+      frontier runtime (:meth:`record_block`): line ids and demand
+      flags already in emission order, stored **by reference**.  The
+      block channel is how :mod:`repro.algorithms.runtime` appends a
+      whole frontier advance in one call.
 
-    Each run/batch remembers the ``touches`` length at record time
-    (its interleave position) and a global sequence number (its order
-    relative to other runs/batches at the same position).  Bounds
+    Each run/batch/block remembers the ``touches`` length at record
+    time (its interleave position) and a global sequence number (its
+    order relative to other segments at the same position).  Bounds
     errors in deferred batches surface at ``freeze()`` — that is, when
     results are first read — rather than at touch time; the exception
     type matches the scalar path's.
@@ -640,6 +649,7 @@ class TraceBuffer:
         "touches", "_line_shift",
         "_runs",
         "_many_idx", "_many_meta", "_many_names",
+        "_blocks", "_block_meta",
         "_seq", "_segment_refs",
         "extra_l1", "prefetched_refs",
     )
@@ -651,6 +661,8 @@ class TraceBuffer:
         self._many_idx: list[np.ndarray] = []
         self._many_meta: list[tuple[int, int, int, int, int]] = []
         self._many_names: list[str] = []
+        self._blocks: list[tuple[np.ndarray, np.ndarray]] = []
+        self._block_meta: list[tuple[int, int]] = []
         self._seq = 0
         self._segment_refs = 0
         self.extra_l1 = 0
@@ -689,6 +701,54 @@ class TraceBuffer:
         self._seq += 1
         self._segment_refs += int(indices.shape[0])
 
+    def record_runs(
+        self,
+        line0s: np.ndarray,
+        nlines: np.ndarray,
+        counts: np.ndarray,
+    ) -> None:
+        """A batch of sequential scans, equivalent to calling
+        :meth:`record_run` once per element (all arrays int64, aligned,
+        every count >= 1)."""
+        num = line0s.shape[0]
+        pos = len(self.touches)
+        seq0 = self._seq
+        self._runs.extend(
+            zip(
+                range(seq0, seq0 + num),
+                (pos,) * num,
+                line0s.tolist(),
+                nlines.tolist(),
+            )
+        )
+        self._seq += num
+        total = int(counts.sum())
+        self._segment_refs += total
+        self.extra_l1 += total - num
+        self.prefetched_refs += int(nlines.sum()) - num
+
+    def record_block(
+        self,
+        lines: np.ndarray,
+        demand: np.ndarray,
+        extra_l1: int,
+        prefetched: int,
+    ) -> None:
+        """A pre-resolved interleaved access vector: ``lines`` (int64
+        line ids in emission order) with a ``demand`` bool mask
+        (``False`` marks prefetched fills, counted like a run's trailing
+        lines).  Arrays are kept **by reference** — the caller must not
+        mutate them before ``freeze()``.  ``extra_l1`` aggregates
+        run-compressed element references that are L1 hits by
+        construction; ``prefetched`` is the prefetched-line count the
+        block contributes to ``Memory.prefetched_refs``."""
+        self._block_meta.append((self._seq, len(self.touches)))
+        self._blocks.append((lines, demand))
+        self._seq += 1
+        self._segment_refs += int(demand.sum()) + extra_l1
+        self.extra_l1 += extra_l1
+        self.prefetched_refs += prefetched
+
     # ------------------------------------------------------------------
     def _resolve_batches(self) -> tuple[np.ndarray, ...]:
         """Convert deferred batches: one concatenation, one bounds
@@ -706,7 +766,7 @@ class TraceBuffer:
             first = int(np.argmax(bad))
             batch = int(np.searchsorted(np.cumsum(lens), first, side="right"))
             raise InvalidParameterError(
-                f"touch_all indices outside array "
+                f"touch_many indices outside array "
                 f"{self._many_names[batch]!r} of length "
                 f"{int(meta[batch, 4])}"
             )
@@ -731,18 +791,36 @@ class TraceBuffer:
             )
         else:
             many_seq = many_pos = many_lens = many_lines = _EMPTY
+        if self._blocks:
+            block_meta = np.asarray(self._block_meta, dtype=np.int64)
+            block_seq, block_pos = block_meta[:, 0], block_meta[:, 1]
+            block_lens = np.fromiter(
+                (b.shape[0] for b, _ in self._blocks),
+                dtype=np.int64,
+                count=len(self._blocks),
+            )
+        else:
+            block_seq = block_pos = block_lens = _EMPTY
         num_runs = run_seq.shape[0]
         num_batches = many_seq.shape[0]
-        num_segments = num_runs + num_batches
-        # Merge the two (already seq-sorted) segment channels.
-        run_at = np.arange(num_runs) + np.searchsorted(many_seq, run_seq)
-        many_at = np.arange(num_batches) + np.searchsorted(run_seq, many_seq)
+        num_blocks = block_seq.shape[0]
+        num_segments = num_runs + num_batches + num_blocks
+        # Merge the three (each already seq-sorted) segment channels:
+        # rank every segment by its global sequence number.
+        seq_all = np.concatenate([run_seq, many_seq, block_seq])
+        rank = np.empty(num_segments, dtype=np.int64)
+        rank[np.argsort(seq_all, kind="stable")] = np.arange(num_segments)
+        run_at = rank[:num_runs]
+        many_at = rank[num_runs:num_runs + num_batches]
+        block_at = rank[num_runs + num_batches:]
         seg_pos = np.empty(num_segments, dtype=np.int64)
         seg_pos[run_at] = run_pos
         seg_pos[many_at] = many_pos
+        seg_pos[block_at] = block_pos
         seg_len = np.empty(num_segments, dtype=np.int64)
         seg_len[run_at] = run_nlines
         seg_len[many_at] = many_lens
+        seg_len[block_at] = block_lens
         cum_len = np.cumsum(seg_len)
         # A segment recorded at position p precedes touches[p]; its
         # expanded start is p singles plus every earlier segment.
@@ -773,6 +851,14 @@ class TraceBuffer:
             lines[np.repeat(seg_start[many_at], many_lens) + ramp] = (
                 many_lines
             )
+        if num_blocks:
+            block_cum = np.cumsum(block_lens)
+            ramp = np.arange(
+                int(block_cum[-1]), dtype=np.int64
+            ) - np.repeat(block_cum - block_lens, block_lens)
+            at = np.repeat(seg_start[block_at], block_lens) + ramp
+            lines[at] = np.concatenate([b for b, _ in self._blocks])
+            demand[at] = np.concatenate([d for _, d in self._blocks])
         return CacheTrace(
             lines=lines,
             demand_idx=np.flatnonzero(demand),

@@ -150,6 +150,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         hierarchy=profile.hierarchy(),
         ordering_params=_ordering_params(args),
         cache_backend=profile.cache_backend,
+        algo_backend=getattr(args, "algo_backend", None) or "runtime",
     )
     stats = result.stats
     print(f"dataset     : {result.dataset}")
@@ -506,7 +507,27 @@ def _cmd_annealing(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    if args.suite == "cache":
+    if args.suite == "algos":
+        base = (
+            perf.quick_algos_config() if args.quick
+            else perf.AlgosBenchConfig()
+        )
+        overrides = {
+            name: value
+            for name, value in [
+                ("dataset", args.dataset),
+                ("iterations", args.iterations),
+                ("hierarchy", args.hierarchy),
+                ("num_sources", args.num_sources),
+                ("repeats", args.repeats),
+            ]
+            if value is not None
+        }
+        config = replace(base, **overrides)
+        payload = perf.run_algos_bench(config)
+        print(perf.render_algos_bench(payload))
+        out = args.out or "BENCH_algos.json"
+    elif args.suite == "cache":
         base = (
             perf.quick_cache_config() if args.quick
             else perf.CacheBenchConfig()
@@ -795,6 +816,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache simulator: vectorised trace replay (profile "
              "default) or scalar stepping",
     )
+    group.add_argument(
+        "--algo-backend",
+        choices=("runtime", "scalar"),
+        default=None,
+        help="trace emitter: vectorised frontier runtime (default) "
+             "or the scalar-loop oracle (counter-identical)",
+    )
     # Sweep-engine flags shared by the matrix commands.
     sweep_flags = argparse.ArgumentParser(add_help=False)
     group = sweep_flags.add_argument_group("fault tolerance")
@@ -1016,23 +1044,27 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=ALL_ORDERING_NAMES)
 
     p = add("bench", _cmd_bench,
-            help="perf benchmarks (Gorder kernel / cache replay)")
-    p.add_argument("--suite", choices=("gorder", "cache"),
+            help="perf benchmarks (Gorder kernel / cache replay / "
+                 "frontier runtime)")
+    p.add_argument("--suite", choices=("gorder", "cache", "algos"),
                    default="gorder",
                    help="gorder: ordering kernel (BENCH_gorder.json); "
                         "cache: trace-replay simulator backend "
-                        "(BENCH_cache.json)")
+                        "(BENCH_cache.json); algos: frontier-runtime "
+                        "vs scalar emitters (BENCH_algos.json)")
     p.add_argument("--quick", action="store_true",
                    help="small smoke configuration (CI bench job)")
     p.add_argument("--out", metavar="PATH", default=None,
                    help="output JSON path (default BENCH_<suite>.json)")
     p.add_argument("--dataset", default=None,
-                   help="cache suite: dataset for the recorded trace")
+                   help="cache/algos suites: dataset for the runs")
     p.add_argument("--iterations", type=int, default=None,
-                   help="cache suite: traced PageRank iterations")
+                   help="cache/algos suites: traced sweep iterations")
     p.add_argument("--hierarchy", choices=("paper", "scaled"),
                    default=None,
-                   help="cache suite: hierarchy the trace replays on")
+                   help="cache/algos suites: simulated hierarchy")
+    p.add_argument("--num-sources", type=int, default=None,
+                   help="algos suite: diameter SP repetitions")
     p.add_argument("--nodes", type=int, default=None,
                    help="benchmark graph size (default 50000)")
     p.add_argument("--edges-per-node", type=int, default=None,

@@ -57,6 +57,38 @@ reports a speedup.  Schema (version 1)::
         "step_seconds", "replay_seconds", "speedup"
       }
     }
+
+Finally the **algorithm-runtime benchmark**
+(:func:`run_algos_bench`, ``BENCH_algos.json``): every frontier-shaped
+traced algorithm runs twice over the same dataset — once through its
+scalar per-touch oracle, once through the vectorised frontier runtime
+(:mod:`repro.algorithms.runtime`) — and the harness enforces identical
+results *and* per-level cache counters before reporting.  The headline
+timing covers the traced run through trace materialisation (algorithm
+body + touch recording + buffer freeze); the downstream LRU simulation
+is the same work for both emitters (it is ``cache_replay``'s subject)
+and is reported separately.  Schema (version 1)::
+
+    {
+      "schema_version": 1,
+      "bench": "algos_runtime",
+      "quick": bool,
+      "manifest": {...},
+      "workload": {"dataset", "hierarchy", "iterations", "num_sources",
+                   "nodes", "edges", "algorithms"},
+      "algorithms": {
+        "<name>": {"scalar_seconds", "runtime_seconds", "speedup",
+                   "simulate_seconds": {"scalar", "runtime"},
+                   "level_counts", "total_refs", "prefetched_refs",
+                   "identical"}
+      },
+      "totals": {"scalar_seconds", "runtime_seconds"},
+      "speedup_runtime_vs_scalar": float,  # the headline number
+      "with_simulation": {                 # incl. LRU simulation
+        "scalar_seconds", "runtime_seconds", "speedup"
+      },
+      "identical": true                    # divergence raises instead
+    }
 """
 
 from __future__ import annotations
@@ -483,6 +515,242 @@ def _bench_end_to_end(graph, factory, config: CacheBenchConfig) -> dict:
         ),
         "identical": True,  # divergence raises instead
     }
+
+
+# ----------------------------------------------------------------------
+# Frontier-runtime algorithm benchmark
+# ----------------------------------------------------------------------
+#: Algorithms with a vectorised runtime port (scalar oracle retained);
+#: the traced acceptance workload of ``BENCH_algos.json``.
+RUNTIME_ALGORITHMS: tuple[str, ...] = (
+    "nq", "bfs", "sp", "pr", "lp", "diam"
+)
+
+
+@dataclass(frozen=True)
+class AlgosBenchConfig:
+    """Shape of one frontier-runtime algorithm benchmark run."""
+
+    #: Dataset the traced suite runs on (the acceptance workload is
+    #: the largest analogue, ``sdarc``).
+    dataset: str = "sdarc"
+    #: Hierarchy the runs simulate against (``"paper"``/``"scaled"``).
+    hierarchy: str = "scaled"
+    #: PageRank / label-propagation sweep count.
+    iterations: int = 5
+    #: Diameter SP repetitions.
+    num_sources: int = 4
+    #: Best-of-N timing; 2 absorbs allocator cold start.
+    repeats: int = 2
+    quick: bool = False
+
+
+def quick_algos_config(**overrides) -> AlgosBenchConfig:
+    """The CI smoke configuration (small dataset, same schema)."""
+    settings = dict(
+        dataset="epinion", iterations=2, num_sources=2, repeats=1,
+        quick=True,
+    )
+    settings.update(overrides)
+    return AlgosBenchConfig(**settings)
+
+
+def _algo_params(config: AlgosBenchConfig) -> dict[str, dict]:
+    return {
+        "sp": {"source": 0},
+        "pr": {"iterations": config.iterations},
+        "lp": {"iterations": config.iterations},
+        "diam": {"num_sources": config.num_sources, "seed": 0},
+    }
+
+
+def run_algos_bench(config: AlgosBenchConfig | None = None) -> dict:
+    """Run the traced algorithm suite under both emitters; the payload.
+
+    Every algorithm runs twice over the same dataset and hierarchy —
+    once through its scalar-loop oracle, once through the vectorised
+    frontier runtime — and :class:`BenchRegressionError` is raised
+    unless the results **and** the per-level cache counters are
+    identical: the runtime's whole contract is emitting the exact
+    touch sequence the scalar code does, so any divergence is a
+    correctness bug, not a perf trade-off.
+
+    The headline timing covers the traced run end-to-end through
+    trace *materialisation* (the algorithm body, all touch recording,
+    and the buffer freeze) — the phase the frontier runtime
+    vectorises.  The downstream LRU simulation of the materialised
+    trace is byte-for-byte the same work for both emitters (it is the
+    cache-replay benchmark's subject, ``BENCH_cache.json``), so it is
+    timed separately and reported as ``simulate_seconds`` /
+    ``with_simulation`` rather than folded into the emitter ratio.
+    """
+    from repro.algorithms import base as algorithms
+    from repro.cache import Memory
+    from repro.graph import datasets
+
+    config = config or AlgosBenchConfig()
+    factory = _hierarchy_factory(config.hierarchy)
+    graph = datasets.load(config.dataset)
+    params_by_algo = _algo_params(config)
+
+    per_algorithm: dict[str, dict] = {}
+    scalar_total = 0.0
+    runtime_total = 0.0
+    scalar_sim_total = 0.0
+    runtime_sim_total = 0.0
+    with obs.span(
+        "bench.algos_runtime", dataset=config.dataset,
+        hierarchy=config.hierarchy, quick=config.quick,
+    ):
+        for name in RUNTIME_ALGORITHMS:
+            algorithm = algorithms.spec(name)
+            params = params_by_algo.get(name, {})
+
+            def run(backend: str):
+                traced = algorithms.traced_fn(algorithm, backend)
+
+                def body():
+                    memory = Memory(factory(), cache_backend="replay")
+                    result = traced(graph, memory, **params)
+                    # Materialise the trace inside the timed region:
+                    # the runtime defers block expansion to the
+                    # freeze, so stopping the clock earlier would
+                    # credit it with work it has not done yet.
+                    memory.recorded_trace()
+                    return result, memory
+
+                (result, memory), seconds = _timed(
+                    body, config.repeats
+                )
+                # The LRU simulation of the frozen trace, timed
+                # separately (identical input either way).
+                sim_start = time.perf_counter()
+                counts = list(memory.level_counts)
+                sim_seconds = time.perf_counter() - sim_start
+                return (
+                    result, counts, memory.total_refs,
+                    memory.prefetched_refs, seconds, sim_seconds,
+                )
+
+            (
+                s_result, s_counts, s_refs, s_prefetched,
+                scalar_seconds, scalar_sim,
+            ) = run("scalar")
+            (
+                r_result, r_counts, r_refs, r_prefetched,
+                runtime_seconds, runtime_sim,
+            ) = run("runtime")
+            identical = (
+                bool(np.array_equal(
+                    np.asarray(s_result), np.asarray(r_result)
+                ))
+                and s_counts == r_counts
+                and s_refs == r_refs
+                and s_prefetched == r_prefetched
+            )
+            if not identical:
+                raise BenchRegressionError(
+                    f"runtime and scalar emitters diverged for "
+                    f"{name!r} on {config.dataset} "
+                    f"({config.hierarchy} hierarchy)"
+                )
+            scalar_total += scalar_seconds
+            runtime_total += runtime_seconds
+            scalar_sim_total += scalar_sim
+            runtime_sim_total += runtime_sim
+            per_algorithm[name] = {
+                "scalar_seconds": scalar_seconds,
+                "runtime_seconds": runtime_seconds,
+                "speedup": (
+                    scalar_seconds / runtime_seconds
+                    if runtime_seconds else None
+                ),
+                "simulate_seconds": {
+                    "scalar": scalar_sim, "runtime": runtime_sim,
+                },
+                "level_counts": s_counts,
+                "total_refs": s_refs,
+                "prefetched_refs": s_prefetched,
+                "identical": identical,
+            }
+
+    with_simulation_scalar = scalar_total + scalar_sim_total
+    with_simulation_runtime = runtime_total + runtime_sim_total
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "bench": "algos_runtime",
+        "quick": config.quick,
+        "manifest": obs.run_manifest(command="bench"),
+        "workload": {
+            "dataset": config.dataset,
+            "hierarchy": config.hierarchy,
+            "iterations": config.iterations,
+            "num_sources": config.num_sources,
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+            "algorithms": list(RUNTIME_ALGORITHMS),
+        },
+        "algorithms": per_algorithm,
+        "totals": {
+            "scalar_seconds": scalar_total,
+            "runtime_seconds": runtime_total,
+        },
+        "speedup_runtime_vs_scalar": (
+            scalar_total / runtime_total if runtime_total else None
+        ),
+        "with_simulation": {
+            "scalar_seconds": with_simulation_scalar,
+            "runtime_seconds": with_simulation_runtime,
+            "speedup": (
+                with_simulation_scalar / with_simulation_runtime
+                if with_simulation_runtime else None
+            ),
+        },
+        "identical": True,  # divergence raises instead
+    }
+
+
+def render_algos_bench(payload: dict) -> str:
+    """Human-readable summary of one algos benchmark payload."""
+    workload = payload["workload"]
+    lines = [
+        f"workload    : {', '.join(workload['algorithms'])} on "
+        f"{workload['dataset']} ({workload['hierarchy']} hierarchy)",
+        f"graph       : n={workload['nodes']:,} "
+        f"m={workload['edges']:,}",
+    ]
+    for name, algo in payload["algorithms"].items():
+        speedup = algo["speedup"]
+        speedup_text = (
+            f"{speedup:.2f}x" if speedup is not None else "n/a"
+        )
+        lines.append(
+            f"{name:<12}: scalar {algo['scalar_seconds']:.3f}s vs "
+            f"runtime {algo['runtime_seconds']:.3f}s "
+            f"({speedup_text}, {algo['total_refs']:,} refs)"
+        )
+    totals = payload["totals"]
+    speedup = payload["speedup_runtime_vs_scalar"]
+    lines.append(
+        f"total       : scalar {totals['scalar_seconds']:.3f}s vs "
+        f"runtime {totals['runtime_seconds']:.3f}s"
+    )
+    if speedup is not None:
+        lines.append(
+            f"speedup     : {speedup:.2f}x runtime vs scalar"
+        )
+    with_sim = payload.get("with_simulation")
+    if with_sim and with_sim["speedup"] is not None:
+        lines.append(
+            f"with sim    : scalar "
+            f"{with_sim['scalar_seconds']:.3f}s vs runtime "
+            f"{with_sim['runtime_seconds']:.3f}s "
+            f"({with_sim['speedup']:.2f}x incl. LRU simulation)"
+        )
+    lines.append(
+        "identical   : " + ("yes" if payload["identical"] else "NO")
+    )
+    return "\n".join(lines)
 
 
 def render_cache_bench(payload: dict) -> str:

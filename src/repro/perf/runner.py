@@ -314,6 +314,7 @@ def run_cell(
     dataset_name: str | None = None,
     ordering_params: dict | None = None,
     cache_backend: str = "step",
+    algo_backend: str = "runtime",
     cancel_check: Callable[[], None] | None = None,
 ) -> RunResult:
     """Execute one experiment cell and return its :class:`RunResult`.
@@ -329,6 +330,10 @@ def run_cell(
     (:data:`repro.cache.layout.CACHE_BACKENDS`): ``"step"`` scalar
     stepping, ``"replay"`` recorded-trace vectorised replay with
     byte-identical counters for all-LRU hierarchies.
+    ``algo_backend`` selects the trace emitter
+    (:data:`repro.algorithms.base.ALGO_BACKENDS`): ``"runtime"`` the
+    vectorised frontier runtime, ``"scalar"`` the scalar-loop oracle
+    (counter-identical by construction; kept for cross-checks).
     ``cancel_check`` is a cooperative cancellation hook (the serve
     daemon's deadline enforcement): it is invoked at the phase
     boundaries of the run — before the ordering is computed, after
@@ -338,6 +343,7 @@ def run_cell(
     # None check, not truthiness: an empty OrderingCache is falsy.
     cache = GLOBAL_ORDERING_CACHE if cache is None else cache
     algorithm_spec = algorithms.spec(algorithm)
+    traced = algorithms.traced_fn(algorithm_spec, algo_backend)
     if cancel_check is not None:
         cancel_check()
     relabeled, perm, ordering_seconds = cache.relabeled(
@@ -366,9 +372,10 @@ def run_cell(
         ordering=orderings.spec(ordering).name,
         seed=seed,
         cache_backend=cache_backend,
+        algo_backend=algo_backend,
     ):
         start = time.perf_counter()
-        algorithm_spec.traced(relabeled, memory, **run_params)
+        traced(relabeled, memory, **run_params)
         # Reading cost/stats triggers the lazy replay (if any) inside
         # the timed simulate span, and before the counter publish.
         cost = memory.cost()

@@ -68,6 +68,9 @@ METRIC_DIRECTIONS = {
     "replay_seconds": "lower",
     "speedup_replay_vs_step": "higher",
     "replay_accesses_per_second": "higher",
+    "scalar_seconds_total": "lower",
+    "runtime_seconds_total": "lower",
+    "speedup_runtime_vs_scalar": "higher",
 }
 
 
@@ -104,10 +107,19 @@ def bench_metrics(payload: dict) -> dict[str, float]:
                     "accesses_per_second"
                 ],
             }
+        elif bench == "algos_runtime":
+            totals = payload["totals"]
+            metrics = {
+                "scalar_seconds_total": totals["scalar_seconds"],
+                "runtime_seconds_total": totals["runtime_seconds"],
+                "speedup_runtime_vs_scalar": payload[
+                    "speedup_runtime_vs_scalar"
+                ],
+            }
         else:
             raise TrendError(
                 f"unknown bench suite {bench!r}; expected "
-                "'gorder_kernel' or 'cache_replay'"
+                "'gorder_kernel', 'cache_replay' or 'algos_runtime'"
             )
     except (KeyError, TypeError) as exc:
         raise TrendError(

@@ -59,6 +59,7 @@ class Workload:
         graph: CSRGraph,
         hierarchy_factory=scaled_hierarchy,
         cache_backend: str = "replay",
+        algo_backend: str = "runtime",
     ) -> float:
         """Total simulated cycles of one workload execution."""
         total = 0.0
@@ -66,7 +67,10 @@ class Workload:
             memory = Memory(
                 hierarchy_factory(), cache_backend=cache_backend
             )
-            algorithms.spec(algorithm).traced(graph, memory, **params)
+            traced = algorithms.traced_fn(
+                algorithms.spec(algorithm), algo_backend
+            )
+            traced(graph, memory, **params)
             total += memory.cost().total_cycles
         return total
 

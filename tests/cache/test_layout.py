@@ -1,5 +1,6 @@
 """Unit tests for the memory layout model and traced arrays."""
 
+import numpy as np
 import pytest
 
 from repro.cache import CacheHierarchy, CacheLevel, Memory
@@ -182,3 +183,163 @@ class TestBoundsAndGeometryGuards:
         with pytest.raises(InvalidParameterError, match="outside"):
             array.touch_run(-1, 2)
         array.touch_run(4, 4)  # boundary run is fine
+
+
+def small_replay_memory():
+    return Memory(
+        CacheHierarchy(
+            [
+                CacheLevel(2 * 64, 64, 2, "L1"),
+                CacheLevel(4 * 64, 64, 4, "L2"),
+                CacheLevel(8 * 64, 64, 8, "L3"),
+            ]
+        ),
+        cache_backend="replay",
+    )
+
+
+class TestBatchTouchApis:
+    """The frontier runtime's batch APIs: ``touch_many``,
+    ``touch_runs``, ``element_lines`` and ``touch_block`` must stay
+    counter-identical to their scalar spellings and keep the scalar
+    APIs' bounds guarantees (out-of-range indices raise instead of
+    silently aliasing the neighbouring array's lines)."""
+
+    def test_touch_many_matches_scalar_touches(self):
+        indices = [0, 7, 3, 3, 5, 1]
+        scalar = small_memory()
+        a = scalar.array("a", 8, 8)
+        for i in indices:
+            a.touch(i)
+        batched = small_memory()
+        b = batched.array("a", 8, 8)
+        b.touch_many(np.asarray(indices))
+        assert batched.level_counts == scalar.level_counts
+        assert batched.total_refs == scalar.total_refs
+
+    def test_touch_many_replay_matches_step(self):
+        indices = np.asarray([0, 7, 3, 3, 5, 1])
+        step = small_memory()
+        step.array("a", 8, 8).touch_many(indices)
+        replay = small_replay_memory()
+        replay.array("a", 8, 8).touch_many(indices)
+        assert replay.level_counts == step.level_counts
+        assert replay.total_refs == step.total_refs
+
+    def test_touch_many_bounds_checked(self):
+        array = small_memory().array("a", 8, 4)
+        with pytest.raises(InvalidParameterError, match="outside"):
+            array.touch_many(np.asarray([0, 8]))
+        with pytest.raises(InvalidParameterError, match="outside"):
+            array.touch_many(np.asarray([-1, 0]))
+        array.touch_many(np.asarray([0, 7]))  # boundary is fine
+
+    def test_touch_many_deferred_bounds_raise_at_freeze(self):
+        memory = small_replay_memory()
+        array = memory.array("edges", 8, 4)
+        array.touch_many(np.asarray([0, 8]))  # recorded by reference
+        with pytest.raises(InvalidParameterError, match="'edges'"):
+            memory.level_counts
+
+    def test_touch_many_rejects_bad_shapes_and_dtypes(self):
+        array = small_memory().array("a", 8, 4)
+        with pytest.raises(InvalidParameterError, match="1-D"):
+            array.touch_many(np.zeros((2, 2), dtype=np.int64))
+        with pytest.raises(InvalidParameterError, match="integer"):
+            array.touch_many(np.asarray([0.5, 1.5]))
+
+    def test_touch_many_empty_is_noop(self):
+        memory = small_memory()
+        memory.array("a", 8, 4).touch_many(
+            np.zeros(0, dtype=np.int64)
+        )
+        assert memory.total_refs == 0
+
+    def test_touch_runs_matches_scalar_runs(self):
+        runs = [(0, 3), (16, 8), (4, 0), (8, 5)]
+        scalar = small_memory()
+        a = scalar.array("a", 32, 8)
+        for start, count in runs:
+            a.touch_run(start, count)
+        batched = small_memory()
+        b = batched.array("a", 32, 8)
+        b.touch_runs(
+            np.asarray([s for s, _ in runs]),
+            np.asarray([c for _, c in runs]),
+        )
+        assert batched.level_counts == scalar.level_counts
+        assert batched.total_refs == scalar.total_refs
+        assert batched.prefetched_refs == scalar.prefetched_refs
+
+    def test_touch_runs_replay_matches_step(self):
+        starts = np.asarray([0, 16, 8])
+        lengths = np.asarray([3, 8, 5])
+        step = small_memory()
+        step.array("a", 32, 8).touch_runs(starts, lengths)
+        replay = small_replay_memory()
+        replay.array("a", 32, 8).touch_runs(starts, lengths)
+        assert replay.level_counts == step.level_counts
+        assert replay.total_refs == step.total_refs
+        assert replay.prefetched_refs == step.prefetched_refs
+
+    def test_touch_runs_bounds_checked(self):
+        array = small_memory().array("a", 8, 4)
+        with pytest.raises(InvalidParameterError, match="outside"):
+            array.touch_runs(np.asarray([4]), np.asarray([5]))
+        with pytest.raises(InvalidParameterError, match="outside"):
+            array.touch_runs(np.asarray([-1]), np.asarray([2]))
+        array.touch_runs(np.asarray([4]), np.asarray([4]))  # boundary
+
+    def test_touch_runs_rejects_misaligned_or_float_arrays(self):
+        array = small_memory().array("a", 8, 4)
+        with pytest.raises(InvalidParameterError, match="aligned"):
+            array.touch_runs(np.asarray([0, 1]), np.asarray([1]))
+        with pytest.raises(InvalidParameterError, match="integer"):
+            array.touch_runs(np.asarray([0.0]), np.asarray([1.0]))
+
+    def test_touch_runs_skips_zero_length_spans(self):
+        memory = small_memory()
+        # The zero-length span's start may even be out of range for a
+        # non-empty run; it must simply be dropped.
+        memory.array("a", 8, 4).touch_runs(
+            np.asarray([0, 8]), np.asarray([2, 0])
+        )
+        assert memory.total_refs == 2
+
+    def test_element_lines_matches_line_of(self):
+        memory = small_memory()
+        array = memory.array("a", 32, 8)
+        indices = np.asarray([0, 31, 7, 8])
+        assert array.element_lines(indices).tolist() == [
+            array.line_of(int(i)) for i in indices
+        ]
+
+    def test_element_lines_bounds_checked(self):
+        array = small_memory().array("a", 8, 4)
+        with pytest.raises(InvalidParameterError, match="outside"):
+            array.element_lines(np.asarray([8]))
+        with pytest.raises(InvalidParameterError, match="outside"):
+            array.element_lines(np.asarray([-1]))
+        assert array.element_lines(np.zeros(0, dtype=np.int64)).size == 0
+
+    def test_touch_block_replay_matches_step(self):
+        lines_src = small_memory()
+        array = lines_src.array("a", 64, 8)
+        lines = array.element_lines(np.asarray([0, 8, 16, 24, 0, 8]))
+        demand = np.asarray([True, True, False, False, True, True])
+        step = small_memory()
+        step.array("a", 64, 8)
+        step.touch_block(lines, demand, extra_l1=3, prefetched=2)
+        replay = small_replay_memory()
+        replay.array("a", 64, 8)
+        replay.touch_block(lines, demand, extra_l1=3, prefetched=2)
+        assert replay.level_counts == step.level_counts
+        assert replay.total_refs == step.total_refs
+        assert replay.prefetched_refs == step.prefetched_refs
+
+    def test_touch_block_rejects_misaligned_arrays(self):
+        memory = small_memory()
+        with pytest.raises(InvalidParameterError, match="aligned"):
+            memory.touch_block(
+                np.asarray([1, 2]), np.asarray([True])
+            )

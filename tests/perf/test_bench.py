@@ -240,3 +240,134 @@ class TestCacheBenchCLI:
         assert payload["bench"] == "cache_replay"
         assert payload["identical"] is True
         assert "replay vs step" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Algorithm-runtime suite
+# ----------------------------------------------------------------------
+import numpy as np  # noqa: E402
+
+from repro.perf.bench import (  # noqa: E402
+    RUNTIME_ALGORITHMS,
+    AlgosBenchConfig,
+    quick_algos_config,
+    render_algos_bench,
+    run_algos_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def algos_payload():
+    """One shared quick algos benchmark run (module-scoped)."""
+    return run_algos_bench(quick_algos_config())
+
+
+class TestAlgosConfig:
+    def test_defaults_are_the_acceptance_workload(self):
+        config = AlgosBenchConfig()
+        assert config.dataset == "sdarc"
+        assert config.hierarchy == "scaled"
+        assert config.iterations == 5
+        assert not config.quick
+
+    def test_quick_config_is_small(self):
+        config = quick_algos_config()
+        assert config.quick
+        assert config.dataset != "sdarc"
+
+    def test_quick_config_overrides(self):
+        config = quick_algos_config(iterations=1, repeats=2)
+        assert config.iterations == 1
+        assert config.repeats == 2
+        assert config.quick
+
+    def test_unknown_hierarchy_rejected(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError, match="hierarchy"):
+            run_algos_bench(quick_algos_config(hierarchy="l4"))
+
+
+class TestAlgosPayloadSchema:
+    def test_top_level_fields(self, algos_payload):
+        assert algos_payload["schema_version"] == BENCH_SCHEMA_VERSION
+        assert algos_payload["bench"] == "algos_runtime"
+        assert algos_payload["quick"] is True
+        assert algos_payload["identical"] is True
+
+    def test_every_ported_algorithm_present(self, algos_payload):
+        entries = algos_payload["algorithms"]
+        assert tuple(entries) == RUNTIME_ALGORITHMS
+        for entry in entries.values():
+            assert entry["scalar_seconds"] >= 0
+            assert entry["runtime_seconds"] >= 0
+            assert entry["speedup"] > 0
+            assert entry["identical"] is True
+            assert entry["total_refs"] > 0
+            assert sum(entry["level_counts"]) == entry["total_refs"]
+            sim = entry["simulate_seconds"]
+            assert sim["scalar"] >= 0 and sim["runtime"] >= 0
+
+    def test_totals_and_headline(self, algos_payload):
+        totals = algos_payload["totals"]
+        per_algo = algos_payload["algorithms"].values()
+        assert totals["scalar_seconds"] == pytest.approx(
+            sum(e["scalar_seconds"] for e in per_algo)
+        )
+        assert algos_payload["speedup_runtime_vs_scalar"] > 0
+        with_sim = algos_payload["with_simulation"]
+        assert with_sim["scalar_seconds"] >= totals["scalar_seconds"]
+        assert with_sim["speedup"] > 0
+
+    def test_workload_section(self, algos_payload):
+        workload = algos_payload["workload"]
+        assert workload["dataset"] == "epinion"
+        assert workload["nodes"] > 0
+        assert workload["algorithms"] == list(RUNTIME_ALGORITHMS)
+
+    def test_json_round_trip(self, algos_payload, tmp_path):
+        path = write_bench_json(
+            algos_payload, tmp_path / "BENCH_algos.json"
+        )
+        assert json.loads(path.read_text()) == algos_payload
+
+    def test_render_mentions_key_numbers(self, algos_payload):
+        text = render_algos_bench(algos_payload)
+        assert "runtime vs scalar" in text
+        assert "incl. LRU simulation" in text
+        assert "identical   : yes" in text
+
+
+class TestAlgosRegressionGuard:
+    def test_divergence_raises(self, monkeypatch):
+        """An emitter that changes results must never get a timing."""
+        from repro.algorithms import base as algorithms
+
+        real = algorithms.traced_fn
+
+        def crooked(spec, backend="runtime"):
+            fn = real(spec, backend)
+            if backend != "scalar":
+                return fn
+
+            def wrapper(graph, memory, **params):
+                return np.asarray(fn(graph, memory, **params)) + 1
+
+            return wrapper
+
+        monkeypatch.setattr(algorithms, "traced_fn", crooked)
+        with pytest.raises(BenchRegressionError):
+            run_algos_bench(quick_algos_config())
+
+
+class TestAlgosBenchCLI:
+    def test_quick_algos_bench_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_algos.json"
+        code = main(
+            ["bench", "--suite", "algos", "--quick", "--out", str(out)]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["bench"] == "algos_runtime"
+        assert payload["identical"] is True
+        assert "speedup" in capsys.readouterr().out

@@ -62,6 +62,21 @@ def cache_payload(step=0.5, replay=0.05):
     }
 
 
+
+def algos_payload(scalar=0.9, runtime=0.2):
+    return {
+        "schema_version": 1,
+        "bench": "algos_runtime",
+        "quick": False,
+        "totals": {
+            "scalar_seconds": scalar,
+            "runtime_seconds": runtime,
+        },
+        "speedup_runtime_vs_scalar": scalar / runtime,
+        "manifest": {"git_sha": "abc", "machine": "ci"},
+    }
+
+
 class TestBenchMetrics:
     def test_gorder_metrics(self):
         metrics = bench_metrics(gorder_payload())
@@ -84,6 +99,26 @@ class TestBenchMetrics:
         metrics = bench_metrics(cache_payload())
         assert metrics["replay_seconds"] == 0.05
         assert metrics["speedup_replay_vs_step"] == pytest.approx(10.0)
+
+    def test_algos_metrics(self):
+        metrics = bench_metrics(algos_payload())
+        assert metrics["scalar_seconds_total"] == 0.9
+        assert metrics["runtime_seconds_total"] == 0.2
+        assert metrics["speedup_runtime_vs_scalar"] == pytest.approx(
+            4.5
+        )
+
+    def test_algos_missing_field_named(self):
+        payload = algos_payload()
+        del payload["totals"]["runtime_seconds"]
+        with pytest.raises(TrendError, match="missing"):
+            bench_metrics(payload)
+
+    def test_every_algos_metric_has_a_direction(self):
+        from repro.perf.trends import METRIC_DIRECTIONS
+
+        for name in bench_metrics(algos_payload()):
+            assert name in METRIC_DIRECTIONS
 
     def test_unknown_suite_rejected(self):
         with pytest.raises(TrendError, match="unknown bench suite"):
