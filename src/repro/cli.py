@@ -91,6 +91,9 @@ def _ordering_params(args: argparse.Namespace) -> dict:
     workers = getattr(args, "workers", None)
     if workers is not None:
         params["workers"] = workers
+    query_volume = getattr(args, "query_volume", None)
+    if query_volume is not None:
+        params["query_volume"] = query_volume
     return params
 
 
@@ -546,6 +549,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         payload = perf.run_cache_bench(config)
         print(perf.render_cache_bench(payload))
         out = args.out or "BENCH_cache.json"
+    elif args.suite == "frontier":
+        base = (
+            perf.quick_frontier_config() if args.quick
+            else perf.FrontierBenchConfig()
+        )
+        overrides = {
+            name: value
+            for name, value in [
+                (
+                    "datasets",
+                    (args.dataset,) if args.dataset else None,
+                ),
+                ("query_volume", args.query_volume),
+                ("seed", args.seed),
+            ]
+            if value is not None
+        }
+        config = replace(base, **overrides)
+        payload = perf.run_frontier_bench(config)
+        print(perf.render_frontier_bench(payload))
+        out = args.out or "BENCH_selector.json"
     else:
         base = (
             perf.quick_config() if args.quick
@@ -806,6 +830,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="process-pool size for partitioned orderings",
     )
+    group.add_argument(
+        "--query-volume",
+        type=float,
+        metavar="Q",
+        default=None,
+        help="modelled queries for `--ordering auto` amortisation "
+             "(default 100000)",
+    )
     # Cache-simulation flags shared by the simulating commands.
     cache_flags = argparse.ArgumentParser(add_help=False)
     group = cache_flags.add_argument_group("cache simulation")
@@ -1046,18 +1078,25 @@ def build_parser() -> argparse.ArgumentParser:
     p = add("bench", _cmd_bench,
             help="perf benchmarks (Gorder kernel / cache replay / "
                  "frontier runtime)")
-    p.add_argument("--suite", choices=("gorder", "cache", "algos"),
+    p.add_argument("--suite",
+                   choices=("gorder", "cache", "algos", "frontier"),
                    default="gorder",
                    help="gorder: ordering kernel (BENCH_gorder.json); "
                         "cache: trace-replay simulator backend "
                         "(BENCH_cache.json); algos: frontier-runtime "
-                        "vs scalar emitters (BENCH_algos.json)")
+                        "vs scalar emitters (BENCH_algos.json); "
+                        "frontier: adaptive ordering selector "
+                        "(BENCH_selector.json)")
     p.add_argument("--quick", action="store_true",
                    help="small smoke configuration (CI bench job)")
     p.add_argument("--out", metavar="PATH", default=None,
                    help="output JSON path (default BENCH_<suite>.json)")
     p.add_argument("--dataset", default=None,
-                   help="cache/algos suites: dataset for the runs")
+                   help="cache/algos/frontier suites: dataset for "
+                        "the runs")
+    p.add_argument("--query-volume", type=float, default=None,
+                   help="frontier suite: modelled queries for the "
+                        "amortisation decision")
     p.add_argument("--iterations", type=int, default=None,
                    help="cache/algos suites: traced sweep iterations")
     p.add_argument("--hierarchy", choices=("paper", "scaled"),

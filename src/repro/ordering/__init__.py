@@ -19,6 +19,7 @@ from repro.ordering.evaluation import (
     OrderingEvaluation,
     evaluate_all,
     evaluate_ordering,
+    probe_arrangement,
 )
 from repro.ordering.gorder import (
     DEFAULT_WINDOW,
@@ -36,6 +37,9 @@ from repro.ordering.gorder_lazy import (
 from repro.ordering.incremental import append_identity, gorder_extend
 from repro.ordering.ldg import ldg_order
 from repro.ordering.lightweight import (
+    boba_order,
+    dbg_classes,
+    dbg_classes_reference,
     dbg_order,
     hubcluster_order,
     hubsort_order,
@@ -51,7 +55,27 @@ from repro.ordering.metrics import (
 )
 from repro.ordering.minla import minla_order, minloga_order
 from repro.ordering.parallel import gorder_partitioned, partition_nodes
+from repro.ordering.predictors import (
+    LINE_NODES,
+    StructuralPredictors,
+    average_reuse_distance,
+    compute_predictors,
+    diameter_proxy,
+    packing_factor,
+    predicted_gain_fraction,
+)
 from repro.ordering.rcm import rcm_order
+from repro.ordering.select import (
+    DEFAULT_CLOCK_HZ,
+    DEFAULT_QUERY_VOLUME,
+    HEAVYWEIGHT_ORDERINGS,
+    CandidateConfig,
+    CandidateProbe,
+    SelectionDecision,
+    auto_order,
+    default_candidates,
+    select_ordering,
+)
 from repro.ordering.simple import (
     chdfs_order,
     indegsort_order,
@@ -89,6 +113,9 @@ __all__ = [
     "hubsort_order",
     "hubcluster_order",
     "dbg_order",
+    "dbg_classes",
+    "dbg_classes_reference",
+    "boba_order",
     "gorder_order_lazy",
     "gorder_sequence_lazy",
     "gorder_partitioned",
@@ -98,6 +125,23 @@ __all__ = [
     "OrderingEvaluation",
     "evaluate_ordering",
     "evaluate_all",
+    "probe_arrangement",
+    "LINE_NODES",
+    "StructuralPredictors",
+    "compute_predictors",
+    "average_reuse_distance",
+    "diameter_proxy",
+    "packing_factor",
+    "predicted_gain_fraction",
+    "DEFAULT_CLOCK_HZ",
+    "DEFAULT_QUERY_VOLUME",
+    "HEAVYWEIGHT_ORDERINGS",
+    "CandidateConfig",
+    "CandidateProbe",
+    "SelectionDecision",
+    "auto_order",
+    "default_candidates",
+    "select_ordering",
     "gap_encoding_bits",
     "bits_per_edge",
     "compression_ratio",

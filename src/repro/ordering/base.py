@@ -22,6 +22,7 @@ from repro.ordering.gorder import gorder_order
 from repro.ordering.gorder_lazy import gorder_order_lazy
 from repro.ordering.ldg import ldg_order
 from repro.ordering.lightweight import (
+    boba_order,
     dbg_order,
     hubcluster_order,
     hubsort_order,
@@ -38,6 +39,19 @@ from repro.ordering.simple import (
 from repro.ordering.slashburn import slashburn_order
 
 OrderingFunction = Callable[..., np.ndarray]
+
+
+def _auto_order(graph: CSRGraph, seed: int = 0, **params) -> np.ndarray:
+    """Registry entry for the adaptive selector.
+
+    Imported lazily: :mod:`repro.ordering.select` needs this registry
+    to probe its candidates, so importing it at module scope would be
+    circular.  ``**params`` disables the signature filter; the
+    selector applies its own knob filtering instead.
+    """
+    from repro.ordering.select import auto_order
+
+    return auto_order(graph, seed=seed, **params)
 
 
 @dataclass(frozen=True)
@@ -113,6 +127,10 @@ REGISTRY: dict[str, OrderingSpec] = {
             "dbg", "DBG", dbg_order,
             deterministic=True, headline=False,
         ),
+        OrderingSpec(
+            "boba", "BOBA", boba_order,
+            deterministic=True, headline=False,
+        ),
         # Alternative Gorder backends — extensions for ablations.
         OrderingSpec(
             "gorder-lazy", "Gorder(lazy-pq)", gorder_order_lazy,
@@ -120,6 +138,14 @@ REGISTRY: dict[str, OrderingSpec] = {
         ),
         OrderingSpec(
             "gorder-part", "Gorder(partitioned)", gorder_partitioned,
+            deterministic=True, headline=False,
+        ),
+        # Adaptive selection (ROADMAP item 3): probes the frontier
+        # and picks the configuration minimising amortised cost.
+        # Probe cycles are deterministic; near-ties can flip only
+        # within wall-clock measurement noise.
+        OrderingSpec(
+            "auto", "Auto(selector)", _auto_order,
             deterministic=True, headline=False,
         ),
     ]

@@ -6,15 +6,24 @@ locality objective, the linear-arrangement energies, the compression
 estimate and a simulated cache probe into one
 :class:`OrderingEvaluation`, and :func:`evaluate_all` sweeps the
 registry to produce a comparison table.
+
+The probe honours the same ``cache_backend``/``algo_backend`` knobs as
+the experiment runner (the simulated counters are identical either
+way for the all-LRU hierarchies; replay is just faster), and
+evaluations carry the measured ordering wall-time so cost-aware
+consumers — the adaptive selector in :mod:`repro.ordering.select`
+first among them — can amortise ordering cost against probe savings.
 """
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.algorithms.nq import neighbor_query_traced
+from repro.algorithms import base as algorithms
 from repro.cache import Memory, scaled_hierarchy
 from repro.graph.csr import CSRGraph
 from repro.graph.permute import relabel, validate_permutation
@@ -42,8 +51,15 @@ class OrderingEvaluation:
     l1_miss_rate: float  # NQ probe on the simulated hierarchy
     cache_miss_rate: float
     probe_cycles: float
+    #: Measured wall-time of computing the arrangement; NaN when the
+    #: arrangement was supplied rather than computed.
+    ordering_seconds: float = float("nan")
 
     def as_row(self) -> list:
+        seconds = (
+            "-" if math.isnan(self.ordering_seconds)
+            else f"{self.ordering_seconds:.3f}"
+        )
         return [
             self.ordering,
             self.gorder_f,
@@ -54,14 +70,33 @@ class OrderingEvaluation:
             f"{100 * self.l1_miss_rate:.1f}%",
             f"{100 * self.cache_miss_rate:.1f}%",
             f"{self.probe_cycles / 1e6:.2f}M",
+            seconds,
         ]
 
     @staticmethod
     def headers() -> list[str]:
         return [
             "ordering", "F(pi)", "E_LA", "avg-gap", "bandwidth",
-            "bits/edge", "L1-mr", "Cache-mr", "NQ cycles",
+            "bits/edge", "L1-mr", "Cache-mr", "NQ cycles", "order-s",
         ]
+
+
+def probe_arrangement(
+    graph: CSRGraph,
+    perm: np.ndarray,
+    cache_backend: str = "step",
+    algo_backend: str = "runtime",
+):
+    """Run the NQ cache probe for one arrangement.
+
+    Returns ``(total_cycles, stats)`` for the relabelled graph on the
+    scaled hierarchy, using the requested simulator and algorithm
+    backends instead of hard-coding the scalar step path.
+    """
+    memory = Memory(scaled_hierarchy(), cache_backend=cache_backend)
+    traced = algorithms.traced_fn(algorithms.spec("nq"), algo_backend)
+    traced(relabel(graph, perm), memory)
+    return memory.cost().total_cycles, memory.stats()
 
 
 def evaluate_ordering(
@@ -69,12 +104,16 @@ def evaluate_ordering(
     perm: np.ndarray,
     name: str = "custom",
     window: int = DEFAULT_WINDOW,
+    cache_backend: str = "step",
+    algo_backend: str = "runtime",
+    ordering_seconds: float = float("nan"),
 ) -> OrderingEvaluation:
     """Evaluate one arrangement on every quality axis."""
     perm = validate_permutation(perm, graph.num_nodes)
-    memory = Memory(scaled_hierarchy())
-    neighbor_query_traced(relabel(graph, perm), memory)
-    stats = memory.stats()
+    probe_cycles, stats = probe_arrangement(
+        graph, perm,
+        cache_backend=cache_backend, algo_backend=algo_backend,
+    )
     return OrderingEvaluation(
         ordering=name,
         gorder_f=gorder_score(graph, perm, window=window),
@@ -84,7 +123,8 @@ def evaluate_ordering(
         bits_per_edge=bits_per_edge(graph, perm),
         l1_miss_rate=stats.l1_miss_rate,
         cache_miss_rate=stats.cache_miss_rate,
-        probe_cycles=memory.cost().total_cycles,
+        probe_cycles=probe_cycles,
+        ordering_seconds=ordering_seconds,
     )
 
 
@@ -93,21 +133,39 @@ def evaluate_all(
     ordering_names=None,
     seed: int = 0,
     window: int = DEFAULT_WINDOW,
+    cache_backend: str = "step",
+    algo_backend: str = "runtime",
+    ordering_params: dict | None = None,
 ) -> list[OrderingEvaluation]:
-    """Evaluate several registered orderings; best probe first."""
+    """Evaluate several registered orderings; best probe first.
+
+    Each ordering's computation is timed and the wall-time recorded in
+    its evaluation, so the resulting table doubles as the selector's
+    cost/quality input.
+    """
     names = (
         tuple(ordering_names)
         if ordering_names is not None
         else registry.ORDERING_NAMES
     )
-    evaluations = [
-        evaluate_ordering(
-            graph,
-            registry.compute_ordering(name, graph, seed=seed),
-            name=name,
-            window=window,
+    params = dict(ordering_params or {})
+    evaluations = []
+    for name in names:
+        start = time.perf_counter()
+        perm = registry.compute_ordering(
+            name, graph, seed=seed, **params
         )
-        for name in names
-    ]
+        seconds = time.perf_counter() - start
+        evaluations.append(
+            evaluate_ordering(
+                graph,
+                perm,
+                name=name,
+                window=window,
+                cache_backend=cache_backend,
+                algo_backend=algo_backend,
+                ordering_seconds=seconds,
+            )
+        )
     evaluations.sort(key=lambda evaluation: evaluation.probe_cycles)
     return evaluations

@@ -79,22 +79,31 @@ def gorder_extend(
         np.iinfo(np.int64).max if hub_threshold is None else hub_threshold
     )
 
-    heap = UnitHeap(n)
-    for u in range(num_old):
-        heap.remove(u)  # old nodes are not candidates
+    # Old nodes are excluded lazily: the candidate mask makes them
+    # start removed, so construction costs O(batch) entries instead of
+    # an O(n) per-node remove loop.
+    heap = UnitHeap(
+        n, candidates=np.arange(num_old, n, dtype=np.int64)
+    )
 
     def apply(u: int, entering: bool) -> None:
+        # Score events only ever matter for new candidates; events
+        # aimed at old (never-present) nodes are skipped outright
+        # rather than replayed against removed heap entries.
         update = heap.increase if entering else heap.decrease
         for v in out_adjacency[out_offsets[u]:out_offsets[u + 1]]:
-            update(int(v))
+            v = int(v)
+            if v >= num_old:
+                update(v)
         for z in in_adjacency[in_offsets[u]:in_offsets[u + 1]]:
             z = int(z)
-            update(z)
+            if z >= num_old:
+                update(z)
             if out_degrees[z] > skip_limit:
                 continue
             for v in out_adjacency[out_offsets[z]:out_offsets[z + 1]]:
                 v = int(v)
-                if v != u:
+                if v != u and v >= num_old:
                     update(v)
 
     # Seed the window with the tail of the existing arrangement.

@@ -3,8 +3,8 @@
 The replication's discussion cites "When is Graph Reordering an
 Optimization?" [Balaji & Lucia, IISWC 2018], which benchmarks Gorder
 against *lightweight* reorderings that cost seconds instead of hours.
-This module implements the three standard ones so the trade-off can
-be reproduced here:
+This module implements the standard ones so the trade-off can be
+reproduced here:
 
 * **HubSort** — hub vertices (in-degree above average) are packed at
   the front sorted by descending degree; the cold tail keeps its
@@ -17,20 +17,37 @@ be reproduced here:
   laid out hot-to-cold, original order preserved *within* each class.
   DBG's explicit goal is exactly HubSort's benefit without destroying
   the original order's locality.
+* **BOBA** — a first-touch edge-stream pass [Okanovic et al.]: one
+  traversal of the edge list packs endpoints in the order they are
+  first seen, so vertices that appear together in the stream land on
+  nearby cache lines.  The stream splits into contiguous chunks whose
+  first-touch sequences are computed independently (optionally on a
+  spawned process pool, like :mod:`repro.ordering.parallel`) and
+  merged keep-first — the output is identical for every worker count.
 
-All three run in O(n + sort) time and are deterministic.
+All run in O(n + m + sort) time and are deterministic.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
 import numpy as np
 
+from repro import obs
+from repro.errors import InvalidParameterError
 from repro.graph.csr import CSRGraph
 from repro.graph.permute import permutation_from_sequence
 
 
 def _hub_mask(graph: CSRGraph) -> np.ndarray:
-    """Hubs = nodes whose in-degree exceeds the average degree."""
+    """Hubs = nodes whose in-degree exceeds the average degree.
+
+    On a regular graph no in-degree exceeds the mean, so the mask is
+    all-False and the hub orderings degrade to the identity — they
+    must stay well-defined, not crash, in that case.
+    """
     degrees = graph.in_degrees()
     if graph.num_nodes == 0:
         return np.zeros(0, dtype=bool)
@@ -60,27 +77,163 @@ def hubcluster_order(graph: CSRGraph, seed: int = 0) -> np.ndarray:
     )
 
 
+def dbg_classes(degrees: np.ndarray, num_groups: int) -> np.ndarray:
+    """Integer log-scale degree classes, exact for any int64 degree.
+
+    Class of degree ``d`` is ``min((d + 1).bit_length() - 1,
+    num_groups - 1)`` — the bit-length form of ``floor(log2(d + 1))``.
+    Class ``k`` covers degrees in ``[2**k - 1, 2**(k + 1) - 1)``, so
+    the boundaries are exact int64s and a right-sided ``searchsorted``
+    assigns classes without ever casting the degree vector to float
+    (``np.log2`` mis-rounds integers above 2**53 whose nearest double
+    is the next power of two).
+    """
+    if num_groups < 1:
+        raise InvalidParameterError(
+            f"num_groups must be positive, got {num_groups}"
+        )
+    degrees = np.asarray(degrees, dtype=np.int64)
+    boundaries = np.array(
+        [(1 << k) - 1 for k in range(1, min(num_groups, 63))],
+        dtype=np.int64,
+    )
+    return np.searchsorted(
+        boundaries, degrees, side="right"
+    ).astype(np.int64)
+
+
+def dbg_classes_reference(degrees, num_groups: int) -> list[int]:
+    """Pure-python oracle for :func:`dbg_classes` (tests compare)."""
+    if num_groups < 1:
+        raise InvalidParameterError(
+            f"num_groups must be positive, got {num_groups}"
+        )
+    return [
+        min((int(d) + 1).bit_length() - 1, num_groups - 1)
+        for d in degrees
+    ]
+
+
 def dbg_order(
     graph: CSRGraph, seed: int = 0, num_groups: int = 8
 ) -> np.ndarray:
     """Degree-Based Grouping with ``num_groups`` log-scale classes.
 
     Class of node ``u`` is ``min(floor(log2(deg_in(u) + 1)),
-    num_groups - 1)``; classes are laid out from hottest (highest) to
-    coldest, original order preserved within each class.
+    num_groups - 1)`` computed in exact integer arithmetic (see
+    :func:`dbg_classes`); classes are laid out from hottest (highest)
+    to coldest, original order preserved within each class.  Well
+    defined for ``num_groups=1`` (identity), zero-degree nodes (class
+    0) and the empty graph.
     """
     del seed  # deterministic
-    if num_groups < 1:
-        from repro.errors import InvalidParameterError
-
-        raise InvalidParameterError(
-            f"num_groups must be positive, got {num_groups}"
-        )
-    degrees = graph.in_degrees()
-    classes = np.minimum(
-        np.floor(np.log2(degrees + 1)).astype(np.int64), num_groups - 1
-    )
+    classes = dbg_classes(graph.in_degrees(), num_groups)
     # Stable sort on negated class: hot classes first, original order
     # within a class.
     sequence = np.argsort(-classes, kind="stable")
+    return permutation_from_sequence(sequence)
+
+
+def _first_touch(endpoints: np.ndarray) -> np.ndarray:
+    """Deduplicate a node stream keeping each first occurrence."""
+    if not endpoints.shape[0]:
+        return endpoints
+    values, first_seen = np.unique(endpoints, return_index=True)
+    return values[np.argsort(first_seen, kind="stable")]
+
+
+def _boba_chunk(
+    task: tuple,
+) -> tuple[int, np.ndarray]:
+    """First-touch sequence of one edge-stream chunk.
+
+    Runs either inline or in a spawned worker process; the chunk
+    travels as two flat arrays (cheap to pickle) and the result is a
+    pure function of the chunk, so the merge is worker-count
+    invariant.
+    """
+    index, sources, targets = task
+    endpoints = np.empty(2 * sources.shape[0], dtype=np.int64)
+    endpoints[0::2] = sources
+    endpoints[1::2] = targets
+    return index, _first_touch(endpoints)
+
+
+def boba_order(
+    graph: CSRGraph,
+    seed: int = 0,
+    num_parts: int = 4,
+    workers: int = 1,
+) -> np.ndarray:
+    """BOBA: pack endpoints in edge-stream first-touch order.
+
+    One pass over the CSR edge stream (sources ascending, adjacency
+    order within a source) assigns each vertex the position at which
+    it is first touched — source before target within an edge.
+    Vertices never touched by an edge keep their original relative
+    order at the tail.
+
+    The stream is split into ``num_parts`` contiguous chunks whose
+    local first-touch sequences are computed independently —
+    in-process, or on a spawned :class:`ProcessPoolExecutor` when
+    ``workers > 1`` — then merged in chunk order with a keep-first
+    deduplication.  A vertex's global first touch lies in the earliest
+    chunk that contains it, so the merged sequence equals the
+    single-pass sequence: the arrangement is deterministic and
+    identical for every ``num_parts``/``workers`` combination.
+    """
+    del seed  # deterministic
+    if num_parts < 1:
+        raise InvalidParameterError(
+            f"num_parts must be positive, got {num_parts}"
+        )
+    if workers < 1:
+        raise InvalidParameterError(
+            f"workers must be positive, got {workers}"
+        )
+    n = graph.num_nodes
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    sources, targets = graph.edge_array()
+    chunks = [
+        chunk
+        for chunk in np.array_split(
+            np.arange(sources.shape[0], dtype=np.int64), num_parts
+        )
+        if chunk.shape[0]
+    ]
+    tasks = [
+        (
+            index,
+            np.ascontiguousarray(sources[chunk]),
+            np.ascontiguousarray(targets[chunk]),
+        )
+        for index, chunk in enumerate(chunks)
+    ]
+    effective_workers = min(workers, max(len(tasks), 1))
+    pieces: list[np.ndarray] = [
+        np.zeros(0, dtype=np.int64)
+    ] * len(tasks)
+    with obs.span(
+        "ordering.boba", n=n, m=graph.num_edges,
+        parts=len(tasks), workers=effective_workers,
+    ):
+        if effective_workers <= 1:
+            for task in tasks:
+                index, local = _boba_chunk(task)
+                pieces[index] = local
+        else:
+            context = multiprocessing.get_context("spawn")
+            with ProcessPoolExecutor(
+                max_workers=effective_workers, mp_context=context
+            ) as pool:
+                for index, local in pool.map(_boba_chunk, tasks):
+                    pieces[index] = local
+        touched = (
+            _first_touch(np.concatenate(pieces))
+            if pieces else np.zeros(0, dtype=np.int64)
+        )
+        seen = np.zeros(n, dtype=bool)
+        seen[touched] = True
+        sequence = np.concatenate([touched, np.flatnonzero(~seen)])
     return permutation_from_sequence(sequence)

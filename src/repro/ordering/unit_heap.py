@@ -67,26 +67,63 @@ class UnitHeap:
         "_runs", "_tails", "_ladder", "_pending", "_entries",
     )
 
-    def __init__(self, num_items: int) -> None:
+    def __init__(
+        self,
+        num_items: int,
+        candidates: np.ndarray | None = None,
+    ) -> None:
+        """Build the heap over ``num_items`` item ids.
+
+        ``candidates``, when given, restricts the heap to that subset:
+        every other id starts *removed* (updates addressed at it are
+        ignored, it can never be popped) at zero construction cost —
+        the bulk mask replaces a per-item ``remove`` loop, which is
+        what keeps incremental extension proportional to the batch
+        rather than the whole graph.
+        """
         if num_items < 0:
             raise InvalidParameterError(
                 f"num_items must be non-negative, got {num_items}"
             )
         self._keys = np.zeros(num_items, dtype=np.int64)
-        self._present = np.ones(num_items, dtype=bool)
-        self._size = num_items
         self._span = max(num_items, 1)
-        # With every key 0 the packed codes are span-1-item, i.e. an
-        # ascending arange — already one sorted run.
-        self._runs: list[np.ndarray] = (
-            [np.arange(num_items, dtype=np.int64)] if num_items else []
+        if candidates is None:
+            self._present = np.ones(num_items, dtype=bool)
+            self._size = num_items
+            # With every key 0 the packed codes are span-1-item, i.e.
+            # an ascending arange — already one sorted run.
+            self._runs: list[np.ndarray] = (
+                [np.arange(num_items, dtype=np.int64)]
+                if num_items else []
+            )
+        else:
+            candidates = self._as_batch(candidates)
+            if candidates.shape[0] and (
+                int(candidates.min()) < 0
+                or int(candidates.max()) >= num_items
+            ):
+                raise InvalidParameterError(
+                    f"candidates must lie in [0, {num_items})"
+                )
+            self._present = np.zeros(num_items, dtype=bool)
+            self._present[candidates] = True
+            self._size = int(np.count_nonzero(self._present))
+            # Key 0 packs to span-1-item: sorted codes are the live
+            # items in descending id order.
+            codes = self._span - 1 - (
+                np.unique(candidates).astype(np.int64)[::-1]
+            )
+            self._runs = [np.ascontiguousarray(codes)] if (
+                codes.shape[0]
+            ) else []
+        self._tails = (
+            [int(self._runs[0][-1])] if self._runs else []
         )
-        self._tails: list[int] = [num_items - 1] if num_items else []
         # Runs below this index form the geometric merge ladder;
         # beyond it sit the fresh, not-yet-merged runs.
-        self._ladder = 1 if num_items else 0
+        self._ladder = 1 if self._runs else 0
         self._pending: list[int] = []
-        self._entries = num_items
+        self._entries = self._size
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -457,8 +494,12 @@ class MeteredUnitHeap(UnitHeap):
         "increases", "decreases", "pops", "removes", "batched_moves"
     )
 
-    def __init__(self, num_items: int) -> None:
-        super().__init__(num_items)
+    def __init__(
+        self,
+        num_items: int,
+        candidates: np.ndarray | None = None,
+    ) -> None:
+        super().__init__(num_items, candidates=candidates)
         self.increases = 0
         self.decreases = 0
         self.pops = 0

@@ -710,6 +710,209 @@ def run_algos_bench(config: AlgosBenchConfig | None = None) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# Selector cost/quality frontier benchmark
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FrontierBenchConfig:
+    """Shape of one selector-frontier benchmark run."""
+
+    #: Acceptance datasets the selector is judged on.
+    datasets: tuple[str, ...] = ("epinion", "pokec", "wiki")
+    #: Modelled workload size for the amortisation decision; the
+    #: default models a query-heavy serving deployment.
+    query_volume: float = 100_000.0
+    #: Acceptance band: the chosen configuration's probe cycles must
+    #: land within this fraction of the measured oracle best.
+    tolerance: float = 0.10
+    cache_backend: str = "replay"
+    algo_backend: str = "runtime"
+    seed: int = 0
+    quick: bool = False
+
+
+def quick_frontier_config(**overrides) -> FrontierBenchConfig:
+    """The CI smoke configuration (one dataset, same schema)."""
+    settings = dict(datasets=("epinion",), quick=True)
+    settings.update(overrides)
+    return FrontierBenchConfig(**settings)
+
+
+def run_frontier_bench(
+    config: FrontierBenchConfig | None = None,
+) -> dict:
+    """Run the cost/quality frontier experiment; the JSON payload.
+
+    On every acceptance dataset the adaptive selector probes its
+    candidate frontier (measured ordering wall-time + simulated NQ
+    probe cycles) and picks the configuration minimising amortised
+    cost at the configured query volume.  The payload records the
+    full frontier — each candidate's cycles, ordering seconds and
+    break-even query volume against the original arrangement — plus
+    the selection itself.  :class:`BenchRegressionError` is raised if
+    any chosen configuration's probe cycles exceed the measured
+    oracle best by more than ``tolerance`` — a selector that misses
+    the frontier must fail the harness, not report around it.
+
+    Schema (version 1)::
+
+        {
+          "schema_version": 1,
+          "bench": "selector_frontier",
+          "quick": bool,
+          "manifest": {...},
+          "workload": {"datasets", "query_volume", "clock_hz",
+                       "cache_backend", "algo_backend", "tolerance"},
+          "datasets": {
+            "<name>": {"nodes", "edges", "predictors", "probes",
+                       "pruned", "selected", "oracle", "regret",
+                       "break_even_queries", "within_tolerance",
+                       "selection_seconds"}
+          },
+          "totals": {"selection_seconds"},
+          "max_regret": float,        # the headline number
+          "within_tolerance": true    # divergence raises instead
+        }
+    """
+    from repro.graph import datasets
+    from repro.ordering.select import select_ordering
+
+    config = config or FrontierBenchConfig()
+    if not config.datasets:
+        raise InvalidParameterError(
+            "the frontier benchmark needs at least one dataset"
+        )
+    if config.tolerance < 0:
+        raise InvalidParameterError(
+            f"tolerance must be non-negative, got {config.tolerance}"
+        )
+    per_dataset: dict[str, dict] = {}
+    total_selection_seconds = 0.0
+    max_regret = 0.0
+    clock_hz: float | None = None
+    with obs.span(
+        "bench.selector_frontier",
+        datasets=len(config.datasets),
+        query_volume=config.query_volume, quick=config.quick,
+    ):
+        for name in config.datasets:
+            graph = datasets.load(name)
+            decision = select_ordering(
+                graph,
+                query_volume=config.query_volume,
+                seed=config.seed,
+                cache_backend=config.cache_backend,
+                algo_backend=config.algo_backend,
+                dataset=name,
+            )
+            clock_hz = decision.clock_hz
+            oracle = decision.oracle_probe
+            regret = (
+                decision.chosen.probe_cycles / oracle.probe_cycles
+                - 1.0
+                if oracle.probe_cycles else 0.0
+            )
+            within = regret <= config.tolerance
+            if not within:
+                raise BenchRegressionError(
+                    f"selector missed the frontier on {name}: chose "
+                    f"{decision.chosen.label} at "
+                    f"{decision.chosen.probe_cycles:.0f} cycles, "
+                    f"{100 * regret:.1f}% above oracle "
+                    f"{oracle.label} (tolerance "
+                    f"{100 * config.tolerance:.0f}%)"
+                )
+            max_regret = max(max_regret, regret)
+            total_selection_seconds += decision.selection_seconds
+            per_dataset[name] = {
+                "nodes": graph.num_nodes,
+                "edges": graph.num_edges,
+                "predictors": decision.predictors.as_dict(),
+                "probes": [
+                    probe.as_dict() for probe in decision.probes
+                ],
+                "pruned": list(decision.pruned),
+                "selected": decision.chosen.as_dict(),
+                "oracle": oracle.as_dict(),
+                "regret": regret,
+                "break_even_queries": (
+                    decision.chosen.break_even_queries
+                ),
+                "within_tolerance": within,
+                "selection_seconds": decision.selection_seconds,
+            }
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "bench": "selector_frontier",
+        "quick": config.quick,
+        "manifest": obs.run_manifest(
+            seed=config.seed, command="bench",
+        ),
+        "workload": {
+            "datasets": list(config.datasets),
+            "query_volume": config.query_volume,
+            "clock_hz": clock_hz,
+            "cache_backend": config.cache_backend,
+            "algo_backend": config.algo_backend,
+            "tolerance": config.tolerance,
+        },
+        "datasets": per_dataset,
+        "totals": {"selection_seconds": total_selection_seconds},
+        "max_regret": max_regret,
+        "within_tolerance": True,  # divergence raises instead
+    }
+
+
+def _format_break_even(value: float | None) -> str:
+    if value is None or value == float("inf"):
+        return "never"
+    if value == 0:
+        return "baseline"
+    return f"{value:,.0f} queries"
+
+
+def render_frontier_bench(payload: dict) -> str:
+    """Human-readable summary of one frontier benchmark payload."""
+    workload = payload["workload"]
+    lines = [
+        f"workload    : NQ x{workload['query_volume']:,.0f} on "
+        f"{', '.join(workload['datasets'])} "
+        f"({workload['cache_backend']}/{workload['algo_backend']})",
+    ]
+    for name, entry in payload["datasets"].items():
+        lines.append(
+            f"{name:<12}: n={entry['nodes']:,} m={entry['edges']:,}"
+        )
+        for probe in entry["probes"]:
+            marker = (
+                ">" if probe["label"] == entry["selected"]["label"]
+                else " "
+            )
+            lines.append(
+                f"  {marker} {probe['label']:<20}"
+                f"{probe['probe_cycles'] / 1e6:8.2f}M cycles  "
+                f"{probe['ordering_seconds']:8.4f}s  "
+                f"break-even "
+                f"{_format_break_even(probe['break_even_queries'])}"
+            )
+        for label in entry["pruned"]:
+            lines.append(f"    {label:<20}(pruned by predictor gate)")
+        lines.append(
+            f"  selected {entry['selected']['label']} "
+            f"(oracle {entry['oracle']['label']}, "
+            f"regret {100 * entry['regret']:.1f}%)"
+        )
+    lines.append(
+        f"max regret  : {100 * payload['max_regret']:.1f}% "
+        f"(tolerance {100 * workload['tolerance']:.0f}%)"
+    )
+    lines.append(
+        "within tol  : "
+        + ("yes" if payload["within_tolerance"] else "NO")
+    )
+    return "\n".join(lines)
+
+
 def render_algos_bench(payload: dict) -> str:
     """Human-readable summary of one algos benchmark payload."""
     workload = payload["workload"]

@@ -71,6 +71,9 @@ METRIC_DIRECTIONS = {
     "scalar_seconds_total": "lower",
     "runtime_seconds_total": "lower",
     "speedup_runtime_vs_scalar": "higher",
+    "selector_max_regret": "lower",
+    "selector_selection_seconds": "lower",
+    "selector_chosen_cycles_total": "lower",
 }
 
 
@@ -116,10 +119,26 @@ def bench_metrics(payload: dict) -> dict[str, float]:
                     "speedup_runtime_vs_scalar"
                 ],
             }
+        elif bench == "selector_frontier":
+            metrics = {
+                # max_regret is 0 when the selector matched the
+                # oracle everywhere; the rolling-median gate treats a
+                # 0 -> 0 sequence as flat, and any sustained miss
+                # shows up long before the in-payload tolerance.
+                "selector_max_regret": payload["max_regret"],
+                "selector_selection_seconds": payload["totals"][
+                    "selection_seconds"
+                ],
+                "selector_chosen_cycles_total": sum(
+                    entry["selected"]["probe_cycles"]
+                    for entry in payload["datasets"].values()
+                ),
+            }
         else:
             raise TrendError(
                 f"unknown bench suite {bench!r}; expected "
-                "'gorder_kernel', 'cache_replay' or 'algos_runtime'"
+                "'gorder_kernel', 'cache_replay', 'algos_runtime' or "
+                "'selector_frontier'"
             )
     except (KeyError, TypeError) as exc:
         raise TrendError(

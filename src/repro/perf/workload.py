@@ -24,9 +24,17 @@ from repro.graph.csr import CSRGraph
 from repro.graph.permute import relabel
 from repro.ordering import base as orderings
 
-#: Clock used to convert simulated cycles into seconds for break-even
-#: computations (a mid-range 2.6 GHz core, like the replication's).
-DEFAULT_CLOCK_HZ = 2.6e9
+# Single definition lives with the adaptive selector, which shares
+# the same cycles-to-seconds amortisation model; re-exported here for
+# the existing perf-layer consumers.
+from repro.ordering.select import DEFAULT_CLOCK_HZ
+
+__all__ = [
+    "DEFAULT_CLOCK_HZ",
+    "Workload",
+    "AmortizationRow",
+    "amortization_table",
+]
 
 
 @dataclass(frozen=True)

@@ -75,3 +75,55 @@ class TestEvaluateAll:
             evaluations["gorder"].probe_cycles
             < evaluations["random"].probe_cycles
         )
+
+
+class TestBackendPlumbing:
+    """Regression tests: the evaluation bundle must honour the cache
+    and algorithm backend arguments instead of silently probing with
+    the defaults, and must report how long each ordering took."""
+
+    def test_probe_counter_identity_replay_vs_step(self, graph):
+        from repro.ordering import probe_arrangement
+        from repro.graph import identity_permutation
+
+        perm = identity_permutation(graph.num_nodes)
+        step_cycles, step_stats = probe_arrangement(
+            graph, perm, cache_backend="step"
+        )
+        replay_cycles, replay_stats = probe_arrangement(
+            graph, perm, cache_backend="replay"
+        )
+        assert step_cycles == replay_cycles
+        assert step_stats == replay_stats
+
+    def test_evaluate_ordering_accepts_backends(self, graph):
+        from repro.graph import identity_permutation
+
+        perm = identity_permutation(graph.num_nodes)
+        step = evaluate_ordering(graph, perm, cache_backend="step")
+        replay = evaluate_ordering(graph, perm, cache_backend="replay")
+        assert step.probe_cycles == replay.probe_cycles
+        assert step.l1_miss_rate == replay.l1_miss_rate
+
+    def test_ordering_seconds_recorded(self, graph):
+        import math
+
+        rows = evaluate_all(graph, ["original", "gorder"], seed=0)
+        for row in rows:
+            assert math.isfinite(row.ordering_seconds)
+            assert row.ordering_seconds >= 0
+
+    def test_ordering_seconds_defaults_to_nan(self, graph):
+        import math
+        from repro.graph import identity_permutation
+
+        evaluation = evaluate_ordering(
+            graph, identity_permutation(graph.num_nodes)
+        )
+        assert math.isnan(evaluation.ordering_seconds)
+        # NaN renders as a placeholder, not "nan".
+        row = evaluation.as_row()
+        assert "nan" not in " ".join(str(cell) for cell in row)
+
+    def test_headers_include_ordering_seconds(self):
+        assert "order-s" in OrderingEvaluation.headers()

@@ -101,6 +101,88 @@ class TestGorderExtend:
             gorder_extend(grown, np.zeros(10, dtype=np.int64))
 
 
+class TestExtendLazyExclusion:
+    """Regression tests for the old-node exclusion strategy.
+
+    The original implementation excluded already-placed nodes by
+    seeding a full heap and removing them one by one — an O(n) loop
+    whose cost grew with the base graph, not the batch.  The fix makes
+    exclusion lazy (a candidate mask at heap construction) and skips
+    score events aimed at old nodes outright.
+    """
+
+    def _instrumented(self, monkeypatch):
+        from repro.ordering import incremental
+        from repro.ordering.unit_heap import MeteredUnitHeap
+
+        created = []
+
+        class RecordingHeap(MeteredUnitHeap):
+            def __init__(self, num_items, candidates=None):
+                super().__init__(num_items, candidates=candidates)
+                self.popped = []
+                created.append(self)
+
+            def pop_max(self):
+                item = super().pop_max()
+                self.popped.append(item)
+                return item
+
+        monkeypatch.setattr(incremental, "UnitHeap", RecordingHeap)
+        return created
+
+    def test_no_scalar_removes(self, evolved, monkeypatch):
+        """Pre-fix code issued one heap.remove per old node."""
+        base, base_perm, grown = evolved
+        created = self._instrumented(monkeypatch)
+        gorder_extend(grown, base_perm)
+        (heap,) = created
+        assert heap.removes == 0
+
+    def test_only_new_nodes_popped(self, evolved, monkeypatch):
+        base, base_perm, grown = evolved
+        created = self._instrumented(monkeypatch)
+        gorder_extend(grown, base_perm)
+        (heap,) = created
+        assert len(heap.popped) == grown.num_nodes - base.num_nodes
+        assert min(heap.popped) >= base.num_nodes
+
+    def test_cost_scales_with_batch_not_graph(self, monkeypatch):
+        """The same batch appended to a 10x larger base must not cost
+        10x more heap operations: extension work is proportional to
+        the new nodes' neighbourhoods."""
+        from repro.ordering import incremental
+        from repro.ordering.unit_heap import MeteredUnitHeap
+
+        class CountingHeap(MeteredUnitHeap):
+            latest = None
+
+            def __init__(self, num_items, candidates=None):
+                super().__init__(num_items, candidates=candidates)
+                CountingHeap.latest = self
+
+        monkeypatch.setattr(incremental, "UnitHeap", CountingHeap)
+
+        def operations(base_nodes):
+            base = generators.social_graph(
+                base_nodes, edges_per_node=4, seed=6
+            )
+            base_perm = gorder_order(base)
+            grown = grow(base, 20, seed=9)
+            gorder_extend(grown, base_perm)
+            heap = CountingHeap.latest
+            return (
+                heap.increases + heap.decreases
+                + heap.pops + heap.removes
+            )
+
+        small = operations(120)
+        large = operations(1200)
+        # Pre-fix, `large` carried ~1200 extra removes and the ratio
+        # blew past 2; batch-proportional cost keeps it near 1.
+        assert large <= 2 * small
+
+
 class TestAppendIdentity:
     def test_simple(self):
         base = np.array([1, 0], dtype=np.int64)

@@ -124,3 +124,169 @@ class TestDBG:
     def test_single_group_is_identity(self, skewed):
         perm = dbg_order(skewed, num_groups=1)
         assert np.array_equal(perm, np.arange(skewed.num_nodes))
+
+
+class TestDBGClasses:
+    """Integer degree-class computation (regression for the float
+    ``np.log2`` cast, which mis-rounds near power-of-two degrees)."""
+
+    def test_matches_reference_oracle(self):
+        from repro.ordering import dbg_classes, dbg_classes_reference
+
+        rng = np.random.default_rng(3)
+        degrees = rng.integers(0, 10_000, size=400)
+        assert dbg_classes(degrees, 8).tolist() == (
+            dbg_classes_reference(degrees, 8)
+        )
+
+    def test_class_boundaries_exact(self):
+        from repro.ordering import dbg_classes
+
+        # Class k covers degrees [2^k - 1, 2^(k+1) - 1).
+        degrees = np.array([0, 1, 2, 3, 6, 7, 14, 15])
+        assert dbg_classes(degrees, 8).tolist() == [
+            0, 1, 1, 2, 2, 3, 3, 4
+        ]
+
+    def test_large_degree_precision(self):
+        """float64 rounds 2**54 - 1 up to 2**54, so the old
+        ``np.floor(np.log2(d + 1))`` put degree 2**54 - 2 in class 54;
+        its true class is 53."""
+        from repro.ordering import dbg_classes, dbg_classes_reference
+
+        degrees = np.array([2**54 - 2], dtype=np.int64)
+        assert dbg_classes(degrees, 64).tolist() == [53]
+        assert dbg_classes_reference(degrees, 64) == [53]
+
+    def test_monotone_in_degree(self):
+        from repro.ordering import dbg_classes
+
+        rng = np.random.default_rng(7)
+        degrees = np.sort(rng.integers(0, 2**62, size=300))
+        classes = dbg_classes(degrees, 64)
+        assert np.all(np.diff(classes) >= 0)
+
+    def test_capped_at_num_groups(self):
+        from repro.ordering import dbg_classes
+
+        degrees = np.array([0, 2**40, 2**62])
+        assert dbg_classes(degrees, 4).tolist() == [0, 3, 3]
+
+    def test_num_groups_validation(self):
+        from repro.ordering import dbg_classes, dbg_classes_reference
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            dbg_classes(np.array([1]), 0)
+        with pytest.raises(InvalidParameterError):
+            dbg_classes_reference(np.array([1]), 0)
+
+    def test_order_uses_integer_classes(self, skewed):
+        """dbg_order groups exactly by the integer classes."""
+        from repro.ordering import dbg_classes
+
+        perm = dbg_order(skewed)
+        classes = dbg_classes(skewed.in_degrees(), 8)
+        by_position = np.empty(skewed.num_nodes, dtype=np.int64)
+        by_position[perm] = classes
+        assert np.all(np.diff(by_position) <= 0)
+
+
+class TestRegularGraphs:
+    """Hub-based orderings are well-defined with zero hubs."""
+
+    def test_hubsort_identity_on_ring(self):
+        graph = generators.ring(16)
+        assert np.array_equal(hubsort_order(graph), np.arange(16))
+
+    def test_hubcluster_identity_on_ring(self):
+        graph = generators.ring(16)
+        assert np.array_equal(hubcluster_order(graph), np.arange(16))
+
+    def test_dbg_single_class_on_ring(self):
+        graph = generators.ring(16)
+        assert np.array_equal(dbg_order(graph), np.arange(16))
+
+
+class TestBoba:
+    """BOBA-style first-touch ordering: parallel block-based packing."""
+
+    @staticmethod
+    def _first_touch_oracle(graph):
+        """Pure-python single-pass first-touch over the edge stream."""
+        sources, targets = graph.edge_array()
+        seen = {}
+        for s, t in zip(sources, targets):
+            for v in (int(s), int(t)):
+                if v not in seen:
+                    seen[v] = len(seen)
+        perm = np.empty(graph.num_nodes, dtype=np.int64)
+        tail = len(seen)
+        for v in range(graph.num_nodes):
+            if v in seen:
+                perm[v] = seen[v]
+            else:
+                perm[v] = tail
+                tail += 1
+        return perm
+
+    def test_valid(self, skewed):
+        from repro.ordering import boba_order
+
+        assert_valid_permutation(
+            boba_order(skewed), skewed.num_nodes
+        )
+
+    def test_matches_single_pass_oracle(self, skewed):
+        from repro.ordering import boba_order
+
+        expected = self._first_touch_oracle(skewed)
+        for num_parts in (1, 4):
+            assert np.array_equal(
+                boba_order(skewed, num_parts=num_parts), expected
+            )
+
+    def test_part_count_invariant(self, skewed):
+        from repro.ordering import boba_order
+
+        reference = boba_order(skewed, num_parts=1)
+        for num_parts in (2, 3, 7, 64):
+            assert np.array_equal(
+                boba_order(skewed, num_parts=num_parts), reference
+            )
+
+    def test_worker_count_invariant(self, skewed):
+        from repro.ordering import boba_order
+
+        serial = boba_order(skewed, num_parts=4, workers=1)
+        parallel = boba_order(skewed, num_parts=4, workers=2)
+        assert np.array_equal(serial, parallel)
+
+    def test_seed_ignored(self, skewed):
+        from repro.ordering import boba_order
+
+        assert np.array_equal(
+            boba_order(skewed, seed=0), boba_order(skewed, seed=99)
+        )
+
+    def test_untouched_nodes_fill_tail_in_id_order(self):
+        from repro.ordering import boba_order
+
+        graph = from_edges([(3, 1)], num_nodes=6)
+        perm = boba_order(graph)
+        # Stream touches 3 then 1; isolated 0, 2, 4, 5 follow in order.
+        assert perm.tolist() == [2, 1, 3, 0, 4, 5]
+
+    def test_empty_graph(self):
+        from repro.ordering import boba_order
+
+        graph = from_edges([], num_nodes=0)
+        assert boba_order(graph).shape == (0,)
+
+    def test_validation(self, skewed):
+        from repro.ordering import boba_order
+
+        with pytest.raises(InvalidParameterError):
+            boba_order(skewed, num_parts=0)
+        with pytest.raises(InvalidParameterError):
+            boba_order(skewed, workers=0)

@@ -1,0 +1,174 @@
+"""Tests for the structural reordering-benefit predictors."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graph import from_edges, generators
+from repro.ordering import (
+    StructuralPredictors,
+    average_reuse_distance,
+    compute_predictors,
+    diameter_proxy,
+    packing_factor,
+    predicted_gain_fraction,
+)
+
+
+@pytest.fixture()
+def tiny_hub():
+    """Node 1 is the only hub: in-degrees [1, 3, 0, 0]."""
+    return from_edges([(0, 1), (2, 1), (3, 1), (1, 0)])
+
+
+class TestHandComputedValues:
+    def test_tiny_hub_graph(self, tiny_hub):
+        predictors = compute_predictors(tiny_hub)
+        assert predictors.nodes == 4
+        assert predictors.edges == 4
+        assert predictors.mean_degree == 1.0
+        # Max in-degree 3 over mean degree 1.
+        assert predictors.degree_skew == 3.0
+        # One hub (node 1) out of four nodes.
+        assert predictors.hub_fraction == 0.25
+        # 3 of 4 edges target the hub.
+        assert predictors.hub_concentration == 0.75
+        # A single hub always fits one line.
+        assert predictors.packing_factor == 1.0
+
+    def test_reuse_distance_hand_computed(self, tiny_hub):
+        # Adjacency stream is [1, 0, 1, 1]; vertex 1 repeats at
+        # positions 0, 2, 3 -> gaps 2 and 1 -> mean 1.5.
+        assert average_reuse_distance(tiny_hub) == 1.5
+
+    def test_reuse_distance_no_repeats(self):
+        graph = from_edges([(0, 1), (1, 2)])
+        assert average_reuse_distance(graph) == 0.0
+
+    def test_diameter_proxy_cycle(self):
+        graph = from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        # Double sweep on a directed 4-cycle: eccentricity 3.
+        assert diameter_proxy(graph) == 3
+
+    def test_packing_factor_scattered_hubs(self):
+        # Two hubs (0 and 31) land on two distinct 16-node lines but
+        # would fit one -> factor 2.
+        graph = from_edges(
+            [(1, 0), (2, 0), (3, 31), (4, 31)], num_nodes=32
+        )
+        assert packing_factor(graph, line_nodes=16) == 2.0
+
+    def test_packing_factor_packed_hubs(self):
+        # Hubs 0 and 1 share a line -> already minimal.
+        graph = from_edges(
+            [(2, 0), (3, 0), (4, 1), (5, 1)], num_nodes=32
+        )
+        assert packing_factor(graph, line_nodes=16) == 1.0
+
+    def test_packing_factor_validation(self, tiny_hub):
+        with pytest.raises(InvalidParameterError):
+            packing_factor(tiny_hub, line_nodes=0)
+
+
+class TestNeutralValues:
+    def test_empty_graph(self):
+        predictors = compute_predictors(from_edges([], num_nodes=0))
+        assert predictors.degree_skew == 1.0
+        assert predictors.hub_concentration == 0.0
+        assert predictors.packing_factor == 1.0
+        assert predictors.avg_reuse_distance == 0.0
+        assert predictors.diameter_proxy == 0
+
+    def test_edgeless_graph(self):
+        predictors = compute_predictors(from_edges([], num_nodes=7))
+        assert predictors.nodes == 7
+        assert predictors.edges == 0
+        assert predictors.mean_degree == 0.0
+        assert predictors.degree_skew == 1.0
+
+    def test_regular_graph_has_no_hubs(self):
+        predictors = compute_predictors(generators.ring(12))
+        assert predictors.hub_fraction == 0.0
+        assert predictors.hub_concentration == 0.0
+        assert predictors.packing_factor == 1.0
+
+
+class TestSerialisation:
+    def test_as_dict_round_trips_json(self, tiny_hub):
+        payload = compute_predictors(tiny_hub).as_dict()
+        restored = json.loads(json.dumps(payload))
+        assert restored["degree_skew"] == 3.0
+        assert set(restored) == {
+            "nodes", "edges", "mean_degree", "degree_skew",
+            "hub_fraction", "hub_concentration", "packing_factor",
+            "avg_reuse_distance", "diameter_proxy",
+        }
+
+
+def _predictors(**overrides):
+    base = dict(
+        nodes=100, edges=1000, mean_degree=10.0, degree_skew=1.0,
+        hub_fraction=0.0, hub_concentration=0.0, packing_factor=1.0,
+        avg_reuse_distance=0.0, diameter_proxy=3,
+    )
+    base.update(overrides)
+    return StructuralPredictors(**base)
+
+
+class TestGainFraction:
+    def test_neutral_graph_floor(self):
+        assert predicted_gain_fraction(_predictors()) == 0.05
+
+    def test_saturates_at_cap(self):
+        saturated = _predictors(
+            degree_skew=2.0**40, packing_factor=8.0,
+            hub_concentration=1.0,
+        )
+        assert predicted_gain_fraction(saturated) == 0.6
+
+    def test_monotone_in_skew(self):
+        low = predicted_gain_fraction(_predictors(degree_skew=2.0))
+        high = predicted_gain_fraction(_predictors(degree_skew=16.0))
+        assert 0.05 < low < high <= 0.6
+
+    def test_hand_computed_value(self):
+        predictors = _predictors(
+            degree_skew=4.0, packing_factor=1.5, hub_concentration=0.5
+        )
+        expected = 0.05 + 0.08 * 2 + 0.1 * 0.5 + 0.2 * 0.5
+        assert predicted_gain_fraction(predictors) == pytest.approx(
+            expected
+        )
+
+    def test_skew_below_one_clamped(self):
+        assert math.isfinite(
+            predicted_gain_fraction(_predictors(degree_skew=0.5))
+        )
+        assert predicted_gain_fraction(
+            _predictors(degree_skew=0.5)
+        ) == 0.05
+
+
+class TestAcceptanceDatasets:
+    def test_skewed_graph_beats_regular_on_gain(self):
+        skewed = generators.web_graph(
+            400, pages_per_host=20, out_degree=6, seed=5
+        )
+        regular = generators.ring(400)
+        assert predicted_gain_fraction(
+            compute_predictors(skewed)
+        ) > predicted_gain_fraction(compute_predictors(regular))
+
+    def test_predictors_deterministic(self):
+        graph = generators.social_graph(200, edges_per_node=5, seed=3)
+        assert compute_predictors(graph) == compute_predictors(graph)
+
+    def test_reuse_distance_positive_on_real_analogue(self):
+        graph = generators.web_graph(
+            300, pages_per_host=15, out_degree=6, seed=11
+        )
+        assert average_reuse_distance(graph) > 0
+        assert np.isfinite(average_reuse_distance(graph))

@@ -323,3 +323,79 @@ class TestMeteredBatches:
         heap = MeteredUnitHeap(4)
         heap.increase_batch(np.array([0, 2]), counts=np.array([3, 2]))
         assert heap.increases == 5
+
+
+class TestCandidateSubset:
+    """Heaps restricted to a candidate subset at construction."""
+
+    def test_only_candidates_present(self):
+        heap = UnitHeap(6, candidates=np.array([2, 4, 5]))
+        assert len(heap) == 3
+        assert all(i in heap for i in (2, 4, 5))
+        assert all(i not in heap for i in (0, 1, 3))
+
+    def test_pops_cover_exactly_the_candidates(self):
+        heap = UnitHeap(6, candidates=np.array([5, 2, 4]))
+        heap.increase(4)
+        assert heap.pop_max() == 4
+        assert sorted([heap.pop_max(), heap.pop_max()]) == [2, 5]
+        with pytest.raises(IndexError):
+            heap.pop_max()
+
+    def test_ties_break_by_smallest_id(self):
+        heap = UnitHeap(8, candidates=np.array([6, 3, 5]))
+        assert heap.pop_max() == 3
+
+    def test_updates_on_non_candidates_ignored(self):
+        heap = UnitHeap(4, candidates=np.array([1]))
+        heap.increase(0)
+        heap.decrease(3)
+        assert len(heap) == 1
+        assert heap.pop_max() == 1
+
+    def test_duplicate_candidates_collapse(self):
+        heap = UnitHeap(5, candidates=np.array([2, 2, 4]))
+        assert len(heap) == 2
+
+    def test_empty_candidates(self):
+        heap = UnitHeap(5, candidates=np.zeros(0, dtype=np.int64))
+        assert len(heap) == 0
+        with pytest.raises(IndexError):
+            heap.pop_max()
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            UnitHeap(3, candidates=np.array([3]))
+        with pytest.raises(InvalidParameterError):
+            UnitHeap(3, candidates=np.array([-1]))
+
+    def test_matches_full_heap_with_removes(self):
+        """A candidate heap behaves exactly like a full heap whose
+        non-candidates were removed up front."""
+        rng = np.random.default_rng(11)
+        candidates = np.flatnonzero(rng.random(40) < 0.5)
+        lazy = UnitHeap(40, candidates=candidates)
+        eager = UnitHeap(40)
+        for item in np.setdiff1d(np.arange(40), candidates):
+            eager.remove(int(item))
+        for _ in range(200):
+            item = int(rng.integers(0, 40))
+            if rng.random() < 0.7:
+                lazy.increase(item)
+                eager.increase(item)
+            else:
+                lazy.decrease(item)
+                eager.decrease(item)
+        assert len(lazy) == len(eager)
+        pops = len(lazy)
+        assert [lazy.pop_max() for _ in range(pops)] == [
+            eager.pop_max() for _ in range(pops)
+        ]
+
+    def test_metered_passes_candidates_through(self):
+        heap = MeteredUnitHeap(6, candidates=np.array([1, 2]))
+        assert len(heap) == 2
+        heap.increase(2)
+        assert heap.pop_max() == 2
+        assert heap.increases == 1
+        assert heap.pops == 1

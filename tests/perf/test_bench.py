@@ -371,3 +371,122 @@ class TestAlgosBenchCLI:
         assert payload["bench"] == "algos_runtime"
         assert payload["identical"] is True
         assert "speedup" in capsys.readouterr().out
+
+
+@pytest.fixture(scope="module")
+def frontier_payload():
+    from repro.perf.bench import (
+        quick_frontier_config,
+        run_frontier_bench,
+    )
+
+    return run_frontier_bench(quick_frontier_config())
+
+
+class TestFrontierBench:
+    def test_quick_config_is_single_dataset(self):
+        from repro.perf.bench import quick_frontier_config
+
+        config = quick_frontier_config()
+        assert config.quick
+        assert config.datasets == ("epinion",)
+
+    def test_payload_schema(self, frontier_payload):
+        assert (
+            frontier_payload["schema_version"] == BENCH_SCHEMA_VERSION
+        )
+        assert frontier_payload["bench"] == "selector_frontier"
+        assert frontier_payload["within_tolerance"] is True
+        assert frontier_payload["max_regret"] >= 0
+        assert "manifest" in frontier_payload
+
+    def test_dataset_entries(self, frontier_payload):
+        for entry in frontier_payload["datasets"].values():
+            assert entry["nodes"] > 0
+            assert entry["selected"]["probe_cycles"] > 0
+            assert entry["oracle"]["probe_cycles"] > 0
+            assert entry["regret"] >= 0
+            assert entry["within_tolerance"] is True
+            labels = [p["label"] for p in entry["probes"]]
+            assert entry["selected"]["label"] in labels
+            assert entry["oracle"]["label"] in labels
+            assert entry["predictors"]["degree_skew"] >= 1.0
+
+    def test_selector_within_tolerance_of_oracle(
+        self, frontier_payload
+    ):
+        """Acceptance: chosen probe cycles within 10% of oracle-best
+        on every benchmarked dataset."""
+        for entry in frontier_payload["datasets"].values():
+            oracle = entry["oracle"]["probe_cycles"]
+            chosen = entry["selected"]["probe_cycles"]
+            assert chosen <= 1.10 * oracle
+
+    def test_json_round_trip(self, frontier_payload, tmp_path):
+        path = write_bench_json(
+            frontier_payload, tmp_path / "BENCH_selector.json"
+        )
+        assert json.loads(path.read_text()) == frontier_payload
+
+    def test_render_mentions_selection(self, frontier_payload):
+        from repro.perf.bench import render_frontier_bench
+
+        text = render_frontier_bench(frontier_payload)
+        assert "selected" in text
+        assert "max regret" in text
+        assert "break-even" in text
+
+    def test_negative_tolerance_rejected(self):
+        from repro.errors import InvalidParameterError
+        from repro.perf.bench import (
+            quick_frontier_config,
+            run_frontier_bench,
+        )
+
+        with pytest.raises(InvalidParameterError):
+            run_frontier_bench(quick_frontier_config(tolerance=-1.0))
+
+    def test_regression_guard_raises_past_tolerance(
+        self, monkeypatch
+    ):
+        """A selector that misses the oracle by more than the
+        tolerance must fail the benchmark, not report it."""
+        from dataclasses import replace
+
+        from repro.ordering import select as select_module
+        from repro.perf.bench import (
+            quick_frontier_config,
+            run_frontier_bench,
+        )
+
+        real = select_module.select_ordering
+
+        def myopic(graph, **kwargs):
+            decision = real(graph, **kwargs)
+            inflated = replace(
+                decision.chosen,
+                probe_cycles=decision.chosen.probe_cycles * 10,
+            )
+            return replace(decision, chosen=inflated)
+
+        monkeypatch.setattr(
+            select_module, "select_ordering", myopic
+        )
+        with pytest.raises(BenchRegressionError, match="frontier"):
+            run_frontier_bench(quick_frontier_config())
+
+
+class TestFrontierBenchCLI:
+    def test_quick_frontier_bench_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_selector.json"
+        code = main(
+            [
+                "bench", "--suite", "frontier", "--quick",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["bench"] == "selector_frontier"
+        assert payload["within_tolerance"] is True
+        assert "selected" in capsys.readouterr().out

@@ -77,6 +77,22 @@ def algos_payload(scalar=0.9, runtime=0.2):
     }
 
 
+def selector_payload(regret=0.0, seconds=1.5, cycles=2.0e5):
+    return {
+        "schema_version": 1,
+        "bench": "selector_frontier",
+        "quick": False,
+        "datasets": {
+            "epinion": {"selected": {"probe_cycles": cycles}},
+            "pokec": {"selected": {"probe_cycles": cycles / 2}},
+        },
+        "totals": {"selection_seconds": seconds},
+        "max_regret": regret,
+        "within_tolerance": True,
+        "manifest": {"git_sha": "abc", "machine": "ci"},
+    }
+
+
 class TestBenchMetrics:
     def test_gorder_metrics(self):
         metrics = bench_metrics(gorder_payload())
@@ -107,6 +123,48 @@ class TestBenchMetrics:
         assert metrics["speedup_runtime_vs_scalar"] == pytest.approx(
             4.5
         )
+
+    def test_selector_metrics(self):
+        metrics = bench_metrics(selector_payload())
+        assert metrics["selector_max_regret"] == 0.0
+        assert metrics["selector_selection_seconds"] == 1.5
+        assert metrics["selector_chosen_cycles_total"] == (
+            pytest.approx(3.0e5)
+        )
+
+    def test_selector_zero_regret_never_gates(self):
+        """A 0 -> 0 regret series has no defined relative change and
+        must stay flat, not divide by zero or flag a regression."""
+        report = trend_report(
+            [
+                history_record(selector_payload(regret=0.0))
+                for _ in range(4)
+            ]
+        )
+        assert report.ok
+        rows = [
+            row for row in report.rows
+            if row.metric == "selector_max_regret"
+        ]
+        assert rows and rows[0].change is None
+
+    def test_selector_regret_regression_gates(self):
+        records = [
+            history_record(selector_payload(regret=r))
+            for r in (0.02, 0.02, 0.02, 0.08)
+        ]
+        report = trend_report(records)
+        assert not report.ok
+        assert any(
+            row.metric == "selector_max_regret" and row.regressed
+            for row in report.rows
+        )
+
+    def test_every_selector_metric_has_a_direction(self):
+        from repro.perf.trends import METRIC_DIRECTIONS
+
+        for name in bench_metrics(selector_payload()):
+            assert name in METRIC_DIRECTIONS
 
     def test_algos_missing_field_named(self):
         payload = algos_payload()
@@ -300,7 +358,12 @@ class TestCommittedBenchFiles:
     """Acceptance: the repo's BENCH_*.json snapshots ingest cleanly."""
 
     @pytest.mark.parametrize(
-        "name", ["BENCH_gorder.json", "BENCH_cache.json"]
+        "name",
+        [
+            "BENCH_gorder.json",
+            "BENCH_cache.json",
+            "BENCH_selector.json",
+        ],
     )
     def test_committed_bench_ingests_and_passes(self, name, tmp_path):
         import pathlib

@@ -42,6 +42,19 @@ class TestOrderRequest:
         assert request.include_permutation
         assert request.deadline_seconds == 2.5
 
+    def test_auto_is_a_valid_ordering(self):
+        """The adaptive selector is addressable over the wire; its
+        knobs travel as ordering_params and reach the store key."""
+        request = OrderRequest.from_payload(
+            {
+                "dataset": "epinion",
+                "ordering": "auto",
+                "ordering_params": {"query_volume": 5000},
+            }
+        )
+        assert request.ordering == "auto"
+        assert request.ordering_params == {"query_volume": 5000}
+
     @pytest.mark.parametrize(
         "payload",
         [
