@@ -161,8 +161,10 @@ def pagerank_traced_scalar(
             neighbors = adjacency[start:start + degree]
             touch_next_all(neighbors)  # the random per-edge writes
             # np.add.at applies element-wise in index order — the
-            # float accumulation is bitwise the per-edge loop's.
-            np.add.at(next_rank, neighbors, contribution)
+            # float accumulation is bitwise the per-edge loop's, and
+            # next_rank is this iteration's local accumulator, so the
+            # in-place update never escapes the oracle.
+            np.add.at(next_rank, neighbors, contribution)  # repro: noqa[REP010]
         dangling_share = dangling_mass / n
         # Final sequential combine pass over both rank arrays.
         traced_next.touch_run(0, n)

@@ -12,10 +12,20 @@ REP004    narrow numpy dtypes on accumulators (int32 overflow)
 REP005    telemetry discipline (spans as context managers, one
           registry, greppable counter names)
 REP006    builtin exceptions raised instead of ``ReproError``
+REP007    per-element ``touch`` loops in algorithm code
+REP008    lock-guarded attribute mutated without its lock *
+REP009    config knob missing from a required surface *
+REP010    reference oracle transitively impure *
 ========  ==========================================================
 
-Use it from the command line (``repro-gorder lint``), from CI (the
-blocking ``lint`` job), or from tests::
+Rules marked ``*`` are whole-program rules: they run over the
+project layer (:mod:`repro.analysis.project`), which parses all of
+``src/repro`` once into a symbol table, import graph, and
+approximate call graph, cached on disk by content hash.
+
+Use it from the command line (``repro-gorder lint`` /
+``repro-gorder lint --project`` / ``repro-gorder deps``), from CI
+(the blocking ``lint`` job), or from tests::
 
     from repro.analysis import analyze_source, run_lint
 
@@ -36,6 +46,7 @@ from repro.analysis.baseline import (
 )
 from repro.analysis.core import (
     ALL_RULES,
+    ENGINE_VERSION,
     RULES,
     AnalysisError,
     FileContext,
@@ -56,8 +67,19 @@ from repro.analysis.engine import (
     analyze_source,
     iter_python_files,
     run_lint,
+    run_project_lint,
 )
 from repro.analysis.imports import ImportMap
+from repro.analysis.project import (
+    DEFAULT_PROJECT_CACHE,
+    PROJECT_RULES,
+    FileFacts,
+    ProjectAnalysis,
+    ProjectRule,
+    all_project_rules,
+    register_project,
+    rule_versions,
+)
 
 __all__ = [
     "ALL_RULES",
@@ -67,20 +89,30 @@ __all__ = [
     "BaselineMatch",
     "DEFAULT_BASELINE",
     "DEFAULT_PATHS",
+    "DEFAULT_PROJECT_CACHE",
+    "ENGINE_VERSION",
     "FileContext",
+    "FileFacts",
     "Finding",
     "ImportMap",
     "LintReport",
+    "PROJECT_RULES",
+    "ProjectAnalysis",
+    "ProjectRule",
     "RULES",
     "Rule",
     "RuleVisitor",
     "Severity",
+    "all_project_rules",
     "all_rules",
     "analyze_file",
     "analyze_source",
     "iter_python_files",
     "noqa_directives",
     "register",
+    "register_project",
+    "rule_versions",
     "run_lint",
+    "run_project_lint",
     "suppressed",
 ]

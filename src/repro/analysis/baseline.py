@@ -11,6 +11,14 @@ Multiplicity is respected: a baseline entry suppresses as many
 findings as it was recorded with, no more.  Entries that no longer
 match anything are *stale*; ``--strict`` fails on them so the
 baseline only ever shrinks.
+
+Schema v2 records the version of the rule each entry was written
+against.  When a rule's detection logic is bumped
+(:attr:`~repro.analysis.core.Rule.version`), its old entries *expire*:
+they stop suppressing — the new logic must be re-reviewed, not
+grandfathered by a fossil — and show up as stale so the baseline gets
+regenerated.  v1 files (no per-entry version) still load; their
+entries are treated as current and upgraded on the next save.
 """
 
 from __future__ import annotations
@@ -25,7 +33,10 @@ from repro.analysis.core import AnalysisError, Finding
 from repro.ioutil import atomic_write_text
 
 #: Format marker written into every baseline file.
-BASELINE_VERSION = 1
+BASELINE_VERSION = 2
+
+#: Older formats :meth:`Baseline.load` still accepts.
+SUPPORTED_BASELINE_VERSIONS = (1, 2)
 
 
 @dataclass
@@ -34,8 +45,11 @@ class BaselineMatch:
 
     new: list[Finding] = field(default_factory=list)
     suppressed: list[Finding] = field(default_factory=list)
-    #: ``(rule, path, snippet)`` keys with unused suppressions left.
+    #: ``(rule, path, snippet)`` keys with unused suppressions left,
+    #: including entries expired by a rule-version bump.
     stale: list[tuple[str, str, str]] = field(default_factory=list)
+    #: The subset of ``stale`` expired because the rule version moved.
+    expired: list[tuple[str, str, str]] = field(default_factory=list)
 
 
 class Baseline:
@@ -46,22 +60,48 @@ class Baseline:
     ) -> None:
         self.entries = list(entries or [])
         self.path = path
-        self._counts: Counter[tuple[str, str, str]] = Counter(
-            (entry["rule"], entry["path"], entry.get("snippet", ""))
-            for entry in self.entries
-        )
 
     def __len__(self) -> int:
         return len(self.entries)
 
+    def _split_counts(
+        self, rule_versions: dict[str, int] | None
+    ) -> tuple[Counter, set]:
+        """(active suppression counts, expired entry keys)."""
+        active: Counter[tuple[str, str, str]] = Counter()
+        expired: set[tuple[str, str, str]] = set()
+        for entry in self.entries:
+            key = (
+                entry["rule"],
+                entry["path"],
+                entry.get("snippet", ""),
+            )
+            recorded = entry.get("rule_version")
+            current = (rule_versions or {}).get(entry["rule"])
+            if (
+                recorded is not None
+                and current is not None
+                and recorded != current
+            ):
+                expired.add(key)
+            else:
+                active[key] += 1
+        return active, expired
+
     @classmethod
-    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+    def from_findings(
+        cls,
+        findings: list[Finding],
+        rule_versions: dict[str, int] | None = None,
+    ) -> "Baseline":
+        versions = rule_versions or {}
         entries = [
             {
                 "rule": finding.rule,
                 "path": finding.path,
                 "line": finding.line,
                 "snippet": finding.snippet,
+                "rule_version": versions.get(finding.rule, 1),
             }
             for finding in sorted(findings)
         ]
@@ -78,7 +118,7 @@ class Baseline:
             ) from exc
         if (
             not isinstance(payload, dict)
-            or payload.get("version") != BASELINE_VERSION
+            or payload.get("version") not in SUPPORTED_BASELINE_VERSIONS
             or not isinstance(payload.get("findings"), list)
         ):
             raise AnalysisError(
@@ -91,6 +131,9 @@ class Baseline:
                 not isinstance(entry, dict)
                 or not isinstance(entry.get("rule"), str)
                 or not isinstance(entry.get("path"), str)
+                or not isinstance(
+                    entry.get("rule_version", 0), int
+                )
             ):
                 raise AnalysisError(
                     f"{path}: malformed baseline entry {entry!r}"
@@ -104,16 +147,26 @@ class Baseline:
             "version": BASELINE_VERSION,
             "comment": (
                 "Grandfathered findings; matched on (rule, path, "
-                "snippet), line numbers are informational.  "
+                "snippet), line numbers are informational.  Entries "
+                "expire when their rule's version bumps.  "
                 "Regenerate with: repro-gorder lint --write-baseline"
             ),
             "findings": self.entries,
         }
         atomic_write_text(path, json.dumps(payload, indent=1) + "\n")
 
-    def apply(self, findings: list[Finding]) -> BaselineMatch:
-        """Split findings into new vs baselined; report stale entries."""
-        remaining = Counter(self._counts)
+    def apply(
+        self,
+        findings: list[Finding],
+        rule_versions: dict[str, int] | None = None,
+    ) -> BaselineMatch:
+        """Split findings into new vs baselined; report stale entries.
+
+        ``rule_versions`` (``rule id -> current version``) drives v2
+        expiry: an entry recorded against an older rule version never
+        suppresses and is reported both stale and expired.
+        """
+        remaining, expired = self._split_counts(rule_versions)
         match = BaselineMatch()
         for finding in sorted(findings):
             if remaining.get(finding.key, 0) > 0:
@@ -121,7 +174,13 @@ class Baseline:
                 match.suppressed.append(finding)
             else:
                 match.new.append(finding)
+        match.expired = sorted(expired)
         match.stale = sorted(
-            key for key, count in remaining.items() if count > 0
+            set(
+                key
+                for key, count in remaining.items()
+                if count > 0
+            )
+            | expired
         )
         return match

@@ -28,6 +28,12 @@ class AnalysisError(ReproError):
     """A file or baseline could not be analysed (I/O, syntax, schema)."""
 
 
+#: Version of the analysis engine itself.  Bumped when the fact
+#: extraction or finding semantics change in a way that invalidates
+#: cached project facts (see :mod:`repro.analysis.project`).
+ENGINE_VERSION = 2
+
+
 class Severity(enum.IntEnum):
     """How bad a finding is; ordering follows the numeric value."""
 
@@ -133,6 +139,11 @@ class Rule:
     severity: Severity = Severity.ERROR
     #: One-paragraph rationale shown in ``docs/static_analysis.md``.
     rationale: str = ""
+    #: Bumped whenever the rule's detection logic changes.  Baseline
+    #: entries record the version they were written against; an entry
+    #: whose rule has since bumped is expired (stale) rather than
+    #: silently suppressing findings the new logic would surface.
+    version: int = 1
 
     def check(self, ctx: FileContext) -> list[Finding]:
         raise NotImplementedError

@@ -634,6 +634,8 @@ class ScalarTouchLoopRule(Rule):
     id = "REP007"
     title = "per-element touch loop in an algorithm"
     severity = Severity.WARNING
+    #: v2: alias tracking follows tuple unpacking (``ta, tb = ...``).
+    version = 2
     rationale = (
         "A ``TracedArray.touch`` call inside a Python loop costs one "
         "interpreter round-trip per simulated reference — the exact "
@@ -658,20 +660,38 @@ class ScalarTouchLoopRule(Rule):
         return visitor.findings
 
     def _touch_aliases(self, tree: ast.Module) -> frozenset[str]:
-        """Names bound to a ``.touch`` method (``t = arr.touch``)."""
+        """Names bound to a ``.touch`` method.
+
+        Handles both the direct spelling (``t = arr.touch``) and
+        tuple unpacking (``ta, tb = a.touch, b.touch``) — the latter
+        used to slip through and silently skip per-element loops.
+        """
         names: set[str] = set()
+
+        def bind(target: ast.AST, value: ast.AST) -> None:
+            if (
+                isinstance(value, ast.Attribute)
+                and value.attr == "touch"
+                and isinstance(target, ast.Name)
+            ):
+                names.add(target.id)
+            elif (
+                isinstance(target, (ast.Tuple, ast.List))
+                and isinstance(value, (ast.Tuple, ast.List))
+                and len(target.elts) == len(value.elts)
+            ):
+                for sub_target, sub_value in zip(
+                    target.elts, value.elts
+                ):
+                    if isinstance(sub_target, ast.Starred):
+                        continue
+                    bind(sub_target, sub_value)
+
         for node in ast.walk(tree):
             if not isinstance(node, ast.Assign):
                 continue
-            value = node.value
-            if not (
-                isinstance(value, ast.Attribute)
-                and value.attr == "touch"
-            ):
-                continue
             for target in node.targets:
-                if isinstance(target, ast.Name):
-                    names.add(target.id)
+                bind(target, node.value)
         return frozenset(names)
 
 

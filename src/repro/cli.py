@@ -108,6 +108,9 @@ def _profile_from_args(args: argparse.Namespace) -> "perf.Profile":
     cache_backend = getattr(args, "cache_backend", None)
     if cache_backend is not None:
         profile = replace(profile, cache_backend=cache_backend)
+    algo_backend = getattr(args, "algo_backend", None)
+    if algo_backend is not None:
+        profile = replace(profile, algo_backend=algo_backend)
     return profile
 
 
@@ -153,7 +156,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         hierarchy=profile.hierarchy(),
         ordering_params=_ordering_params(args),
         cache_backend=profile.cache_backend,
-        algo_backend=getattr(args, "algo_backend", None) or "runtime",
+        algo_backend=profile.algo_backend,
     )
     stats = result.stats
     print(f"dataset     : {result.dataset}")
@@ -276,6 +279,7 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
             metadata={
                 "profile": profile.name,
                 "cache_backend": profile.cache_backend,
+                "algo_backend": profile.algo_backend,
             },
             manifest=obs.run_manifest(
                 profile=profile.name, seed=profile.seed,
@@ -612,7 +616,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         DEFAULT_PATHS,
         AnalysisError,
         Baseline,
+        rule_versions,
         run_lint,
+        run_project_lint,
     )
     from repro.ioutil import atomic_write_text
 
@@ -620,19 +626,36 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     baseline_path = None if args.no_baseline else (
         args.baseline or DEFAULT_BASELINE
     )
+    project = getattr(args, "project", False)
+    cache_path = getattr(args, "cache", None) if project else None
     try:
         if args.write_baseline:
-            report = run_lint(paths, baseline_path=None)
+            if project:
+                report = run_project_lint(
+                    paths, baseline_path=None, cache_path=cache_path
+                )
+            else:
+                report = run_lint(paths, baseline_path=None)
             target = args.baseline or DEFAULT_BASELINE
-            Baseline.from_findings(report.findings).save(target)
+            Baseline.from_findings(
+                report.findings, rule_versions=rule_versions()
+            ).save(target)
             print(
                 f"wrote {len(report.findings)} grandfathered "
                 f"finding(s) to {target}"
             )
             return 0
-        report = run_lint(
-            paths, baseline_path=baseline_path, strict=args.strict
-        )
+        if project:
+            report = run_project_lint(
+                paths,
+                baseline_path=baseline_path,
+                strict=args.strict,
+                cache_path=cache_path,
+            )
+        else:
+            report = run_lint(
+                paths, baseline_path=baseline_path, strict=args.strict
+            )
     except AnalysisError as exc:
         print(f"lint error: {exc}", file=sys.stderr)
         return 2
@@ -645,6 +668,46 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.exit_zero:
         return 0
     return report.exit_code()
+
+
+def _cmd_deps(args: argparse.Namespace) -> int:
+    from repro.analysis import AnalysisError, ProjectAnalysis
+
+    try:
+        project = ProjectAnalysis.build(
+            tuple(args.paths) or ("src/repro",),
+            cache_path=getattr(args, "cache", None),
+        )
+    except AnalysisError as exc:
+        print(f"deps error: {exc}", file=sys.stderr)
+        return 2
+    graph = project.import_graph()
+    cycles = project.import_cycles()
+    deferred = project.deferred_edges()
+    edge_count = sum(len(targets) for targets in graph.values())
+    print(
+        f"modules     : {len(graph)} "
+        f"({project.files_parsed} parsed, "
+        f"{project.files_cached} from cache)"
+    )
+    print(f"edges       : {edge_count} import-time, "
+          f"{len(deferred)} deferred (function-level)")
+    if args.show_graph:
+        for module in sorted(graph):
+            for target in sorted(graph[module]):
+                print(f"  {module} -> {target}")
+    if deferred and args.show_deferred:
+        for importer, imported in deferred:
+            print(f"  {importer} ~> {imported} (deferred)")
+    if cycles:
+        print(f"cycles      : {len(cycles)}")
+        for component in cycles:
+            print("  " + " <-> ".join(component))
+    else:
+        print("cycles      : none")
+    if args.check_cycles and cycles:
+        return 1
+    return 0
 
 
 def _cmd_telemetry_summary(args: argparse.Namespace) -> int:
@@ -1161,6 +1224,28 @@ def build_parser() -> argparse.ArgumentParser:
                         "too")
     p.add_argument("--exit-zero", action="store_true",
                    help="report findings but always exit 0")
+    p.add_argument("--project", action="store_true",
+                   help="whole-program mode: also run the "
+                        "cross-module rules (REP008-REP010) over the "
+                        "project graph")
+    p.add_argument("--cache", metavar="PATH", default=None,
+                   help="incremental fact cache for --project "
+                        "(e.g. .repro-lint-cache.json)")
+
+    p = add("deps", _cmd_deps,
+            help="project import graph: layering, cycles, deferred "
+                 "edges")
+    p.add_argument("paths", nargs="*",
+                   help="directories to analyse (default src/repro)")
+    p.add_argument("--show-graph", action="store_true",
+                   help="print every import-time edge")
+    p.add_argument("--show-deferred", action="store_true",
+                   help="print function-level (deferred) edges")
+    p.add_argument("--check-cycles", action="store_true",
+                   help="exit 1 when any import cycle exists")
+    p.add_argument("--cache", metavar="PATH", default=None,
+                   help="incremental fact cache (shared with "
+                        "lint --project)")
 
     p = add("telemetry", _cmd_telemetry_summary,
             help="trace analytics: summary, span tree, critical "

@@ -174,26 +174,34 @@ class Telemetry:
     # -- configuration -------------------------------------------------
     def add_handler(self, handler: logging.Handler) -> None:
         """Attach a sink and enable the registry."""
-        self._logger.addHandler(handler)
-        self._handlers.append(handler)
-        self._logger.setLevel(logging.DEBUG)
-        self.enabled = True
+        with self._lock:
+            self._logger.addHandler(handler)
+            self._handlers.append(handler)
+            self._logger.setLevel(logging.DEBUG)
+            self.enabled = True
 
     def enable(self) -> None:
         """Enable recording without any sink (in-process registry only)."""
-        self.enabled = True
+        with self._lock:
+            self.enabled = True
 
     def shutdown(self) -> None:
         """Detach and close every sink and disable the registry.
 
         Counters and span aggregates survive (read them afterwards;
-        :meth:`reset` clears them).  Idempotent.
+        :meth:`reset` clears them).  Idempotent.  The handler list is
+        snapshotted and cleared atomically, so a sink attached
+        concurrently is either fully shut down here or stays tracked
+        for the next shutdown — never leaked half-attached; the
+        (possibly blocking) ``close()`` calls run outside the lock.
         """
-        self.enabled = False
-        for handler in self._handlers:
+        with self._lock:
+            self.enabled = False
+            detached = list(self._handlers)
+            self._handlers.clear()
+        for handler in detached:
             self._logger.removeHandler(handler)
             handler.close()
-        self._handlers.clear()
 
     def reset(self) -> None:
         """Shut down and forget all recorded state (tests use this)."""

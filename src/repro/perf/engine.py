@@ -419,6 +419,7 @@ def _execute_cell_body(
         dataset_name=cell.dataset,
         ordering_params=dict(profile.ordering_params),
         cache_backend=profile.cache_backend,
+        algo_backend=profile.algo_backend,
     )
 
 

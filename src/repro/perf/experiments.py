@@ -69,6 +69,12 @@ class Profile:
     #: ``"step"`` for the all-LRU profile hierarchies, much faster.
     #: The CLI's ``--cache-backend`` flag overrides it.
     cache_backend: str = "replay"
+    #: Trace emitter for every cell
+    #: (:data:`repro.algorithms.base.ALGO_BACKENDS`): the vectorised
+    #: frontier ``"runtime"`` or the scalar-loop ``"scalar"`` oracle
+    #: (counter-identical).  The CLI's ``--algo-backend`` flag
+    #: overrides it.
+    algo_backend: str = "runtime"
 
     def hierarchy(self) -> CacheHierarchy:
         """A fresh cache hierarchy for one run."""
@@ -229,6 +235,7 @@ def _representative_run(
             dataset_name=dataset_name,
             ordering_params=dict(profile.ordering_params),
             cache_backend=profile.cache_backend,
+            algo_backend=profile.algo_backend,
         )
         for seed in seeds
     ]
@@ -301,6 +308,7 @@ def cache_stall_split(
                 hierarchy=profile.hierarchy(),
                 dataset_name=dataset_name,
                 cache_backend=profile.cache_backend,
+                algo_backend=profile.algo_backend,
             )
     return results
 
@@ -352,6 +360,7 @@ def cache_stats_table(
             hierarchy=profile.hierarchy(),
             dataset_name=dataset_name,
             cache_backend=profile.cache_backend,
+            algo_backend=profile.algo_backend,
         )
         for ordering in profile.orderings
     }

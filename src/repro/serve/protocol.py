@@ -197,6 +197,7 @@ class RunRequest:
     seed: int | None = None
     ordering_params: dict = field(default_factory=dict)
     cache_backend: str = "replay"
+    algo_backend: str = "runtime"
     profile: str = "quick"
     deadline_seconds: float | None = None
 
@@ -221,6 +222,10 @@ class RunRequest:
             ordering_params=_ordering_params(payload),
             cache_backend=_require_str(
                 payload, "cache_backend", "replay", ("step", "replay")
+            ),
+            algo_backend=_require_str(
+                payload, "algo_backend", "runtime",
+                ("runtime", "scalar"),
             ),
             profile=_require_str(payload, "profile", "quick"),
             deadline_seconds=_optional_number(

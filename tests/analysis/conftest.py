@@ -1,0 +1,25 @@
+"""Shared fixture: write a synthetic package tree and chdir into it.
+
+Project-mode tests need real files on disk (module names come from
+the ``__init__.py`` chain, display paths are cwd-relative), so each
+test builds a throwaway mini-package under ``tmp_path``.
+"""
+
+import textwrap
+
+import pytest
+
+
+@pytest.fixture
+def make_tree(tmp_path, monkeypatch):
+    """``make_tree({relpath: source, ...})`` -> tree root (cwd)."""
+
+    def build(files):
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+        monkeypatch.chdir(tmp_path)
+        return tmp_path
+
+    return build

@@ -1,6 +1,7 @@
 """Baseline grandfathering: round-trip, multiplicity, staleness."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -70,6 +71,80 @@ class TestMultiplicity:
         assert len(match.stale) == 1
 
 
+class TestRuleVersionExpiry:
+    def test_from_findings_stamps_rule_versions(self):
+        baseline = Baseline.from_findings(
+            [make_finding()], rule_versions={"REP001": 3}
+        )
+        assert baseline.entries[0]["rule_version"] == 3
+
+    def test_matching_version_suppresses(self):
+        baseline = Baseline.from_findings(
+            [make_finding()], rule_versions={"REP001": 2}
+        )
+        match = baseline.apply(
+            [make_finding()], rule_versions={"REP001": 2}
+        )
+        assert match.new == []
+        assert match.expired == []
+
+    def test_version_bump_expires_the_entry(self):
+        """A bumped rule must be re-reviewed, not grandfathered."""
+        baseline = Baseline.from_findings(
+            [make_finding()], rule_versions={"REP001": 1}
+        )
+        match = baseline.apply(
+            [make_finding()], rule_versions={"REP001": 2}
+        )
+        assert len(match.new) == 1
+        assert match.suppressed == []
+        key = ("REP001", "src/x.py", "x = rand()")
+        assert match.expired == [key]
+        assert match.stale == [key]
+
+    def test_v1_file_loads_and_entries_stay_current(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({
+            "version": 1,
+            "findings": [{
+                "rule": "REP001",
+                "path": "src/x.py",
+                "line": 3,
+                "snippet": "x = rand()",
+            }],
+        }))
+        baseline = Baseline.load(path)
+        match = baseline.apply(
+            [make_finding()], rule_versions={"REP001": 7}
+        )
+        assert match.new == []
+        assert len(match.suppressed) == 1
+
+    def test_v1_file_migrates_to_v2_on_save(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({
+            "version": 1,
+            "findings": [],
+        }))
+        baseline = Baseline.load(path)
+        baseline.save(path)
+        assert json.loads(path.read_text())["version"] == 2
+
+    def test_committed_baseline_round_trips(self, tmp_path):
+        committed = (
+            Path(__file__).resolve().parents[2] / "lint_baseline.json"
+        )
+        if not committed.exists():
+            pytest.skip("no committed baseline")
+        baseline = Baseline.load(committed)
+        copy = tmp_path / "baseline.json"
+        baseline.save(copy)
+        assert Baseline.load(copy).entries == baseline.entries
+        assert json.loads(copy.read_text())["version"] == (
+            BASELINE_VERSION
+        )
+
+
 class TestSchemaValidation:
     def test_unparseable_json_raises(self, tmp_path):
         path = tmp_path / "baseline.json"
@@ -88,6 +163,19 @@ class TestSchemaValidation:
         path.write_text(json.dumps({
             "version": BASELINE_VERSION,
             "findings": [{"rule": 17}],
+        }))
+        with pytest.raises(AnalysisError, match="malformed"):
+            Baseline.load(path)
+
+    def test_non_integer_rule_version_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({
+            "version": BASELINE_VERSION,
+            "findings": [{
+                "rule": "REP001",
+                "path": "src/x.py",
+                "rule_version": "two",
+            }],
         }))
         with pytest.raises(AnalysisError, match="malformed"):
             Baseline.load(path)

@@ -1,0 +1,129 @@
+"""CLI surfaces of the project layer: lint --project and deps."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+CLEAN_TREE = {
+    "pkg/__init__.py": "",
+    "pkg/a.py": """
+        from pkg.b import helper
+
+        def run(x):
+            return helper(x)
+    """,
+    "pkg/b.py": """
+        def helper(x):
+            return x + 1
+    """,
+}
+
+RACY_TREE = {
+    "pkg/__init__.py": "",
+    "pkg/box.py": """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def add(self, item):
+                with self._lock:
+                    self._items.append(item)
+
+            def drop(self):
+                self._items.clear()
+    """,
+}
+
+CYCLIC_TREE = {
+    "pkg/__init__.py": "",
+    "pkg/a.py": "import pkg.b\n",
+    "pkg/b.py": "import pkg.a\n",
+}
+
+
+class TestLintProject:
+    def test_clean_tree_exits_zero(self, make_tree, capsys):
+        make_tree(CLEAN_TREE)
+        assert main(["lint", "--project", "pkg"]) == 0
+        assert "project mode" in capsys.readouterr().out
+
+    def test_race_exits_one(self, make_tree, capsys):
+        make_tree(RACY_TREE)
+        assert main(["lint", "--project", "pkg"]) == 1
+        assert "REP008" in capsys.readouterr().out
+
+    def test_json_reports_project_mode(self, make_tree, capsys):
+        make_tree(CLEAN_TREE)
+        assert main(
+            ["lint", "--project", "--format", "json", "pkg"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["project"] is True
+        assert payload["files_parsed"] == len(CLEAN_TREE)
+        assert payload["files_cached"] == 0
+
+    def test_cache_makes_the_second_run_warm(self, make_tree, capsys):
+        make_tree(CLEAN_TREE)
+        args = [
+            "lint", "--project", "--cache", "cache.json",
+            "--format", "json", "pkg",
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_parsed"] == 0
+        assert payload["files_cached"] == len(CLEAN_TREE)
+
+    def test_write_baseline_then_gate_passes(self, make_tree, capsys):
+        make_tree(RACY_TREE)
+        assert main([
+            "lint", "--project", "--write-baseline",
+            "--baseline", "baseline.json", "pkg",
+        ]) == 0
+        payload = json.loads(Path("baseline.json").read_text())
+        assert payload["version"] == 2
+        assert all(
+            isinstance(entry["rule_version"], int)
+            for entry in payload["findings"]
+        )
+        capsys.readouterr()
+        assert main([
+            "lint", "--project", "--baseline", "baseline.json", "pkg",
+        ]) == 0
+
+    def test_missing_path_exits_two(self, make_tree):
+        make_tree(CLEAN_TREE)
+        assert main(["lint", "--project", "nowhere"]) == 2
+
+
+class TestDeps:
+    def test_reports_modules_and_edges(self, make_tree, capsys):
+        make_tree(CLEAN_TREE)
+        assert main(["deps", "pkg"]) == 0
+        out = capsys.readouterr().out
+        assert "modules     : 3" in out
+        assert "cycles      : none" in out
+
+    def test_show_graph_prints_edges(self, make_tree, capsys):
+        make_tree(CLEAN_TREE)
+        assert main(["deps", "--show-graph", "pkg"]) == 0
+        assert "pkg.a -> pkg.b" in capsys.readouterr().out
+
+    def test_check_cycles_fails_on_a_cycle(self, make_tree, capsys):
+        make_tree(CYCLIC_TREE)
+        assert main(["deps", "--check-cycles", "pkg"]) == 1
+        assert "pkg.a <-> pkg.b" in capsys.readouterr().out
+
+    def test_check_cycles_passes_on_a_dag(self, make_tree):
+        make_tree(CLEAN_TREE)
+        assert main(["deps", "--check-cycles", "pkg"]) == 0
+
+    def test_missing_path_exits_two(self, make_tree, capsys):
+        make_tree(CLEAN_TREE)
+        assert main(["deps", "nowhere"]) == 2
+        assert "deps error" in capsys.readouterr().err

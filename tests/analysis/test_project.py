@@ -1,0 +1,230 @@
+"""Project layer: module naming, graphs, and the incremental cache."""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ProjectAnalysis
+from repro.analysis.project import module_name_for
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: A four-module package exercising plain, from-, symbol- and
+#: deferred imports plus local/self/cross-module calls.
+MINI_PKG = {
+    "pkg/__init__.py": """
+        GREETING = "hello"
+
+        from pkg import alpha
+    """,
+    "pkg/alpha.py": """
+        from pkg.beta import helper
+
+        def run(x):
+            return helper(x)
+
+        def lazy():
+            from pkg import gamma
+
+            return gamma.make()
+    """,
+    "pkg/beta.py": """
+        def helper(x):
+            return x + 1
+
+        class Counter:
+            def __init__(self):
+                self.total = 0
+
+            def bump(self):
+                return self._step()
+
+            def _step(self):
+                return helper(1)
+    """,
+    "pkg/gamma.py": """
+        def make():
+            return 0
+    """,
+    "pkg/epsilon.py": """
+        from pkg import GREETING
+
+        def greet():
+            return GREETING
+    """,
+}
+
+
+class TestModuleNaming:
+    def test_package_chain(self, make_tree):
+        root = make_tree(MINI_PKG)
+        assert module_name_for(root / "pkg" / "alpha.py") == "pkg.alpha"
+
+    def test_init_names_the_package(self, make_tree):
+        root = make_tree(MINI_PKG)
+        assert module_name_for(root / "pkg" / "__init__.py") == "pkg"
+
+    def test_loose_file_uses_its_stem(self, make_tree):
+        root = make_tree({"loose.py": "x = 1\n"})
+        assert module_name_for(root / "loose.py") == "loose"
+
+    def test_copied_tree_resolves_identically(self, make_tree):
+        """Moving the tree does not change module names (CI, tmp)."""
+        root = make_tree(MINI_PKG)
+        project = ProjectAnalysis.build(["pkg"])
+        assert "pkg.alpha" in project.facts
+        assert project.facts["pkg.alpha"].path == "pkg/alpha.py"
+        assert root == Path.cwd()
+
+
+class TestImportGraph:
+    @pytest.fixture
+    def project(self, make_tree):
+        make_tree(MINI_PKG)
+        return ProjectAnalysis.build(["pkg"])
+
+    def test_from_import_edges_to_the_submodule(self, project):
+        graph = project.import_graph()
+        assert graph["pkg.alpha"] == {"pkg.beta"}
+
+    def test_registry_init_does_not_self_cycle(self, project):
+        """``from pkg import alpha`` in pkg/__init__ must not also
+        charge pkg itself — that welds registry packages into fake
+        cycles."""
+        graph = project.import_graph()
+        assert graph["pkg"] == {"pkg.alpha"}
+        assert project.import_cycles() == []
+
+    def test_symbol_reexport_edges_to_the_package(self, project):
+        graph = project.import_graph()
+        assert graph["pkg.epsilon"] == {"pkg"}
+
+    def test_deferred_import_excluded_by_default(self, project):
+        graph = project.import_graph()
+        assert "pkg.gamma" not in graph["pkg.alpha"]
+        assert project.deferred_edges() == [("pkg.alpha", "pkg.gamma")]
+
+    def test_deferred_import_included_on_request(self, project):
+        graph = project.import_graph(include_deferred=True)
+        assert "pkg.gamma" in graph["pkg.alpha"]
+
+    def test_cycle_detection(self, make_tree):
+        make_tree({
+            "loop/__init__.py": "",
+            "loop/a.py": "import loop.b\n",
+            "loop/b.py": "import loop.a\n",
+            "loop/c.py": "import loop.a\n",
+        })
+        project = ProjectAnalysis.build(["loop"])
+        assert project.import_cycles() == [["loop.a", "loop.b"]]
+
+
+class TestCallGraph:
+    @pytest.fixture
+    def graph(self, make_tree):
+        make_tree(MINI_PKG)
+        return ProjectAnalysis.build(["pkg"]).call_graph()
+
+    def test_cross_module_call(self, graph):
+        assert graph["pkg.alpha.run"] == {"pkg.beta.helper"}
+
+    def test_deferred_module_attribute_call(self, graph):
+        assert graph["pkg.alpha.lazy"] == {"pkg.gamma.make"}
+
+    def test_self_call_resolves_to_the_method(self, graph):
+        assert graph["pkg.beta.Counter.bump"] == {
+            "pkg.beta.Counter._step"
+        }
+
+    def test_local_call_inside_a_method(self, graph):
+        assert graph["pkg.beta.Counter._step"] == {"pkg.beta.helper"}
+
+
+class TestCache:
+    CACHE = "lint-cache.json"
+
+    def build(self):
+        return ProjectAnalysis.build(["pkg"], cache_path=self.CACHE)
+
+    def test_cold_run_parses_everything(self, make_tree):
+        make_tree(MINI_PKG)
+        project = self.build()
+        assert project.files_parsed == len(MINI_PKG)
+        assert project.files_cached == 0
+        assert Path(self.CACHE).exists()
+
+    def test_warm_run_parses_nothing(self, make_tree):
+        make_tree(MINI_PKG)
+        cold = self.build()
+        warm = self.build()
+        assert warm.files_parsed == 0
+        assert warm.files_cached == len(MINI_PKG)
+        assert warm.modules() == cold.modules()
+
+    def test_content_change_reparses_only_that_file(self, make_tree):
+        root = make_tree(MINI_PKG)
+        self.build()
+        target = root / "pkg" / "gamma.py"
+        target.write_text(target.read_text() + "\n\ndef more():\n    return 1\n")
+        project = self.build()
+        assert project.files_parsed == 1
+        assert project.files_cached == len(MINI_PKG) - 1
+        assert "pkg.gamma.more" in project.symbol_table()
+
+    def test_added_file_is_parsed(self, make_tree):
+        root = make_tree(MINI_PKG)
+        self.build()
+        (root / "pkg" / "delta.py").write_text("def extra():\n    return 2\n")
+        project = self.build()
+        assert project.files_parsed == 1
+        assert project.files_cached == len(MINI_PKG)
+        assert "pkg.delta" in project.facts
+
+    def test_deleted_file_drops_out(self, make_tree):
+        root = make_tree(MINI_PKG)
+        self.build()
+        (root / "pkg" / "gamma.py").unlink()
+        project = self.build()
+        assert "pkg.gamma" not in project.facts
+        assert project.files_cached == len(MINI_PKG) - 1
+        # The rewritten cache forgets the file too.
+        payload = json.loads(Path(self.CACHE).read_text())
+        assert "pkg/gamma.py" not in payload["files"]
+
+    def test_corrupt_cache_degrades_to_cold_run(self, make_tree):
+        make_tree(MINI_PKG)
+        Path(self.CACHE).write_text("{definitely not json")
+        project = self.build()
+        assert project.files_parsed == len(MINI_PKG)
+
+    def test_signature_mismatch_invalidates(self, make_tree):
+        make_tree(MINI_PKG)
+        self.build()
+        payload = json.loads(Path(self.CACHE).read_text())
+        payload["signature"] = "0" * 64
+        Path(self.CACHE).write_text(json.dumps(payload))
+        project = self.build()
+        assert project.files_parsed == len(MINI_PKG)
+
+
+@pytest.mark.skipif(
+    not REPO_SRC.is_dir(), reason="repo source tree not available"
+)
+class TestWarmSpeedup:
+    def test_warm_run_is_at_least_5x_faster(self, tmp_path):
+        """Acceptance: a warm cache run beats cold by >= 5x."""
+        cache = tmp_path / "cache.json"
+        start = time.perf_counter()
+        cold = ProjectAnalysis.build([str(REPO_SRC)], cache_path=cache)
+        cold_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = ProjectAnalysis.build([str(REPO_SRC)], cache_path=cache)
+        warm_seconds = time.perf_counter() - start
+        assert cold.files_parsed > 0
+        assert warm.files_parsed == 0
+        assert warm.files_cached == cold.files_parsed
+        assert cold_seconds >= 5 * warm_seconds, (
+            f"cold {cold_seconds:.3f}s vs warm {warm_seconds:.3f}s"
+        )

@@ -536,6 +536,40 @@ class TestRep007ScalarTouchLoop:
             path=self.PATH,
         ) == ["REP007"]
 
+    def test_tuple_unpacked_alias_in_loop_fires(self):
+        """Regression: aliases bound by tuple unpacking were lost."""
+        assert rule_ids(
+            """
+            def run(a, b, nodes):
+                ta, tb = a.touch, b.touch
+                for u in nodes:
+                    ta(u)
+            """,
+            path=self.PATH,
+        ) == ["REP007"]
+
+    def test_nested_tuple_unpacked_alias_fires(self):
+        assert rule_ids(
+            """
+            def run(a, b, nodes):
+                (ta, tb), n = (a.touch, b.touch), len(nodes)
+                while nodes:
+                    tb(nodes.pop())
+            """,
+            path=self.PATH,
+        ) == ["REP007"]
+
+    def test_starred_unpacking_does_not_crash_or_misbind(self):
+        assert rule_ids(
+            """
+            def run(a, rest, nodes):
+                ta, *others = a.touch, rest
+                for u in nodes:
+                    others[0](u)
+            """,
+            path=self.PATH,
+        ) == []
+
     def test_touch_outside_loop_is_clean(self):
         assert rule_ids(
             """

@@ -199,6 +199,46 @@ class TestLifecycle:
         obs.shutdown()
         assert obs.counters() == {"x": 1}
 
+    def test_shutdown_snapshots_handlers_atomically(self):
+        """Regression: a sink attached *during* shutdown (e.g. from
+        another thread, modelled here by a reentrant ``close()``)
+        must stay tracked and open for the next shutdown — the old
+        non-atomic loop closed it mid-iteration and then forgot it.
+        """
+        from repro.obs.core import Telemetry
+
+        class Probe(logging.Handler):
+            def __init__(self):
+                super().__init__()
+                self.closed = False
+
+            def emit(self, record):
+                pass
+
+            def close(self):
+                self.closed = True
+                super().close()
+
+        telemetry = Telemetry()
+        follower = Probe()
+
+        class Reattaching(Probe):
+            def close(self):
+                telemetry.add_handler(follower)
+                super().close()
+
+        first = Reattaching()
+        telemetry.add_handler(first)
+        telemetry.shutdown()
+        assert first.closed
+        # The concurrently attached sink survived this shutdown...
+        assert not follower.closed
+        assert telemetry._handlers == [follower]
+        # ...and the next one owns it.
+        telemetry.shutdown()
+        assert follower.closed
+        assert telemetry._handlers == []
+
 
 class TestJsonlRoundTrip:
     def test_round_trip(self, tmp_path):

@@ -101,6 +101,32 @@ class TestRunRequest:
                 }
             )
 
+    def test_algo_backend_defaults_to_runtime(self):
+        request = RunRequest.from_payload(
+            {"dataset": "epinion", "algorithm": "pr"}
+        )
+        assert request.algo_backend == "runtime"
+
+    def test_scalar_algo_backend_accepted(self):
+        request = RunRequest.from_payload(
+            {
+                "dataset": "epinion",
+                "algorithm": "pr",
+                "algo_backend": "scalar",
+            }
+        )
+        assert request.algo_backend == "scalar"
+
+    def test_bad_algo_backend(self):
+        with pytest.raises(BadRequestError):
+            RunRequest.from_payload(
+                {
+                    "dataset": "epinion",
+                    "algorithm": "pr",
+                    "algo_backend": "vector",
+                }
+            )
+
 
 class TestErrorShaping:
     def test_status_codes(self):

@@ -95,6 +95,25 @@ class TestEndpoints:
         # computed — via memory or disk, never a second compute.
         assert stats["counters"]["serve.store_computed"] == 1
 
+    def test_run_reports_and_honours_algo_backend(self, harness):
+        status, runtime, _ = harness.post(
+            "/run", {"dataset": "epinion", "algorithm": "pr"}
+        )
+        assert status == 200
+        assert runtime["algo_backend"] == "runtime"
+        status, scalar, _ = harness.post(
+            "/run",
+            {
+                "dataset": "epinion",
+                "algorithm": "pr",
+                "algo_backend": "scalar",
+            },
+        )
+        assert status == 200
+        assert scalar["algo_backend"] == "scalar"
+        # The scalar oracle is counter-identical to the runtime.
+        assert scalar["cycles"] == runtime["cycles"]
+
     def test_unknown_dataset_rejected_before_admission(
         self, harness
     ):
